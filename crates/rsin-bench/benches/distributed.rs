@@ -1,0 +1,30 @@
+//! Bench: the token-propagation engine (simulation throughput, plus the
+//! clock-period work measure reported in its results).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_core::model::ScheduleProblem;
+use rsin_distrib::TokenEngine;
+use rsin_sim::workload::{random_snapshot, trial_rng};
+use rsin_topology::builders::{generalized_cube, omega};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_engine");
+    for n in [8usize, 16, 32] {
+        for net in [omega(n).unwrap(), generalized_cube(n).unwrap()] {
+            let mut rng = trial_rng(5, n as u64);
+            let snap = random_snapshot(&net, n / 2, n / 2, n / 8, &mut rng);
+            let problem =
+                ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+            group.bench_with_input(
+                BenchmarkId::new(net.name().to_string(), n),
+                &problem,
+                |b, p| b.iter(|| black_box(TokenEngine::run(p).clocks)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

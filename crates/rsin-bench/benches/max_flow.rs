@@ -1,0 +1,39 @@
+//! Ablation bench: the three maximum-flow algorithms on MRSIN-shaped
+//! unit-capacity networks (COMPLEX experiment — Dinic's `O(|V|^{2/3}|E|)`
+//! unit-network advantage vs Edmonds–Karp and DFS Ford–Fulkerson).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_core::model::ScheduleProblem;
+use rsin_core::transform::homogeneous;
+use rsin_flow::max_flow::{solve, Algorithm};
+use rsin_sim::workload::{random_snapshot, trial_rng};
+use rsin_topology::builders::omega;
+use std::hint::black_box;
+
+fn bench_max_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_flow_mrsin");
+    for n in [8usize, 16, 32, 64] {
+        let net = omega(n).unwrap();
+        let mut rng = trial_rng(1, n as u64);
+        let snap = random_snapshot(&net, n / 2, n / 2, n / 8, &mut rng);
+        let problem =
+            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let transformed = homogeneous::transform(&problem);
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), n),
+                &transformed,
+                |b, t| {
+                    b.iter(|| {
+                        let mut g = t.flow.clone();
+                        black_box(solve(&mut g, t.source, t.sink, algo).value)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_flow);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation bench: successive shortest paths vs the paper's out-of-kilter
+//! method on Transformation-2 networks (priority scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_core::model::ScheduleProblem;
+use rsin_core::transform::priority;
+use rsin_flow::min_cost::{solve, Algorithm};
+use rsin_sim::workload::{random_levels, random_snapshot, trial_rng};
+use rsin_topology::builders::omega;
+use std::hint::black_box;
+
+fn bench_min_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_cost_transformation2");
+    for n in [8usize, 16, 32] {
+        let net = omega(n).unwrap();
+        let mut rng = trial_rng(2, n as u64);
+        let snap = random_snapshot(&net, n / 2, n / 2, 0, &mut rng);
+        let req = random_levels(&snap.requesting, 10, &mut rng);
+        let free = random_levels(&snap.free, 10, &mut rng);
+        let problem = ScheduleProblem::with_priorities(&snap.circuits, &req, &free);
+        let (transformed, f0) = priority::transform(&problem);
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), n),
+                &transformed,
+                |b, t| {
+                    b.iter(|| {
+                        let mut g = t.flow.clone();
+                        black_box(solve(&mut g, t.source, t.sink, f0, algo).cost)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_cost);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench: multicommodity LP (simplex) vs sequential per-type max-flow
+//! fallback on heterogeneous instances (Section III-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
+use rsin_core::scheduler::{MultiCommodityScheduler, Scheduler};
+use rsin_core::transform::hetero::transform_max;
+use rsin_flow::multicommodity;
+use rsin_sim::workload::{random_snapshot, random_types, trial_rng};
+use rsin_topology::builders::omega;
+use std::hint::black_box;
+
+fn typed_problem<'a, 'n>(
+    snap: &'a rsin_sim::workload::Snapshot<'n>,
+    types: usize,
+    seed: u64,
+) -> ScheduleProblem<'a, 'n> {
+    let mut rng = trial_rng(seed, 1);
+    let req = random_types(&snap.requesting, types, &mut rng);
+    let res = random_types(&snap.free, types, &mut rng);
+    ScheduleProblem {
+        circuits: &snap.circuits,
+        requests: req
+            .iter()
+            .map(|&(p, ty)| ScheduleRequest { processor: p, priority: 1, resource_type: ty })
+            .collect(),
+        free: res
+            .iter()
+            .map(|&(r, ty)| FreeResource { resource: r, preference: 1, resource_type: ty })
+            .collect(),
+    }
+}
+
+fn bench_multicommodity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicommodity");
+    group.sample_size(20);
+    for (n, types) in [(8usize, 2usize), (8, 3), (16, 2)] {
+        let net = omega(n).unwrap();
+        let mut rng = trial_rng(3, n as u64);
+        let snap = random_snapshot(&net, n / 2, n / 2, 0, &mut rng);
+        let problem = typed_problem(&snap, types, 40 + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("simplex_lp", format!("{n}x{types}")),
+            &problem,
+            |b, p| {
+                let t = transform_max(p);
+                b.iter(|| black_box(multicommodity::max_flow(&t.flow, &t.commodities).unwrap().objective))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_scheduler", format!("{n}x{types}")),
+            &problem,
+            |b, p| {
+                let s = MultiCommodityScheduler::default();
+                b.iter(|| black_box(s.schedule(p).allocated()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multicommodity);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench: complete scheduling cycles per scheduler (the monitor
+//! architecture's end-to-end cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{
+    GreedyScheduler, MatchingScheduler, MaxFlowScheduler, MinCostScheduler, RequestOrder,
+    Scheduler,
+};
+use rsin_topology::builders::crossbar;
+use rsin_sim::workload::{random_snapshot, trial_rng};
+use rsin_topology::builders::omega;
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_cycle");
+    let maxflow = MaxFlowScheduler::default();
+    let mincost = MinCostScheduler::default();
+    let greedy = GreedyScheduler::new(RequestOrder::Index);
+    let schedulers: Vec<(&str, &dyn Scheduler)> = vec![
+        ("max_flow", &maxflow),
+        ("min_cost", &mincost),
+        ("greedy", &greedy),
+    ];
+    for n in [8usize, 16, 32] {
+        let net = omega(n).unwrap();
+        let mut rng = trial_rng(4, n as u64);
+        let snap = random_snapshot(&net, n / 2, n / 2, n / 8, &mut rng);
+        let problem =
+            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        for (name, s) in &schedulers {
+            group.bench_with_input(BenchmarkId::new(*name, n), &problem, |b, p| {
+                b.iter(|| black_box(s.schedule(p).allocated()))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Crossbar fast path: Hopcroft-Karp matching vs the generic flow
+/// reduction on single-stage networks.
+fn bench_crossbar_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_fast_path");
+    for n in [8usize, 16, 32] {
+        let net = crossbar(n, n).unwrap();
+        let mut rng = trial_rng(14, n as u64);
+        let snap = random_snapshot(&net, n / 2, n / 2, 2, &mut rng);
+        let problem =
+            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &problem, |b, p| {
+            b.iter(|| black_box(MatchingScheduler.schedule(p).allocated()))
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", n), &problem, |b, p| {
+            b.iter(|| black_box(MaxFlowScheduler::default().schedule(p).allocated()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_crossbar_fast_path);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench: topology construction and free-path search (the heuristic
+//! scheduler's primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_topology::builders;
+use rsin_topology::CircuitState;
+use std::hint::black_box;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("omega", n), &n, |b, &n| {
+            b.iter(|| black_box(builders::omega(n).unwrap().num_links()))
+        });
+        group.bench_with_input(BenchmarkId::new("benes", n), &n, |b, &n| {
+            b.iter(|| black_box(builders::benes(n).unwrap().num_links()))
+        });
+        group.bench_with_input(BenchmarkId::new("gamma", n), &n, |b, &n| {
+            b.iter(|| black_box(builders::gamma(n).unwrap().num_links()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_find_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_path");
+    for n in [8usize, 32, 128] {
+        let net = builders::omega(n).unwrap();
+        let cs = CircuitState::new(&net);
+        group.bench_with_input(BenchmarkId::new("omega_bfs", n), &cs, |b, cs| {
+            b.iter(|| {
+                let mut found = 0;
+                for p in 0..4 {
+                    if cs.find_path(p, n - 1 - p).is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_find_path);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! DYNAMIC — the Section II system model under load.
+//!
+//! A discrete-event simulation of the full resource-sharing system (Poisson
+//! arrivals, one task per processor at a time, circuit released after
+//! transmission, resource busy until completion), sweeping the offered load
+//! and comparing the optimal scheduler against greedy routing on resource
+//! utilization and response time.
+
+use rsin_bench::{emit_table, network_by_name};
+use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
+use rsin_sim::system::{DynamicConfig, SystemSim};
+
+fn main() {
+    let horizon = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3000.0f64);
+    let net = network_by_name("omega-8").unwrap();
+    let optimal = MaxFlowScheduler::default();
+    let greedy = GreedyScheduler::new(RequestOrder::Shuffled(5));
+    let schedulers: Vec<&dyn Scheduler> = vec![&optimal, &greedy];
+    println!("DYNAMIC — omega-8, horizon {horizon}, mean service 1.0, mean transmission 0.2\n");
+    let mut rows = Vec::new();
+    for load in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        for s in &schedulers {
+            let cfg = DynamicConfig {
+                arrival_rate: load,
+                mean_transmission: 0.2,
+                mean_service: 1.0,
+                sim_time: horizon,
+                warmup: horizon * 0.1,
+                seed: 42,
+                types: 1,
+            };
+            let stats = SystemSim::new(&net, cfg).run(*s);
+            rows.push(vec![
+                format!("{load:.1}"),
+                s.name().to_string(),
+                format!("{:.3}", stats.utilization),
+                format!("{:.3}", stats.mean_response),
+                format!("{:.2}", stats.mean_queue),
+                format!("{:.3}", stats.mean_blocking),
+                stats.completed.to_string(),
+            ]);
+        }
+    }
+    emit_table("dynamic", 
+        &["arrival rate", "scheduler", "utilization", "response", "queue", "cycle blocking", "completed"],
+        &rows,
+    );
+    println!(
+        "\nshape: utilization rises with load toward saturation; the optimal \
+         scheduler sustains it with equal or lower response time than greedy."
+    );
+}

@@ -1,0 +1,54 @@
+//! XSTAGE — the extra-stage remark.
+//!
+//! "If extra stages are provided, there will be more paths available.
+//! Resources may be fully allocated in most cases even when an arbitrary
+//! resource-request mapping is used. Finding an optimal mapping becomes
+//! less critical."
+//!
+//! Sweeps the number of extra shuffle-exchange stages appended to an 8×8
+//! Omega and reports optimal-vs-heuristic blocking and the gap between
+//! them.
+
+use rsin_bench::{emit_table, pct};
+use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
+use rsin_sim::blocking::{run_blocking, BlockingConfig};
+use rsin_topology::builders::{omega_dilated, omega_extra_stage};
+use rsin_topology::Network;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000u64);
+    let optimal = MaxFlowScheduler::default();
+    let greedy = GreedyScheduler::new(RequestOrder::Shuffled(9));
+    println!(
+        "XSTAGE — blocking vs alternate paths on omega-8 ({trials} trials, 6 req / 6 res)\n\
+         (two ways to add paths: extra shuffle-exchange stages, link dilation)\n"
+    );
+    let nets: Vec<Network> = (0..=3usize)
+        .map(|e| omega_extra_stage(8, e).unwrap())
+        .chain([omega_dilated(8, 2).unwrap(), omega_dilated(8, 3).unwrap()])
+        .collect();
+    let mut rows = Vec::new();
+    for (i, net) in nets.iter().enumerate() {
+        let cfg = BlockingConfig {
+            trials,
+            requests: 6,
+            resources: 6,
+            occupied_circuits: 1,
+            seed: 31 + i as u64,
+        };
+        let o = run_blocking(net, &optimal as &dyn Scheduler, &cfg);
+        let h = run_blocking(net, &greedy as &dyn Scheduler, &cfg);
+        rows.push(vec![
+            net.name().to_string(),
+            pct(o.blocking.mean, o.blocking.ci95),
+            pct(h.blocking.mean, h.blocking.ci95),
+            format!("{:+.2} pp", 100.0 * (h.blocking.mean - o.blocking.mean)),
+        ]);
+    }
+    emit_table("extra_stage", &["network", "optimal", "greedy", "gap"], &rows);
+    println!(
+        "\npaper shape: with more alternate paths both schedulers approach zero \
+         blocking and the optimal-vs-heuristic gap shrinks — \"finding an optimal \
+         mapping becomes less critical\". Dilation behaves like extra stages."
+    );
+}

@@ -1,0 +1,67 @@
+//! FAULTS — graceful degradation under link/switchbox failures.
+//!
+//! Section IV: a distributed implementation is preferred over the monitor
+//! "for reasons such as fault tolerance and modularity". This experiment
+//! injects random link faults (and whole dead switchboxes) and measures
+//! how allocation degrades: the flow-based optimum automatically reroutes
+//! around faults (they are just absent arcs in the transformed network),
+//! and the token engine remains exactly equivalent to it on the surviving
+//! topology.
+
+use rsin_bench::{emit_table, network_by_name, pct};
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
+use rsin_distrib::TokenEngine;
+use rsin_sim::metrics::Sample;
+use rsin_sim::workload::trial_rng;
+use rsin_topology::{CircuitState, LinkId};
+use rand::Rng;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1500u64);
+    let optimal = MaxFlowScheduler::default();
+    let greedy = GreedyScheduler::new(RequestOrder::Shuffled(17));
+    println!("FAULTS — blocking vs injected faults (benes-8, 5 req / 5 res, {trials} trials)\n");
+    let net = network_by_name("benes-8").unwrap();
+    let mut rows = Vec::new();
+    for faults in 0..=6usize {
+        let mut opt_b = Sample::new();
+        let mut heu_b = Sample::new();
+        let mut equal = true;
+        for trial in 0..trials {
+            let mut rng = trial_rng(7_700 + faults as u64, trial);
+            let mut cs = CircuitState::new(&net);
+            // Fail random interior links.
+            for _ in 0..faults {
+                let l = LinkId(rng.random_range(0..net.num_links() as u32));
+                cs.fail_link(l);
+            }
+            let req: Vec<usize> = (0..8).filter(|_| rng.random_range(0..8) < 5).collect();
+            let free: Vec<usize> = (0..8).filter(|_| rng.random_range(0..8) < 5).collect();
+            let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
+            let denom = req.len().min(free.len());
+            if denom == 0 {
+                continue;
+            }
+            let o = optimal.schedule(&problem);
+            let h = greedy.schedule(&problem);
+            let d = TokenEngine::run(&problem);
+            equal &= d.outcome.assignments.len() == o.allocated();
+            opt_b.push(o.blocking_fraction(denom));
+            heu_b.push(h.blocking_fraction(denom));
+        }
+        rows.push(vec![
+            faults.to_string(),
+            pct(opt_b.mean(), opt_b.ci95_half_width()),
+            pct(heu_b.mean(), heu_b.ci95_half_width()),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    emit_table("faults", &["faulty links", "optimal", "greedy", "token == optimal"], &rows);
+    println!(
+        "\nshape: the redundant-path Benes degrades gracefully under the optimal\n\
+         scheduler (faults are just missing arcs in the flow network), the greedy\n\
+         heuristic loses more, and the distributed engine stays exactly optimal\n\
+         on every surviving topology — the paper's fault-tolerance argument."
+    );
+}

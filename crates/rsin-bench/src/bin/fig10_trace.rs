@@ -1,0 +1,45 @@
+//! FIG10 — the status-bus state machine trace (Fig. 10 + Table I).
+//!
+//! Runs one distributed scheduling cycle on the Fig. 2 instance and prints
+//! the 7-bit wire-OR bus vector at every phase transition, matching the
+//! paper's walk-through: (111000x) request-token propagation → (111001x)
+//! an RS sets E6 → (110100x) resource-token propagation → (110110x) path
+//! registration → next iteration / allocation.
+
+use rsin_core::model::ScheduleProblem;
+use rsin_distrib::status::Event;
+use rsin_distrib::TokenEngine;
+use rsin_topology::builders::omega;
+use rsin_topology::CircuitState;
+
+fn main() {
+    println!("Table I — status bus bit assignment:");
+    for e in Event::ALL {
+        println!("  bit {}: {:?} (driven by {})", e.bit(), e, e.associated_processes());
+    }
+
+    let net = omega(8).unwrap();
+    let mut cs = CircuitState::new(&net);
+    cs.connect(1, 5).unwrap();
+    cs.connect(3, 3).unwrap();
+    let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+    let report = TokenEngine::run(&problem);
+
+    println!("\nFIG10 trace on the Fig. 2 instance ({}):", net.summary());
+    println!("{:>6}  {:<9}  phase", "clock", "bus");
+    for t in &report.trace {
+        println!("{:>6}  {:<9}  {}", t.clock, t.vector, t.phase);
+    }
+    println!(
+        "\ncycle complete: {} allocated, {} blocked, {} iterations, {} clock periods",
+        report.outcome.assignments.len(),
+        report.outcome.blocked.len(),
+        report.iterations,
+        report.clocks
+    );
+    let vectors: Vec<&str> = report.trace.iter().map(|t| t.vector.as_str()).collect();
+    for expected in ["111000x", "111001x", "110100x", "110110x"] {
+        assert!(vectors.contains(&expected), "missing paper vector {expected}");
+    }
+    println!("all four paper state vectors observed. reproduced.");
+}

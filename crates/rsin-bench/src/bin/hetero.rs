@@ -1,0 +1,79 @@
+//! HETERO — heterogeneous scheduling via multicommodity flow.
+//!
+//! Section III-D: multiple resource types become commodities; the LP's
+//! optimal vertex is integral on restricted (MIN) topologies and the
+//! simplex method solves it efficiently. This experiment sweeps the number
+//! of resource types on 8×8 networks and compares the joint LP optimum
+//! against the sequential per-type heuristic, reporting LP integrality.
+
+use rsin_bench::{emit_table, standard_networks};
+use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
+use rsin_core::scheduler::{MultiCommodityScheduler, Scheduler};
+use rsin_flow::multicommodity;
+use rsin_core::transform::hetero::transform_max;
+use rsin_sim::metrics::Sample;
+use rsin_sim::workload::{random_snapshot, random_types, trial_rng};
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200u64);
+    println!("HETERO — multicommodity scheduling, {trials} trials per cell\n");
+    let mut rows = Vec::new();
+    for net in standard_networks() {
+        for types in [2usize, 3] {
+            let mut alloc = Sample::new();
+            let mut bound = Sample::new();
+            let mut integral = 0u64;
+            for trial in 0..trials {
+                let mut rng = trial_rng(9_000 + types as u64, trial);
+                let snap = random_snapshot(&net, 6, 6, 0, &mut rng);
+                let req_types = random_types(&snap.requesting, types, &mut rng);
+                let res_types = random_types(&snap.free, types, &mut rng);
+                let problem = ScheduleProblem {
+                    circuits: &snap.circuits,
+                    requests: req_types
+                        .iter()
+                        .map(|&(p, ty)| ScheduleRequest {
+                            processor: p,
+                            priority: 1,
+                            resource_type: ty,
+                        })
+                        .collect(),
+                    free: res_types
+                        .iter()
+                        .map(|&(r, ty)| FreeResource {
+                            resource: r,
+                            preference: 1,
+                            resource_type: ty,
+                        })
+                        .collect(),
+                };
+                let t = transform_max(&problem);
+                if let Ok(sol) = multicommodity::max_flow(&t.flow, &t.commodities) {
+                    if sol.integral {
+                        integral += 1;
+                    }
+                }
+                let out = MultiCommodityScheduler::default().schedule(&problem);
+                rsin_core::mapping::verify(&out.assignments, &problem).expect("valid");
+                alloc.push(out.allocated() as f64);
+                bound.push(problem.demand_bound() as f64);
+            }
+            rows.push(vec![
+                net.name().to_string(),
+                types.to_string(),
+                format!("{:.2}", alloc.mean()),
+                format!("{:.2}", bound.mean()),
+                format!("{:.1}%", 100.0 * integral as f64 / trials as f64),
+            ]);
+        }
+    }
+    emit_table("hetero", 
+        &["network", "types", "allocated (LP)", "type-demand bound", "LP integral"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: on MIN topologies the multicommodity LP vertex is integral \
+         (Evans-Jarvis class) and allocation tracks the per-type demand bound \
+         up to genuine network blockage."
+    );
+}

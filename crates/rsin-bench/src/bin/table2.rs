@@ -1,0 +1,6 @@
+//! TAB2 — Table II: summary of optimal resource scheduling schemes,
+//! generated from the implemented scheduler registry.
+
+fn main() {
+    print!("{}", rsin_core::table2::render());
+}

@@ -1,0 +1,124 @@
+//! Shared helpers for the experiment binaries (one binary per paper
+//! figure/claim; see EXPERIMENTS.md at the workspace root for the index).
+
+use rsin_topology::{builders, Network};
+use std::io::Write;
+
+/// Print a result table and, when `RSIN_CSV_DIR` is set, also write it as
+/// `<dir>/<name>.csv` so experiment outputs can be archived/diffed.
+pub fn emit_table(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print_table(headers, rows);
+    if let Ok(dir) = std::env::var("RSIN_CSV_DIR") {
+        if let Err(e) = write_csv(&dir, name, headers, rows) {
+            eprintln!("warning: could not write {name}.csv: {e}");
+        }
+    }
+}
+
+fn write_csv(
+    dir: &str,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    let quote = |s: &str| {
+        if s.contains([',', '"', '\n']) {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(f, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        if row.iter().all(|c| c.is_empty()) {
+            continue; // visual spacer rows
+        }
+        writeln!(f, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
+    }
+    f.flush()
+}
+
+/// Fixed-width plain-text table printer for experiment output.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Build a network by registry name (used by sweep experiments):
+/// `omega-8`, `cube-8`, `baseline-8`, `benes-8`, `flip-8`, `crossbar-8`,
+/// `indirect-cube-8`, `gamma-8`, `omega-16`, ….
+pub fn network_by_name(name: &str) -> Option<Network> {
+    let (kind, size) = name.rsplit_once('-')?;
+    let n: usize = size.parse().ok()?;
+    match kind {
+        "omega" => builders::omega(n).ok(),
+        "cube" => builders::generalized_cube(n).ok(),
+        "indirect-cube" => builders::indirect_cube(n).ok(),
+        "baseline" => builders::baseline(n).ok(),
+        "benes" => builders::benes(n).ok(),
+        "flip" => builders::flip(n).ok(),
+        "crossbar" => builders::crossbar(n, n).ok(),
+        "gamma" => builders::gamma(n).ok(),
+        _ => None,
+    }
+}
+
+/// The standard set of 8×8 topologies the experiments sweep over.
+pub fn standard_networks() -> Vec<Network> {
+    ["omega-8", "cube-8", "baseline-8", "benes-8", "crossbar-8"]
+        .iter()
+        .map(|n| network_by_name(n).expect("registry"))
+        .collect()
+}
+
+/// Format a mean ± CI pair as a percentage.
+pub fn pct(mean: f64, ci: f64) -> String {
+    format!("{:5.2}% ±{:.2}", 100.0 * mean, 100.0 * ci)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_known_names() {
+        assert!(network_by_name("omega-8").is_some());
+        assert!(network_by_name("cube-16").is_some());
+        assert!(network_by_name("benes-4").is_some());
+        assert!(network_by_name("nonsense-8").is_none());
+        assert!(network_by_name("omega").is_none());
+    }
+
+    #[test]
+    fn standard_networks_are_five() {
+        let nets = standard_networks();
+        assert_eq!(nets.len(), 5);
+        assert!(nets.iter().all(|n| n.num_processors() == 8));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0213, 0.001), " 2.13% ±0.10");
+    }
+}

@@ -1,0 +1,53 @@
+//! # rsin-core — resource sharing interconnection networks
+//!
+//! The primary contribution of Juang & Wah, *Resource Sharing
+//! Interconnection Networks in Multiprocessors* (ICPP 1986 / IEEE TC 1989):
+//! optimal distributed resource scheduling in circuit-switched
+//! interconnection networks, obtained by transforming the request→resource
+//! mapping problem into network-flow problems.
+//!
+//! In an RSIN, a request enters the network *without a destination tag*; the
+//! network must route the maximum number of pending requests to free
+//! resources, rerouting around occupied links. This crate provides:
+//!
+//! * [`model`] — requests (with priorities), resources (with types and
+//!   preferences), and the scheduling problem snapshot taken at the start of
+//!   a scheduling cycle;
+//! * [`transform`] — the paper's transformations:
+//!   [`transform::homogeneous`] (Transformation 1 → maximum flow, Theorems
+//!   1–2), [`transform::priority`] (Transformation 2 → minimum-cost flow
+//!   with a bypass node, Theorem 3), and [`transform::hetero`]
+//!   (heterogeneous resources → multicommodity flow, Section III-D);
+//! * [`mapping`] — turning an optimal flow back into request→resource
+//!   circuits and applying them to the network;
+//! * [`scheduler`] — ready-to-use schedulers behind one trait: the optimal
+//!   flow-based ones, the heuristic baselines the paper compares against
+//!   (greedy BFS routing in various request orders), and an exhaustive
+//!   optimum for cross-checking on small systems;
+//! * [`table2`] — the capability matrix of the paper's Table II, generated
+//!   from the scheduler registry.
+//!
+//! ```
+//! use rsin_topology::{builders::omega, CircuitState};
+//! use rsin_core::model::ScheduleProblem;
+//! use rsin_core::scheduler::{MaxFlowScheduler, Scheduler};
+//!
+//! // Five processors request; five resources are free (paper Fig. 2).
+//! let net = omega(8).unwrap();
+//! let mut cs = CircuitState::new(&net);
+//! cs.connect(1, 5).unwrap(); // circuit p2 -> r6 already established
+//! cs.connect(3, 3).unwrap(); // circuit p4 -> r4
+//! let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+//! let outcome = MaxFlowScheduler::default().schedule(&problem);
+//! assert_eq!(outcome.assignments.len(), 5); // all five allocated
+//! ```
+
+pub mod mapping;
+pub mod model;
+pub mod scheduler;
+pub mod table2;
+pub mod transform;
+
+pub use mapping::{Assignment, MappingError};
+pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
+pub use scheduler::Scheduler;

@@ -1,0 +1,104 @@
+//! The optimal homogeneous scheduler: Transformation 1 + maximum flow.
+
+use super::{finish_outcome, Scheduler};
+use crate::mapping::extract;
+use crate::model::{ScheduleOutcome, ScheduleProblem};
+use crate::transform::homogeneous;
+use rsin_flow::max_flow::{self, Algorithm};
+
+/// Optimal scheduler for homogeneous MRSINs with equal priorities
+/// (Section III-B). Maximizes the number of allocated resources; by
+/// Theorem 2 no mapping allocates more.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxFlowScheduler {
+    /// Which maximum-flow algorithm to run (ablation knob; the result is
+    /// identical, only the work differs).
+    pub algorithm: Algorithm,
+}
+
+impl Default for MaxFlowScheduler {
+    fn default() -> Self {
+        MaxFlowScheduler { algorithm: Algorithm::Dinic }
+    }
+}
+
+impl MaxFlowScheduler {
+    /// Scheduler running a specific max-flow algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        MaxFlowScheduler { algorithm }
+    }
+}
+
+impl Scheduler for MaxFlowScheduler {
+    fn name(&self) -> &'static str {
+        match self.algorithm {
+            Algorithm::Dinic => "max-flow(dinic)",
+            Algorithm::EdmondsKarp => "max-flow(edmonds-karp)",
+            Algorithm::FordFulkerson => "max-flow(ford-fulkerson)",
+            Algorithm::PushRelabel => "max-flow(push-relabel)",
+            Algorithm::CapacityScaling => "max-flow(capacity-scaling)",
+        }
+    }
+
+    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+        let mut t = homogeneous::transform(problem);
+        let r = max_flow::solve(&mut t.flow, t.source, t.sink, self.algorithm);
+        let assignments = extract(&t).expect("max-flow produces a decomposable flow");
+        debug_assert_eq!(assignments.len() as i64, r.value);
+        finish_outcome(problem, assignments, r.stats.estimated_instructions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::verify;
+    use rsin_topology::builders::{generalized_cube, omega};
+    use rsin_topology::CircuitState;
+
+    #[test]
+    fn fig2_allocates_all_five() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        cs.connect(1, 5).unwrap();
+        cs.connect(3, 3).unwrap();
+        let problem =
+            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let out = MaxFlowScheduler::default().schedule(&problem);
+        assert_eq!(out.allocated(), 5);
+        assert!(out.blocked.is_empty());
+        verify(&out.assignments, &problem).unwrap();
+    }
+
+    #[test]
+    fn all_algorithms_reach_the_same_value() {
+        let net = generalized_cube(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        cs.connect(0, 2).unwrap();
+        let problem = ScheduleProblem::homogeneous(&cs, &[1, 3, 5, 7], &[0, 3, 5, 7]);
+        let values: Vec<usize> = Algorithm::ALL
+            .iter()
+            .map(|&a| MaxFlowScheduler::new(a).schedule(&problem).allocated())
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
+    }
+
+    #[test]
+    fn instructions_accounted() {
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 1], &[0, 1]);
+        let out = MaxFlowScheduler::default().schedule(&problem);
+        assert!(out.estimated_instructions > 0);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let problem = ScheduleProblem::homogeneous(&cs, &[], &[]);
+        let out = MaxFlowScheduler::default().schedule(&problem);
+        assert_eq!(out.allocated(), 0);
+        assert!(out.blocked.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Resource schedulers: the paper's optimal flow-based mappings and the
+//! heuristic baselines they are compared against.
+//!
+//! | scheduler | discipline | algorithm |
+//! |-----------|------------|-----------|
+//! | [`MaxFlowScheduler`] | homogeneous, no priority | Transformation 1 + max flow (Theorem 2) |
+//! | [`MinCostScheduler`] | homogeneous, priority & preference | Transformation 2 + min-cost flow (Theorem 3) |
+//! | [`MultiCommodityScheduler`] | heterogeneous | multicommodity LP (Section III-D) |
+//! | [`MatchingScheduler`] | single-stage networks | Hopcroft–Karp maximum matching (crossbar fast path) |
+//! | [`GreedyScheduler`] | any | per-request BFS routing, no lookahead (the "heuristic routing algorithm" with ≈20 % blocking) |
+//! | [`AddressMappedScheduler`] | any | resource bound *before* entering the network (conventional address mapping) |
+//! | [`ExhaustiveScheduler`] | any (tiny instances) | full search over mappings × path choices |
+//!
+//! All implement [`Scheduler`] and return a [`ScheduleOutcome`] whose
+//! assignments can be independently certified with
+//! [`mapping::verify`](crate::mapping::verify).
+
+mod exhaustive;
+mod heuristic;
+mod matching;
+mod max_flow;
+mod min_cost;
+mod multicommodity;
+
+pub use exhaustive::ExhaustiveScheduler;
+pub use heuristic::{AddressMappedScheduler, GreedyScheduler, RequestOrder};
+pub use matching::MatchingScheduler;
+pub use max_flow::MaxFlowScheduler;
+pub use min_cost::MinCostScheduler;
+pub use multicommodity::MultiCommodityScheduler;
+
+use crate::mapping::Assignment;
+use crate::model::{ScheduleOutcome, ScheduleProblem};
+
+/// A scheduling discipline: map pending requests to free resources for one
+/// scheduling cycle.
+pub trait Scheduler {
+    /// Short identifier used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Compute a request→resource mapping for the snapshot.
+    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome;
+}
+
+/// Shared outcome assembly: derive the blocked list and the
+/// Transformation-2 cost of the accepted assignments.
+pub(crate) fn finish_outcome(
+    problem: &ScheduleProblem,
+    assignments: Vec<Assignment>,
+    estimated_instructions: u64,
+) -> ScheduleOutcome {
+    let gamma_max = problem.max_priority() as i64;
+    let q_max = problem.max_preference() as i64;
+    let mut total_cost = 0;
+    for a in &assignments {
+        let req = problem.requests.iter().find(|r| r.processor == a.processor);
+        let res = problem.free.iter().find(|f| f.resource == a.resource);
+        if let (Some(req), Some(res)) = (req, res) {
+            total_cost += (gamma_max - req.priority as i64) + (q_max - res.preference as i64);
+        }
+    }
+    let blocked = problem
+        .requests
+        .iter()
+        .map(|r| r.processor)
+        .filter(|p| !assignments.iter().any(|a| a.processor == *p))
+        .collect();
+    ScheduleOutcome { assignments, blocked, total_cost, estimated_instructions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::verify;
+    use rsin_topology::builders::omega;
+    use rsin_topology::CircuitState;
+
+    /// Every scheduler must produce a *valid* mapping on the Fig. 2
+    /// instance, whatever its quality.
+    #[test]
+    fn all_schedulers_produce_valid_mappings() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        cs.connect(1, 5).unwrap();
+        cs.connect(3, 3).unwrap();
+        let problem =
+            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(MaxFlowScheduler::default()),
+            Box::new(MinCostScheduler::default()),
+            Box::new(MultiCommodityScheduler::default()),
+            Box::new(GreedyScheduler::default()),
+            Box::new(AddressMappedScheduler::new(42)),
+            Box::new(ExhaustiveScheduler::default()),
+        ];
+        for s in schedulers {
+            let out = s.schedule(&problem);
+            verify(&out.assignments, &problem)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert_eq!(
+                out.assignments.len() + out.blocked.len(),
+                5,
+                "{}: every request accounted for",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn finish_outcome_computes_cost_and_blocked() {
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let problem =
+            ScheduleProblem::with_priorities(&cs, &[(0, 3), (1, 10)], &[(0, 5), (1, 10)]);
+        let path = cs.find_path(0, 0).unwrap();
+        let a = Assignment { processor: 0, resource: 0, path };
+        let out = finish_outcome(&problem, vec![a], 7);
+        // gamma_max = 10, q_max = 10; cost = (10-3) + (10-5) = 12.
+        assert_eq!(out.total_cost, 12);
+        assert_eq!(out.blocked, vec![1]);
+        assert_eq!(out.estimated_instructions, 7);
+    }
+}

@@ -1,0 +1,189 @@
+//! The 7-bit wire-OR status bus (Table I and Fig. 10 of the paper).
+//!
+//! "Instead of being used as a transmission media for sending messages, the
+//! status bus is in fact a specialized global 'memory' device … the status
+//! observable from the bus is the logical OR of the status of associated
+//! processes." Each bit reflects one synchronization event; phase
+//! transitions of the scheduling cycle are decided by every element reading
+//! the same 7-bit vector each clock.
+
+use std::fmt;
+
+/// The seven synchronization events of Table I. The discriminant is the bit
+/// position on the bus (E1 = MSB = bit 6 … E7 = LSB = bit 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// E1 — some RQ has a pending request (bit 6, MSB).
+    RequestPending,
+    /// E2 — some RS is ready (bit 5).
+    ResourceReady,
+    /// E3 — request tokens are propagating (bit 4).
+    RequestTokenPropagation,
+    /// E4 — resource tokens are propagating (bit 3).
+    ResourceTokenPropagation,
+    /// E5 — path registration in progress (bit 2).
+    PathRegistration,
+    /// E6 — an RS has received a request token (bit 1).
+    ResourceHit,
+    /// E7 — an RQ is bonded to an RS (bit 0, LSB).
+    RequestBonded,
+}
+
+impl Event {
+    /// All events, MSB first.
+    pub const ALL: [Event; 7] = [
+        Event::RequestPending,
+        Event::ResourceReady,
+        Event::RequestTokenPropagation,
+        Event::ResourceTokenPropagation,
+        Event::PathRegistration,
+        Event::ResourceHit,
+        Event::RequestBonded,
+    ];
+
+    /// Bit position on the bus (6 = MSB for E1 … 0 = LSB for E7).
+    pub fn bit(self) -> usize {
+        match self {
+            Event::RequestPending => 6,
+            Event::ResourceReady => 5,
+            Event::RequestTokenPropagation => 4,
+            Event::ResourceTokenPropagation => 3,
+            Event::PathRegistration => 2,
+            Event::ResourceHit => 1,
+            Event::RequestBonded => 0,
+        }
+    }
+
+    /// The element class driving this bit, per Table I.
+    pub fn associated_processes(self) -> &'static str {
+        match self {
+            Event::RequestPending => "RQs",
+            Event::ResourceReady => "RSs",
+            Event::RequestTokenPropagation => "RQs, NSs",
+            Event::ResourceTokenPropagation => "RSs, NSs",
+            Event::PathRegistration => "NSs",
+            Event::ResourceHit => "RSs",
+            Event::RequestBonded => "RQs",
+        }
+    }
+}
+
+/// A snapshot of the wire-OR bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusBus {
+    bits: [bool; 7],
+}
+
+impl StatusBus {
+    /// All-zero bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drive an event bit (wire-OR: once any process asserts it this clock,
+    /// it reads 1).
+    pub fn assert_event(&mut self, e: Event) {
+        self.bits[e.bit()] = true;
+    }
+
+    /// Read one bit.
+    pub fn is_set(&self, e: Event) -> bool {
+        self.bits[e.bit()]
+    }
+
+    /// Render as the paper's vector notation, MSB first, with the E7
+    /// (binding) bit shown as `x` when `dont_care_lsb` — e.g. `111000x`.
+    pub fn vector(&self, dont_care_lsb: bool) -> String {
+        let mut s = String::with_capacity(7);
+        for bit in (0..7).rev() {
+            if bit == 0 && dont_care_lsb {
+                s.push('x');
+            } else {
+                s.push(if self.bits[bit] { '1' } else { '0' });
+            }
+        }
+        s
+    }
+
+    /// The phase an NS infers from the bus, mirroring the paper's example:
+    /// `(111000x)` ⇒ request-token propagation, `(110100x)` ⇒ resource-token
+    /// propagation, `(110110x)` ⇒ path registration.
+    pub fn phase_name(&self) -> &'static str {
+        if self.is_set(Event::PathRegistration) {
+            "path-registration"
+        } else if self.is_set(Event::ResourceTokenPropagation) {
+            "resource-token-propagation"
+        } else if self.is_set(Event::ResourceHit) {
+            "request-tokens-stopping"
+        } else if self.is_set(Event::RequestTokenPropagation) {
+            "request-token-propagation"
+        } else if self.is_set(Event::RequestPending) && self.is_set(Event::ResourceReady) {
+            "cycle-start"
+        } else {
+            "idle"
+        }
+    }
+}
+
+impl fmt::Display for StatusBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vector(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_positions_match_table1() {
+        assert_eq!(Event::RequestPending.bit(), 6);
+        assert_eq!(Event::RequestBonded.bit(), 0);
+        // All bits distinct.
+        let mut bits: Vec<_> = Event::ALL.iter().map(|e| e.bit()).collect();
+        bits.sort_unstable();
+        assert_eq!(bits, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn request_phase_vector_matches_paper() {
+        let mut bus = StatusBus::new();
+        bus.assert_event(Event::RequestPending);
+        bus.assert_event(Event::ResourceReady);
+        bus.assert_event(Event::RequestTokenPropagation);
+        assert_eq!(bus.vector(true), "111000x");
+        assert_eq!(bus.phase_name(), "request-token-propagation");
+    }
+
+    #[test]
+    fn rs_hit_vector_matches_paper() {
+        let mut bus = StatusBus::new();
+        bus.assert_event(Event::RequestPending);
+        bus.assert_event(Event::ResourceReady);
+        bus.assert_event(Event::RequestTokenPropagation);
+        bus.assert_event(Event::ResourceHit);
+        assert_eq!(bus.vector(true), "111001x");
+    }
+
+    #[test]
+    fn resource_phase_and_registration_vectors() {
+        let mut bus = StatusBus::new();
+        bus.assert_event(Event::RequestPending);
+        bus.assert_event(Event::ResourceReady);
+        bus.assert_event(Event::ResourceTokenPropagation);
+        assert_eq!(bus.vector(true), "110100x");
+        assert_eq!(bus.phase_name(), "resource-token-propagation");
+        bus.assert_event(Event::PathRegistration);
+        assert_eq!(bus.vector(true), "110110x");
+        assert_eq!(bus.phase_name(), "path-registration");
+    }
+
+    #[test]
+    fn display_and_associations() {
+        let mut bus = StatusBus::new();
+        bus.assert_event(Event::RequestBonded);
+        assert_eq!(bus.to_string(), "0000001");
+        assert_eq!(Event::PathRegistration.associated_processes(), "NSs");
+        assert_eq!(StatusBus::new().phase_name(), "idle");
+    }
+}

@@ -1,0 +1,181 @@
+//! Multi-cycle operation of the distributed architecture.
+//!
+//! [`TokenEngine`] runs *one* scheduling cycle;
+//! [`DistributedSystem`] strings cycles together over the life of a
+//! workload — requests arriving at the request servers, resources
+//! releasing, circuits torn down after transmission — mirroring the API of
+//! `rsin_sim::monitor::Monitor` so the two architectures can be driven by
+//! the same workload and compared on accumulated cost (clock periods here,
+//! instruction time there). Unlike the monitor, nothing is deferred: the
+//! status bus makes every element see request arrivals and resource
+//! releases as soon as the current cycle's phases complete, which is the
+//! modularity argument of Section IV.
+
+use crate::engine::TokenEngine;
+use rsin_core::model::{ScheduleOutcome, ScheduleProblem, ScheduleRequest};
+use rsin_topology::{CircuitId, CircuitState, Network};
+
+/// A running distributed MRSIN: circuit state plus RQ/RS bookkeeping.
+pub struct DistributedSystem<'n> {
+    circuits: CircuitState<'n>,
+    pending: Vec<usize>,
+    free: Vec<bool>,
+    live: Vec<Option<(CircuitId, usize)>>,
+    /// Accumulated clock periods over all cycles.
+    pub clocks: u64,
+    /// Scheduling cycles executed.
+    pub cycles: u64,
+    /// Dinic iterations summed over all cycles.
+    pub iterations: u64,
+}
+
+impl<'n> DistributedSystem<'n> {
+    /// A fresh system over a free network.
+    pub fn new(net: &'n Network) -> Self {
+        DistributedSystem {
+            circuits: CircuitState::new(net),
+            pending: Vec::new(),
+            free: vec![true; net.num_resources()],
+            live: vec![None; net.num_processors()],
+            clocks: 0,
+            cycles: 0,
+            iterations: 0,
+        }
+    }
+
+    /// Current circuit state (for inspection).
+    pub fn circuits(&self) -> &CircuitState<'n> {
+        &self.circuits
+    }
+
+    /// A processor's RQ raises its request-pending bit.
+    pub fn submit(&mut self, processor: usize) {
+        if !self.pending.contains(&processor) {
+            self.pending.push(processor);
+        }
+    }
+
+    /// A resource's RS raises its ready bit again.
+    pub fn release_resource(&mut self, resource: usize) {
+        self.free[resource] = true;
+    }
+
+    /// A processor finished transmitting: tear down its circuit.
+    pub fn transmission_done(&mut self, processor: usize) {
+        if let Some((c, _)) = self.live[processor].take() {
+            let _ = self.circuits.release(c);
+        }
+    }
+
+    /// Requests the next cycle will see.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run one distributed scheduling cycle if there is work. Returns the
+    /// outcome (allocated circuits are established in the system).
+    pub fn cycle(&mut self) -> Option<ScheduleOutcome> {
+        let free_now: Vec<usize> =
+            (0..self.free.len()).filter(|&r| self.free[r]).collect();
+        if self.pending.is_empty() || free_now.is_empty() {
+            return None;
+        }
+        let problem = ScheduleProblem {
+            circuits: &self.circuits,
+            requests: self
+                .pending
+                .iter()
+                .map(|&p| ScheduleRequest { processor: p, priority: 1, resource_type: 0 })
+                .collect(),
+            free: free_now
+                .iter()
+                .map(|&r| rsin_core::model::FreeResource {
+                    resource: r,
+                    preference: 1,
+                    resource_type: 0,
+                })
+                .collect(),
+        };
+        let report = TokenEngine::run(&problem);
+        drop(problem);
+        self.clocks += report.clocks;
+        self.cycles += 1;
+        self.iterations += report.iterations;
+        for a in &report.outcome.assignments {
+            let c = self.circuits.establish(&a.path).expect("engine paths are free");
+            self.free[a.resource] = false;
+            self.live[a.processor] = Some((c, a.resource));
+            self.pending.retain(|&p| p != a.processor);
+        }
+        Some(report.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_topology::builders::omega;
+
+    #[test]
+    fn lifecycle_submit_cycle_release() {
+        let net = omega(8).unwrap();
+        let mut sys = DistributedSystem::new(&net);
+        assert!(sys.cycle().is_none());
+        sys.submit(0);
+        sys.submit(3);
+        let out = sys.cycle().unwrap();
+        assert_eq!(out.allocated(), 2);
+        assert_eq!(sys.pending_count(), 0);
+        assert_eq!(sys.circuits().occupied_count(), 8);
+        assert!(sys.clocks > 0);
+        // Release one and reuse.
+        let a = &out.assignments[0];
+        sys.transmission_done(a.processor);
+        sys.release_resource(a.resource);
+        sys.submit(a.processor);
+        let out2 = sys.cycle().unwrap();
+        assert_eq!(out2.allocated(), 1);
+        assert_eq!(sys.cycles, 2);
+    }
+
+    #[test]
+    fn saturation_blocks_further_cycles() {
+        let net = omega(8).unwrap();
+        let mut sys = DistributedSystem::new(&net);
+        for p in 0..8 {
+            sys.submit(p);
+        }
+        let out = sys.cycle().unwrap();
+        let served = out.allocated();
+        assert!(served > 0);
+        if served == 8 {
+            sys.submit(0);
+            // Everything busy: no cycle can run.
+            assert!(sys.cycle().is_none());
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_are_idempotent() {
+        let net = omega(8).unwrap();
+        let mut sys = DistributedSystem::new(&net);
+        sys.submit(2);
+        sys.submit(2);
+        assert_eq!(sys.pending_count(), 1);
+    }
+
+    #[test]
+    fn clocks_accumulate_across_cycles() {
+        let net = omega(8).unwrap();
+        let mut sys = DistributedSystem::new(&net);
+        sys.submit(0);
+        let out = sys.cycle().unwrap();
+        let c1 = sys.clocks;
+        let r = out.assignments[0].resource;
+        sys.transmission_done(0);
+        sys.release_resource(r);
+        sys.submit(1);
+        sys.cycle().unwrap();
+        assert!(sys.clocks > c1);
+    }
+}

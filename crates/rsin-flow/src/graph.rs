@@ -1,0 +1,381 @@
+//! Arena flow-network representation with paired residual arcs.
+//!
+//! Arcs are stored in forward/reverse pairs: the arc added by
+//! [`FlowNetwork::add_arc`] gets an even id and its residual twin the
+//! following odd id, so `id ^ 1` is always the companion. Pushing `d` units
+//! over an arc adds `d` to its flow and subtracts `d` from its twin's flow,
+//! which keeps residual capacities consistent without special cases — the
+//! same "advance flow forward or cancel flow backward" rule the paper's
+//! augmenting paths use (Section III-B, Fig. 3).
+
+use crate::{Cost, Flow};
+use std::fmt::Write as _;
+
+/// Index of a node in a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a directed arc (even = forward arc created by the user, odd =
+/// its residual twin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// Usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The paired residual arc.
+    pub fn twin(self) -> ArcId {
+        ArcId(self.0 ^ 1)
+    }
+
+    /// True for arcs created by `add_arc` (as opposed to residual twins).
+    pub fn is_forward(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+}
+
+/// One directed arc of the network.
+#[derive(Debug, Clone)]
+pub struct Arc {
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Capacity (0 for residual twins until flow is pushed).
+    pub cap: Flow,
+    /// Current flow (twin carries the negative).
+    pub flow: Flow,
+    /// Cost per unit of flow (twin carries the negative).
+    pub cost: Cost,
+}
+
+impl Arc {
+    /// Remaining capacity in the residual network.
+    pub fn residual(&self) -> Flow {
+        self.cap - self.flow
+    }
+}
+
+/// A directed flow network with named nodes.
+///
+/// Node names exist so that networks derived from interconnection networks
+/// keep a human-readable correspondence (`"p3"`, `"sb(1,2)"`, `"r5"`, …) for
+/// debugging, DOT dumps, and the worked paper examples.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    names: Vec<String>,
+    arcs: Vec<Arc>,
+    /// Outgoing arc ids per node (both forward arcs and residual twins).
+    adj: Vec<Vec<ArcId>>,
+}
+
+impl FlowNetwork {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocating constructor.
+    pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
+        FlowNetwork {
+            names: Vec::with_capacity(nodes),
+            arcs: Vec::with_capacity(2 * arcs),
+            adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Add a node with a debug name; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add a directed arc with capacity `cap` and per-unit cost `cost`.
+    /// A zero-capacity residual twin (with cost `-cost`) is added
+    /// automatically.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: Flow, cost: Cost) -> ArcId {
+        assert!(cap >= 0, "negative capacity");
+        assert!(from.index() < self.names.len() && to.index() < self.names.len());
+        let id = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Arc { from, to, cap, flow: 0, cost });
+        self.arcs.push(Arc { from: to, to: from, cap: 0, flow: 0, cost: -cost });
+        self.adj[from.index()].push(id);
+        self.adj[to.index()].push(id.twin());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of forward (user-created) arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Node name.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// Find a node by exact name (linear scan; intended for tests/examples).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// Arc data.
+    pub fn arc(&self, a: ArcId) -> &Arc {
+        &self.arcs[a.index()]
+    }
+
+    /// Outgoing arc ids of `n` (forward and residual).
+    pub fn out_arcs(&self, n: NodeId) -> &[ArcId] {
+        &self.adj[n.index()]
+    }
+
+    /// Iterate all forward arcs with their ids.
+    pub fn forward_arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .step_by(2)
+            .map(|(i, a)| (ArcId(i as u32), a))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Residual capacity of an arc.
+    pub fn residual(&self, a: ArcId) -> Flow {
+        self.arcs[a.index()].residual()
+    }
+
+    /// Push `d` units of flow over `a` (and pull them from its twin).
+    ///
+    /// Panics in debug builds if `d` exceeds the residual capacity.
+    pub fn push(&mut self, a: ArcId, d: Flow) {
+        debug_assert!(d <= self.residual(a), "push exceeds residual capacity");
+        self.arcs[a.index()].flow += d;
+        self.arcs[a.index() ^ 1].flow -= d;
+    }
+
+    /// Reset all flow to zero, keeping topology and capacities.
+    pub fn clear_flow(&mut self) {
+        for a in &mut self.arcs {
+            a.flow = 0;
+        }
+    }
+
+    /// Net flow out of a node (positive at the source, negative at the sink,
+    /// zero elsewhere for a conserved flow).
+    pub fn net_out_flow(&self, n: NodeId) -> Flow {
+        self.adj[n.index()]
+            .iter()
+            .filter(|a| a.is_forward())
+            .map(|a| self.arcs[a.index()].flow)
+            .sum::<Flow>()
+            - self
+                .arcs
+                .iter()
+                .enumerate()
+                .step_by(2)
+                .filter(|(_, arc)| arc.to == n)
+                .map(|(_, arc)| arc.flow)
+                .sum::<Flow>()
+    }
+
+    /// Check the two legality conditions of the paper's Section III-A:
+    /// capacity limitation on every arc and flow conservation at every node
+    /// except `s` and `t`. Returns the total flow leaving `s` when legal.
+    pub fn check_legal_flow(&self, s: NodeId, t: NodeId) -> Result<Flow, String> {
+        for (id, a) in self.forward_arcs() {
+            if a.flow < 0 || a.flow > a.cap {
+                return Err(format!(
+                    "arc {} ({} -> {}) violates capacity: flow {} cap {}",
+                    id.0,
+                    self.name(a.from),
+                    self.name(a.to),
+                    a.flow,
+                    a.cap
+                ));
+            }
+        }
+        let mut net = vec![0i64; self.num_nodes()];
+        for (_, a) in self.forward_arcs() {
+            net[a.from.index()] += a.flow;
+            net[a.to.index()] -= a.flow;
+        }
+        for n in self.nodes() {
+            if n != s && n != t && net[n.index()] != 0 {
+                return Err(format!(
+                    "flow not conserved at {} (net {})",
+                    self.name(n),
+                    net[n.index()]
+                ));
+            }
+        }
+        if net[s.index()] != -net[t.index()] {
+            return Err("source and sink imbalance".into());
+        }
+        Ok(net[s.index()])
+    }
+
+    /// Total cost of the current flow (forward arcs only).
+    pub fn flow_cost(&self) -> Cost {
+        self.forward_arcs().map(|(_, a)| a.cost * a.flow).sum()
+    }
+
+    /// Value of the current flow out of `s`.
+    pub fn flow_value(&self, s: NodeId) -> Flow {
+        let mut net = 0;
+        for (_, a) in self.forward_arcs() {
+            if a.from == s {
+                net += a.flow;
+            }
+            if a.to == s {
+                net -= a.flow;
+            }
+        }
+        net
+    }
+
+    /// Graphviz DOT dump (forward arcs; label = `flow/cap @cost`).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph flow {\n  rankdir=LR;\n");
+        for n in self.nodes() {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, self.name(n));
+        }
+        for (_, a) in self.forward_arcs() {
+            let style = if a.flow > 0 { ",penwidth=2" } else { "" };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}/{}{}\"{}];",
+                a.from.0,
+                a.to.0,
+                a.flow,
+                a.cap,
+                if a.cost != 0 { format!(" @{}", a.cost) } else { String::new() },
+                style
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (FlowNetwork, NodeId, NodeId) {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(s, b, 1, 0);
+        g.add_arc(a, t, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        (g, s, t)
+    }
+
+    #[test]
+    fn twin_pairing() {
+        let (g, s, _) = diamond();
+        let first = g.out_arcs(s)[0];
+        assert!(first.is_forward());
+        assert!(!first.twin().is_forward());
+        assert_eq!(first.twin().twin(), first);
+        assert_eq!(g.arc(first).from, g.arc(first.twin()).to);
+    }
+
+    #[test]
+    fn push_updates_residuals() {
+        let (mut g, s, _) = diamond();
+        let a = g.out_arcs(s)[0];
+        assert_eq!(g.residual(a), 1);
+        assert_eq!(g.residual(a.twin()), 0);
+        g.push(a, 1);
+        assert_eq!(g.residual(a), 0);
+        assert_eq!(g.residual(a.twin()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "push exceeds residual")]
+    fn push_over_capacity_panics_in_debug() {
+        let (mut g, s, _) = diamond();
+        let a = g.out_arcs(s)[0];
+        g.push(a, 2);
+    }
+
+    #[test]
+    fn legal_flow_checks_conservation() {
+        let (mut g, s, t) = diamond();
+        // Push along s->a only: conservation violated at a.
+        let sa = g.out_arcs(s)[0];
+        g.push(sa, 1);
+        assert!(g.check_legal_flow(s, t).is_err());
+        // Complete the path a->t.
+        let a = g.arc(sa).to;
+        let at = *g
+            .out_arcs(a)
+            .iter()
+            .find(|id| id.is_forward() && g.arc(**id).to == t)
+            .unwrap();
+        g.push(at, 1);
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 1);
+    }
+
+    #[test]
+    fn clear_flow_resets() {
+        let (mut g, s, t) = diamond();
+        let sa = g.out_arcs(s)[0];
+        g.push(sa, 1);
+        g.clear_flow();
+        assert_eq!(g.flow_value(s), 0);
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 0);
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (g, s, t) = diamond();
+        assert_eq!(g.node_by_name("s"), Some(s));
+        assert_eq!(g.node_by_name("t"), Some(t));
+        assert_eq!(g.node_by_name("zz"), None);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_arcs() {
+        let (g, _, _) = diamond();
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"s\""));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn flow_cost_accumulates() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let a = g.add_arc(s, t, 2, 5);
+        g.push(a, 2);
+        assert_eq!(g.flow_cost(), 10);
+    }
+}

@@ -1,0 +1,391 @@
+//! Dinic's maximum-flow algorithm with an explicit layered network.
+//!
+//! Mirrors the paper's Fig. 7 flow chart: alternate between (1) constructing
+//! a **layered network** from the current flow and (2) finding a **maximal**
+//! (not maximum) flow in it by depth-first search, until the sink no longer
+//! appears in any layer. The layered network is a public type because the
+//! distributed token-propagation architecture of Section IV constructs the
+//! very same structure by request-token propagation (Theorem 4), and the
+//! `rsin-distrib` tests verify the correspondence layer by layer.
+//!
+//! A *useful* arc (paper's term) is either an unsaturated forward arc or an
+//! arc with nonzero flow traversed backwards; both appear as residual arcs
+//! with positive residual capacity in [`FlowNetwork`], so the layered
+//! network is simply a BFS levelling of the residual graph, cut off at the
+//! sink's layer ("all tokens stop propagating" once a resource server is
+//! reached).
+
+use super::MaxFlowResult;
+use crate::graph::{ArcId, FlowNetwork, NodeId};
+use crate::stats::OpStats;
+use crate::Flow;
+use std::collections::VecDeque;
+
+/// A layered (level) network over the residual graph, as in Fig. 8(b).
+#[derive(Debug, Clone)]
+pub struct LayeredNetwork {
+    /// `level[v] = Some(k)` iff `v` appears in layer `k`.
+    level: Vec<Option<u32>>,
+    /// Nodes grouped by layer, `layers\[0\] == [source]`.
+    layers: Vec<Vec<NodeId>>,
+    /// Whether the sink was reached (if not, the current flow is maximum).
+    reaches_sink: bool,
+}
+
+impl LayeredNetwork {
+    /// Build the layered network for the current residual graph of `g`.
+    ///
+    /// Layer 0 is `{s}`; layer `k+1` contains nodes not in earlier layers
+    /// that are reachable over a useful arc from layer `k`. Construction
+    /// stops expanding past the layer containing `t` (the paper stops the
+    /// request-token phase "when one or more RS's has received a token").
+    pub fn build(g: &FlowNetwork, s: NodeId, t: NodeId, stats: &mut OpStats) -> Self {
+        stats.phases += 1;
+        let mut level: Vec<Option<u32>> = vec![None; g.num_nodes()];
+        let mut layers: Vec<Vec<NodeId>> = vec![vec![s]];
+        level[s.index()] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        let mut sink_level: Option<u32> = if s == t { Some(0) } else { None };
+        while let Some(u) = queue.pop_front() {
+            stats.node_visits += 1;
+            let lu = level[u.index()].unwrap();
+            // Do not expand nodes at or beyond the sink layer.
+            if let Some(sl) = sink_level {
+                if lu >= sl {
+                    continue;
+                }
+            }
+            for &a in g.out_arcs(u) {
+                stats.arc_scans += 1;
+                let arc = g.arc(a);
+                if arc.residual() > 0 && level[arc.to.index()].is_none() {
+                    let lv = lu + 1;
+                    level[arc.to.index()] = Some(lv);
+                    if layers.len() as u32 <= lv {
+                        layers.push(Vec::new());
+                    }
+                    layers[lv as usize].push(arc.to);
+                    if arc.to == t {
+                        sink_level = Some(lv);
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        let reaches_sink = level[t.index()].is_some();
+        LayeredNetwork { level, layers, reaches_sink }
+    }
+
+    /// Layer index of a node, if it appears in the layered network.
+    pub fn level(&self, n: NodeId) -> Option<u32> {
+        self.level[n.index()]
+    }
+
+    /// Nodes grouped by layer; `layers()\[0\]` is the source layer.
+    pub fn layers(&self) -> &[Vec<NodeId>] {
+        &self.layers
+    }
+
+    /// Number of layers (= shortest augmenting path length + 1 when the sink
+    /// is reachable).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the sink appears in some layer (an augmenting path exists).
+    pub fn reaches_sink(&self) -> bool {
+        self.reaches_sink
+    }
+
+    /// Whether a residual arc belongs to the layered network ("useful link"
+    /// in the paper: positive residual and pointing to the next layer).
+    pub fn contains_arc(&self, g: &FlowNetwork, a: ArcId) -> bool {
+        let arc = g.arc(a);
+        if arc.residual() <= 0 {
+            return false;
+        }
+        match (self.level(arc.from), self.level(arc.to)) {
+            (Some(lu), Some(lv)) => lv == lu + 1,
+            _ => false,
+        }
+    }
+}
+
+/// Find a *maximal* flow in the layered network by DFS with current-arc
+/// pointers, pushing it into `g`. Returns the value advanced.
+fn blocking_flow(
+    g: &mut FlowNetwork,
+    ln: &LayeredNetwork,
+    s: NodeId,
+    t: NodeId,
+    stats: &mut OpStats,
+) -> Flow {
+    let n = g.num_nodes();
+    // Current-arc pointer per node: arcs before it are exhausted.
+    let mut next_arc = vec![0usize; n];
+    let mut total = 0;
+    // DFS stack of (node, arc taken to reach it).
+    let mut path: Vec<ArcId> = Vec::new();
+    let mut u = s;
+    loop {
+        if u == t {
+            // Found an s-t path in the layered network; push bottleneck.
+            let mut bottleneck = Flow::MAX;
+            for &a in &path {
+                bottleneck = bottleneck.min(g.residual(a));
+            }
+            for &a in &path {
+                g.push(a, bottleneck);
+            }
+            total += bottleneck;
+            stats.augmentations += 1;
+            // Retreat to the first saturated arc on the path.
+            let mut retreat_to = 0;
+            for (i, &a) in path.iter().enumerate() {
+                if g.residual(a) == 0 {
+                    retreat_to = i;
+                    break;
+                }
+            }
+            path.truncate(retreat_to);
+            u = if let Some(&a) = path.last() { g.arc(a).to } else { s };
+            continue;
+        }
+        // Advance over the next admissible arc out of u.
+        let arcs = g.out_arcs(u);
+        let mut advanced = false;
+        while next_arc[u.index()] < arcs.len() {
+            let a = arcs[next_arc[u.index()]];
+            stats.arc_scans += 1;
+            if ln.contains_arc(g, a) {
+                path.push(a);
+                u = g.arc(a).to;
+                advanced = true;
+                break;
+            }
+            next_arc[u.index()] += 1;
+        }
+        if advanced {
+            continue;
+        }
+        // Dead end: retreat (or finish if at the source).
+        if u == s {
+            break;
+        }
+        stats.node_visits += 1;
+        let a = path.pop().expect("retreat below source");
+        let prev = g.arc(a).from;
+        // Exhaust the arc we came through so we never retry this dead end.
+        next_arc[prev.index()] += 1;
+        u = prev;
+    }
+    total
+}
+
+/// Compute a maximum `s`→`t` flow with Dinic's algorithm.
+pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    let mut stats = OpStats::new();
+    let mut value = 0;
+    if s == t {
+        return MaxFlowResult { value, stats };
+    }
+    loop {
+        let ln = LayeredNetwork::build(g, s, t, &mut stats);
+        if !ln.reaches_sink() {
+            break;
+        }
+        value += blocking_flow(g, &ln, s, t, &mut stats);
+    }
+    MaxFlowResult { value, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_network_levels_are_bfs_distances() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(a, b, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        g.add_arc(s, b, 1, 0); // shortcut
+        let mut st = OpStats::new();
+        let ln = LayeredNetwork::build(&g, s, t, &mut st);
+        assert_eq!(ln.level(s), Some(0));
+        assert_eq!(ln.level(a), Some(1));
+        assert_eq!(ln.level(b), Some(1));
+        assert_eq!(ln.level(t), Some(2));
+        assert_eq!(ln.depth(), 3);
+        assert!(ln.reaches_sink());
+        assert_eq!(st.phases, 1);
+    }
+
+    #[test]
+    fn layered_network_stops_at_sink_layer() {
+        // A node strictly beyond the sink's layer must not be levelled.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let far = g.add_node("far");
+        g.add_arc(s, t, 1, 0);
+        g.add_arc(t, far, 1, 0);
+        let mut st = OpStats::new();
+        let ln = LayeredNetwork::build(&g, s, t, &mut st);
+        assert_eq!(ln.level(t), Some(1));
+        assert_eq!(ln.level(far), None);
+    }
+
+    #[test]
+    fn contains_arc_requires_consecutive_layers() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let t = g.add_node("t");
+        let sa = g.add_arc(s, a, 1, 0);
+        let st_arc = g.add_arc(s, t, 1, 0);
+        let at = g.add_arc(a, t, 1, 0);
+        let mut st = OpStats::new();
+        let ln = LayeredNetwork::build(&g, s, t, &mut st);
+        // t is at level 1, a at level 1: s->a in LN, s->t in LN, a->t not.
+        assert!(ln.contains_arc(&g, sa));
+        assert!(ln.contains_arc(&g, st_arc));
+        assert!(!ln.contains_arc(&g, at));
+    }
+
+    #[test]
+    fn saturated_arcs_are_not_useful() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let a = g.add_arc(s, t, 1, 0);
+        g.push(a, 1);
+        let mut st = OpStats::new();
+        let ln = LayeredNetwork::build(&g, s, t, &mut st);
+        assert!(!ln.reaches_sink());
+        assert!(!ln.contains_arc(&g, a));
+        // But the reverse (cancellation) arc is useful from t's side; t is
+        // unreachable from s though, so it is not levelled.
+        assert_eq!(ln.level(t), None);
+    }
+
+    #[test]
+    fn blocking_flow_saturates_every_short_path() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(s, b, 1, 0);
+        g.add_arc(a, t, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 2);
+        // Both unit paths have length 2, so one layered network suffices;
+        // the final phase discovers no sink and terminates.
+        assert_eq!(r.stats.phases, 2);
+    }
+
+    #[test]
+    fn phases_grow_logarithmically_not_linearly() {
+        // Dinic needs at most O(sqrt(E)) phases on unit networks; build a
+        // ladder where FF might do many augmentations.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let mut mids = Vec::new();
+        for i in 0..20 {
+            let u = g.add_node(format!("u{i}"));
+            let v = g.add_node(format!("v{i}"));
+            g.add_arc(s, u, 1, 0);
+            g.add_arc(u, v, 1, 0);
+            g.add_arc(v, t, 1, 0);
+            mids.push((u, v));
+        }
+        // Cross arcs that tempt longer paths.
+        for w in mids.windows(2) {
+            g.add_arc(w[0].0, w[1].1, 1, 0);
+        }
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 20);
+        assert!(r.stats.phases <= 4, "phases = {}", r.stats.phases);
+    }
+
+    #[test]
+    fn fig8_instance_augments_through_cancellation() {
+        // Fig. 8(a): a 4x4 MRSIN-derived flow network where p1->r4 and
+        // p4->r1 are an initial (suboptimal-order) flow and the augmenting
+        // path for p2 must cancel the arc 5->6. We reproduce the topology:
+        // nodes: s, p1, p2, p4 (requesting), 4/5/6/7 (switchboxes),
+        // r1, r3, r4, t.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let p1 = g.add_node("p1");
+        let p2 = g.add_node("p2");
+        let p4 = g.add_node("p4");
+        let n4 = g.add_node("4");
+        let n5 = g.add_node("5");
+        let n6 = g.add_node("6");
+        let n7 = g.add_node("7");
+        let r1 = g.add_node("r1");
+        let r3 = g.add_node("r3");
+        let r4 = g.add_node("r4");
+        let t = g.add_node("t");
+        for &p in &[p1, p2, p4] {
+            g.add_arc(s, p, 1, 0);
+        }
+        // Stage wiring: p1,p2 -> box4; p4 -> box5 (plus an unused input).
+        let a_p1_4 = g.add_arc(p1, n4, 1, 0);
+        g.add_arc(p2, n4, 1, 0);
+        let a_p4_5 = g.add_arc(p4, n5, 1, 0);
+        // Inter-stage: box4 -> box6, box4 -> box7; box5 -> box6, box5 -> box7.
+        g.add_arc(n4, n6, 1, 0);
+        let a_4_7 = g.add_arc(n4, n7, 1, 0);
+        let a_5_6 = g.add_arc(n5, n6, 1, 0);
+        let a_5_7 = g.add_arc(n5, n7, 1, 0);
+        // Outputs: box6 -> r1, box6 -> r3? In Fig. 8 r1, r3, r4 are free.
+        let a_6_r1 = g.add_arc(n6, r1, 1, 0);
+        g.add_arc(n6, r3, 1, 0);
+        let a_7_r4 = g.add_arc(n7, r4, 1, 0);
+        g.add_arc(n7, r3, 1, 0);
+        for &r in &[r1, r3, r4] {
+            g.add_arc(r, t, 1, 0);
+        }
+        // Initial flow: p1 -> 4 -> 7 -> r4 and p4 -> 5 -> 6 -> r1.
+        for &(arc, path_head) in
+            &[(a_p1_4, s), (a_4_7, p1), (a_7_r4, n7), (a_p4_5, s), (a_5_6, n5), (a_6_r1, n6)]
+        {
+            let _ = path_head;
+            g.push(arc, 1);
+        }
+        // Complete the source/sink legs of the initial flow.
+        let s_p1 = *g.out_arcs(s).iter().find(|a| g.arc(**a).to == p1).unwrap();
+        let s_p4 = *g.out_arcs(s).iter().find(|a| g.arc(**a).to == p4).unwrap();
+        g.push(s_p1, 1);
+        g.push(s_p4, 1);
+        let r4_t = *g.out_arcs(r4).iter().find(|a| a.is_forward()).unwrap();
+        let r1_t = *g.out_arcs(r1).iter().find(|a| a.is_forward()).unwrap();
+        g.push(r4_t, 1);
+        g.push(r1_t, 1);
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 2);
+
+        // The layered network must expose the cancellation arc 6 -> 5
+        // (residual twin of 5->6): p2 -> 4 -> 6 -> (cancel) 5 -> 7 -> r3.
+        let mut st = OpStats::new();
+        let ln = LayeredNetwork::build(&g, s, t, &mut st);
+        assert!(ln.reaches_sink());
+        assert!(ln.contains_arc(&g, a_5_6.twin()), "cancellation arc must be useful");
+        let _ = a_5_7;
+
+        // Augment: all three resources allocated.
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value + 2, 3, "one more unit advanced");
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 3);
+    }
+}

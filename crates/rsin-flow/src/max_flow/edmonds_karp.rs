@@ -1,0 +1,103 @@
+//! Edmonds–Karp maximum flow: Ford–Fulkerson with BFS (shortest) augmenting
+//! paths, giving the `O(|V| |E|^2)` bound independent of capacities.
+
+use super::MaxFlowResult;
+use crate::graph::{ArcId, FlowNetwork, NodeId};
+use crate::stats::OpStats;
+use crate::Flow;
+use std::collections::VecDeque;
+
+/// Compute a maximum `s`→`t` flow by repeated BFS augmentation.
+pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    let mut stats = OpStats::new();
+    let mut value = 0;
+    if s == t {
+        return MaxFlowResult { value, stats };
+    }
+    loop {
+        let mut parent: Vec<Option<ArcId>> = vec![None; g.num_nodes()];
+        let mut visited = vec![false; g.num_nodes()];
+        visited[s.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        let mut found = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            stats.node_visits += 1;
+            for &a in g.out_arcs(u) {
+                stats.arc_scans += 1;
+                let arc = g.arc(a);
+                if arc.residual() > 0 && !visited[arc.to.index()] {
+                    visited[arc.to.index()] = true;
+                    parent[arc.to.index()] = Some(a);
+                    if arc.to == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        let mut bottleneck = Flow::MAX;
+        let mut v = t;
+        while v != s {
+            let a = parent[v.index()].unwrap();
+            bottleneck = bottleneck.min(g.residual(a));
+            v = g.arc(a).from;
+        }
+        let mut v = t;
+        while v != s {
+            let a = parent[v.index()].unwrap();
+            g.push(a, bottleneck);
+            v = g.arc(a).from;
+        }
+        value += bottleneck;
+        stats.augmentations += 1;
+    }
+    MaxFlowResult { value, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_shortest_paths_first() {
+        // s->t direct (length 1) plus a 3-hop path; BFS saturates the direct
+        // arc on the first augmentation.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        let direct = g.add_arc(s, t, 1, 0);
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(a, b, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 2);
+        assert_eq!(g.arc(direct).flow, 1);
+    }
+
+    #[test]
+    fn zigzag_instance_known_hard_for_dfs() {
+        // Bipartite-ish instance where naive DFS could do many augmentations;
+        // BFS still produces the right value.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let u = g.add_node("u");
+        let v = g.add_node("v");
+        let t = g.add_node("t");
+        g.add_arc(s, u, 100, 0);
+        g.add_arc(s, v, 100, 0);
+        g.add_arc(u, v, 1, 0);
+        g.add_arc(u, t, 100, 0);
+        g.add_arc(v, t, 100, 0);
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 200);
+        // Shortest-path augmentation needs only 2 phases of big pushes.
+        assert!(r.stats.augmentations <= 4);
+    }
+}

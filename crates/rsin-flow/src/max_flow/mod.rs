@@ -1,0 +1,182 @@
+//! Maximum-flow algorithms (Section III-B of the paper).
+//!
+//! Five algorithms are provided behind one entry point, [`solve`]:
+//!
+//! * [`Algorithm::FordFulkerson`] — DFS augmenting paths, the primal-dual
+//!   scheme of Ford & Fulkerson \[17\] described in the paper;
+//! * [`Algorithm::EdmondsKarp`] — BFS (shortest) augmenting paths;
+//! * [`Algorithm::Dinic`] — Dinic's algorithm \[12\] with an *explicit*
+//!   [`dinic::LayeredNetwork`], alternating layered-network construction and
+//!   maximal-flow phases exactly as the paper's Fig. 7 flow chart does. This
+//!   is the algorithm the distributed token-propagation architecture of
+//!   Section IV realizes, so the layered network is a public type that the
+//!   `rsin-distrib` tests compare against;
+//! * [`Algorithm::PushRelabel`] — FIFO Goldberg–Tarjan with the gap
+//!   heuristic, a post-paper ablation point for the monitor architecture;
+//! * [`Algorithm::CapacityScaling`] — threshold-scaled augmentation for
+//!   wide-capacity networks.
+//!
+//! All algorithms leave the optimal flow assignment *in* the
+//! [`FlowNetwork`] (the request→resource mapping
+//! is then read out of it by flow decomposition) and report operation counts
+//! via [`OpStats`].
+
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod ford_fulkerson;
+pub mod push_relabel;
+pub mod scaling;
+
+pub use dinic::LayeredNetwork;
+
+use crate::graph::{FlowNetwork, NodeId};
+use crate::stats::OpStats;
+use crate::Flow;
+
+/// Selects a maximum-flow algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// DFS augmenting paths (Ford–Fulkerson).
+    FordFulkerson,
+    /// BFS shortest augmenting paths (Edmonds–Karp).
+    EdmondsKarp,
+    /// Layered networks + blocking flow (Dinic).
+    Dinic,
+    /// FIFO push-relabel with the gap heuristic (Goldberg-Tarjan; a
+    /// post-paper ablation point).
+    PushRelabel,
+    /// Capacity scaling (Gabow / Edmonds-Karp scaling) for wide-capacity
+    /// networks.
+    CapacityScaling,
+}
+
+impl Algorithm {
+    /// All variants, for cross-checking tests and ablation benches.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::FordFulkerson,
+        Algorithm::EdmondsKarp,
+        Algorithm::Dinic,
+        Algorithm::PushRelabel,
+        Algorithm::CapacityScaling,
+    ];
+}
+
+/// Result of a maximum-flow computation.
+#[derive(Debug, Clone)]
+pub struct MaxFlowResult {
+    /// Value of the maximum flow (= number of resources allocated, by
+    /// Theorem 2).
+    pub value: Flow,
+    /// Operation counters for the cost model.
+    pub stats: OpStats,
+}
+
+/// Compute a maximum `s`→`t` flow in place.
+pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, algo: Algorithm) -> MaxFlowResult {
+    match algo {
+        Algorithm::FordFulkerson => ford_fulkerson::solve(g, s, t),
+        Algorithm::EdmondsKarp => edmonds_karp::solve(g, s, t),
+        Algorithm::Dinic => dinic::solve(g, s, t),
+        Algorithm::PushRelabel => push_relabel::solve(g, s, t),
+        Algorithm::CapacityScaling => scaling::solve(g, s, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic CLRS instance with known max flow 23.
+    fn clrs() -> (FlowNetwork, NodeId, NodeId) {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let v1 = g.add_node("v1");
+        let v2 = g.add_node("v2");
+        let v3 = g.add_node("v3");
+        let v4 = g.add_node("v4");
+        let t = g.add_node("t");
+        g.add_arc(s, v1, 16, 0);
+        g.add_arc(s, v2, 13, 0);
+        g.add_arc(v1, v3, 12, 0);
+        g.add_arc(v2, v1, 4, 0);
+        g.add_arc(v2, v4, 14, 0);
+        g.add_arc(v3, v2, 9, 0);
+        g.add_arc(v3, t, 20, 0);
+        g.add_arc(v4, v3, 7, 0);
+        g.add_arc(v4, t, 4, 0);
+        (g, s, t)
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_clrs() {
+        for algo in Algorithm::ALL {
+            let (mut g, s, t) = clrs();
+            let r = solve(&mut g, s, t, algo);
+            assert_eq!(r.value, 23, "{algo:?}");
+            assert_eq!(g.check_legal_flow(s, t).unwrap(), 23, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        for algo in Algorithm::ALL {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let a = g.add_node("a");
+            let t = g.add_node("t");
+            g.add_arc(s, a, 5, 0);
+            let r = solve(&mut g, s, t, algo);
+            assert_eq!(r.value, 0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn source_equals_sink_is_zero_flow() {
+        for algo in Algorithm::ALL {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let t = g.add_node("t");
+            g.add_arc(s, t, 3, 0);
+            let r = solve(&mut g, s, s, algo);
+            assert_eq!(r.value, 0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_arcs_accumulate() {
+        for algo in Algorithm::ALL {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let t = g.add_node("t");
+            g.add_arc(s, t, 2, 0);
+            g.add_arc(s, t, 3, 0);
+            let r = solve(&mut g, s, t, algo);
+            assert_eq!(r.value, 5, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn augmentation_requires_cancellation() {
+        // The paper's Fig. 3 example: initial flow s-a-d-t blocks the naive
+        // mapping; the augmenting path s-c-d-a-b-t cancels d->a... here we
+        // verify algorithms find value 2 from scratch on that topology.
+        for algo in Algorithm::ALL {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let a = g.add_node("a");
+            let b = g.add_node("b");
+            let c = g.add_node("c");
+            let d = g.add_node("d");
+            let t = g.add_node("t");
+            g.add_arc(s, a, 1, 0);
+            g.add_arc(s, c, 1, 0);
+            g.add_arc(a, b, 1, 0);
+            g.add_arc(a, d, 1, 0);
+            g.add_arc(c, d, 1, 0);
+            g.add_arc(b, t, 1, 0);
+            g.add_arc(d, t, 1, 0);
+            let r = solve(&mut g, s, t, algo);
+            assert_eq!(r.value, 2, "{algo:?}");
+        }
+    }
+}

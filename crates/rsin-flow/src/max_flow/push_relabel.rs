@@ -1,0 +1,203 @@
+//! FIFO push–relabel (Goldberg–Tarjan) maximum flow.
+//!
+//! A post-1986 algorithm included as an ablation point: the paper's
+//! augmenting-path family (Ford–Fulkerson, Edmonds–Karp, Dinic) is what the
+//! distributed architecture realizes, but a modern reader benchmarking the
+//! monitor architecture would reach for push–relabel. Implemented with the
+//! gap heuristic and FIFO active-node selection (`O(V³)` worst case,
+//! excellent in practice on MRSIN-shaped networks).
+
+use super::MaxFlowResult;
+use crate::graph::{FlowNetwork, NodeId};
+use crate::stats::OpStats;
+use crate::Flow;
+use std::collections::VecDeque;
+
+/// Compute a maximum `s`→`t` flow by FIFO push–relabel.
+pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    let n = g.num_nodes();
+    let mut stats = OpStats::new();
+    if s == t || n < 2 {
+        return MaxFlowResult { value: 0, stats };
+    }
+    let mut height = vec![0usize; n];
+    let mut excess: Vec<Flow> = vec![0; n];
+    // Number of nodes at each height, for the gap heuristic.
+    let mut count = vec![0usize; 2 * n + 1];
+    height[s.index()] = n;
+    count[0] = n - 1;
+    count[n] = 1;
+
+    let mut active: VecDeque<NodeId> = VecDeque::new();
+    let mut in_queue = vec![false; n];
+
+    // Saturate all source arcs.
+    let source_arcs: Vec<_> = g.out_arcs(s).to_vec();
+    for a in source_arcs {
+        let r = g.residual(a);
+        if r > 0 {
+            let to = g.arc(a).to;
+            g.push(a, r);
+            excess[to.index()] += r;
+            excess[s.index()] -= r;
+            if to != t && to != s && !in_queue[to.index()] {
+                active.push_back(to);
+                in_queue[to.index()] = true;
+            }
+        }
+    }
+
+    while let Some(u) = active.pop_front() {
+        in_queue[u.index()] = false;
+        stats.node_visits += 1;
+        // Discharge u.
+        while excess[u.index()] > 0 {
+            let mut pushed = false;
+            let arcs: Vec<_> = g.out_arcs(u).to_vec();
+            for a in arcs {
+                stats.arc_scans += 1;
+                if excess[u.index()] == 0 {
+                    break;
+                }
+                let arc = g.arc(a);
+                let to = arc.to;
+                if arc.residual() > 0 && height[u.index()] == height[to.index()] + 1 {
+                    let d = excess[u.index()].min(g.residual(a));
+                    g.push(a, d);
+                    excess[u.index()] -= d;
+                    excess[to.index()] += d;
+                    stats.augmentations += 1;
+                    if to != s && to != t && !in_queue[to.index()] {
+                        active.push_back(to);
+                        in_queue[to.index()] = true;
+                    }
+                    pushed = true;
+                }
+            }
+            if excess[u.index()] == 0 {
+                break;
+            }
+            if !pushed {
+                // Relabel u to one above its lowest admissible neighbour.
+                let old = height[u.index()];
+                let mut min_h = usize::MAX;
+                for &a in g.out_arcs(u) {
+                    stats.arc_scans += 1;
+                    let arc = g.arc(a);
+                    if arc.residual() > 0 {
+                        min_h = min_h.min(height[arc.to.index()]);
+                    }
+                }
+                if min_h == usize::MAX {
+                    break; // isolated excess; cannot route (stays at u)
+                }
+                count[old] -= 1;
+                // Gap heuristic: no node left at `old` and old < n means
+                // everything above the gap can never reach t; lift it all
+                // above n at once.
+                if count[old] == 0 && old < n {
+                    for v in 0..n {
+                        if v != s.index() && height[v] > old && height[v] <= n {
+                            count[height[v]] -= 1;
+                            height[v] = n + 1;
+                            count[height[v]] += 1;
+                        }
+                    }
+                    if height[u.index()] > old {
+                        continue;
+                    }
+                }
+                height[u.index()] = min_h + 1;
+                count[height[u.index()]] += 1;
+                stats.phases += 1; // count relabels as "phase" work
+                if height[u.index()] > 2 * n {
+                    break; // safety: should be unreachable
+                }
+            }
+        }
+    }
+    let value = g.flow_value(s);
+    MaxFlowResult { value, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_flow::{solve as reference, Algorithm};
+
+    #[test]
+    fn matches_dinic_on_clrs() {
+        let build = || {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let v1 = g.add_node("v1");
+            let v2 = g.add_node("v2");
+            let v3 = g.add_node("v3");
+            let v4 = g.add_node("v4");
+            let t = g.add_node("t");
+            g.add_arc(s, v1, 16, 0);
+            g.add_arc(s, v2, 13, 0);
+            g.add_arc(v1, v3, 12, 0);
+            g.add_arc(v2, v1, 4, 0);
+            g.add_arc(v2, v4, 14, 0);
+            g.add_arc(v3, v2, 9, 0);
+            g.add_arc(v3, t, 20, 0);
+            g.add_arc(v4, v3, 7, 0);
+            g.add_arc(v4, t, 4, 0);
+            (g, s, t)
+        };
+        let (mut g, s, t) = build();
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 23);
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 23);
+        let (mut g2, s2, t2) = build();
+        let d = reference(&mut g2, s2, t2, Algorithm::Dinic);
+        assert_eq!(r.value, d.value);
+    }
+
+    #[test]
+    fn excess_left_behind_on_dead_ends() {
+        // A dead-end branch must not corrupt the flow value.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let dead = g.add_node("dead");
+        let t = g.add_node("t");
+        g.add_arc(s, dead, 5, 0);
+        g.add_arc(s, t, 2, 0);
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 2);
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 2);
+    }
+
+    #[test]
+    fn unit_bipartite_instance() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let lefts: Vec<_> = (0..4).map(|i| g.add_node(format!("l{i}"))).collect();
+        let rights: Vec<_> = (0..4).map(|i| g.add_node(format!("r{i}"))).collect();
+        for &l in &lefts {
+            g.add_arc(s, l, 1, 0);
+        }
+        for &r in &rights {
+            g.add_arc(r, t, 1, 0);
+        }
+        for (i, &l) in lefts.iter().enumerate() {
+            g.add_arc(l, rights[i], 1, 0);
+            g.add_arc(l, rights[(i + 1) % 4], 1, 0);
+        }
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 4);
+    }
+
+    #[test]
+    fn zero_and_degenerate_cases() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let r = solve(&mut g, s, t);
+        assert_eq!(r.value, 0);
+        let r2 = solve(&mut g, s, s);
+        assert_eq!(r2.value, 0);
+    }
+}

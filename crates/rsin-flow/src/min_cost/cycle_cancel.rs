@@ -1,0 +1,159 @@
+//! Klein's cycle-canceling minimum-cost flow.
+//!
+//! The third route to the optimum: first compute *any* maximum flow bounded
+//! by the target, then repeatedly cancel negative-cost cycles in the
+//! residual graph (found by Bellman–Ford) until none remain — at which
+//! point the flow is cost-optimal among flows of its value. Slower than SSP
+//! or out-of-kilter but conceptually independent, so it serves as a third
+//! cross-check in the property tests.
+
+use super::MinCostResult;
+use crate::graph::{ArcId, FlowNetwork, NodeId};
+use crate::max_flow;
+use crate::stats::OpStats;
+use crate::{Cost, Flow};
+
+const INF: Cost = Cost::MAX / 4;
+
+/// Find any negative-cost cycle in the residual graph; returns its arcs.
+fn negative_cycle(g: &FlowNetwork, stats: &mut OpStats) -> Option<Vec<ArcId>> {
+    let n = g.num_nodes();
+    // Bellman-Ford from a virtual super-source (dist 0 everywhere).
+    let mut dist: Vec<Cost> = vec![0; n];
+    let mut parent: Vec<Option<ArcId>> = vec![None; n];
+    let mut changed_node = None;
+    for round in 0..n {
+        changed_node = None;
+        for u in g.nodes() {
+            for &a in g.out_arcs(u) {
+                stats.arc_scans += 1;
+                let arc = g.arc(a);
+                if arc.residual() > 0 && dist[u.index()] < INF {
+                    let nd = dist[u.index()] + arc.cost;
+                    if nd < dist[arc.to.index()] {
+                        dist[arc.to.index()] = nd;
+                        parent[arc.to.index()] = Some(a);
+                        changed_node = Some(arc.to);
+                    }
+                }
+            }
+        }
+        changed_node?;
+        let _ = round;
+    }
+    // A relaxation in round n implies a negative cycle reachable from the
+    // changed node; walk parents n times to land inside the cycle.
+    let mut v = changed_node?;
+    for _ in 0..n {
+        v = g.arc(parent[v.index()]?).from;
+    }
+    // Collect the cycle.
+    let mut cycle = Vec::new();
+    let start = v;
+    loop {
+        let a = parent[v.index()]?;
+        cycle.push(a);
+        v = g.arc(a).from;
+        if v == start {
+            break;
+        }
+    }
+    cycle.reverse();
+    Some(cycle)
+}
+
+/// Compute a minimum-cost flow of value `min(target, max-flow)` by
+/// max-flow + negative-cycle canceling.
+pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCostResult {
+    let mut stats = OpStats::new();
+    if s == t || target <= 0 {
+        g.clear_flow();
+        return MinCostResult { flow: 0, cost: 0, stats };
+    }
+    // Phase A: any flow of value min(target, maxflow). Use Dinic, then
+    // reduce to the target by cancelling along paths if we overshot.
+    g.clear_flow();
+    let mf = max_flow::solve(g, s, t, max_flow::Algorithm::Dinic);
+    stats.merge(&mf.stats);
+    let mut value = mf.value;
+    while value > target {
+        // Remove one unit along any s-t flow path (walk positive flow).
+        let mut v = s;
+        let mut path = Vec::new();
+        while v != t {
+            let a = *g
+                .out_arcs(v)
+                .iter()
+                .find(|a| a.is_forward() && g.arc(**a).flow > 0)
+                .expect("positive flow leaves the source side");
+            path.push(a);
+            v = g.arc(a).to;
+        }
+        for a in path {
+            g.push(a.twin(), 1);
+        }
+        value -= 1;
+    }
+    // Phase B: cancel negative cycles.
+    while let Some(cycle) = negative_cycle(g, &mut stats) {
+        let mut bottleneck = Flow::MAX;
+        for &a in &cycle {
+            bottleneck = bottleneck.min(g.residual(a));
+        }
+        debug_assert!(bottleneck > 0);
+        for &a in &cycle {
+            g.push(a, bottleneck);
+        }
+        stats.augmentations += 1;
+    }
+    MinCostResult { flow: value, cost: g.flow_cost(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_cost::{self, Algorithm};
+
+    fn instance() -> (FlowNetwork, NodeId, NodeId) {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 2, 1);
+        g.add_arc(s, b, 2, 6);
+        g.add_arc(a, b, 1, 1);
+        g.add_arc(a, t, 1, 9);
+        g.add_arc(b, t, 3, 1);
+        (g, s, t)
+    }
+
+    #[test]
+    fn matches_ssp_on_all_targets() {
+        for target in 1..=4 {
+            let (mut g1, s, t) = instance();
+            let cc = solve(&mut g1, s, t, target);
+            let (mut g2, s2, t2) = instance();
+            let ssp = min_cost::solve(&mut g2, s2, t2, target, Algorithm::SuccessiveShortestPaths);
+            assert_eq!((cc.flow, cc.cost), (ssp.flow, ssp.cost), "target {target}");
+            assert_eq!(g1.check_legal_flow(s, t).unwrap(), cc.flow);
+        }
+    }
+
+    #[test]
+    fn overshoot_reduction_keeps_min_cost() {
+        // target 1 < maxflow: the kept unit must be the cheapest route.
+        let (mut g, s, t) = instance();
+        let r = solve(&mut g, s, t, 1);
+        assert_eq!(r.flow, 1);
+        assert_eq!(r.cost, 3); // s-a(1), a-b(1), b-t(1)
+    }
+
+    #[test]
+    fn no_negative_cycle_in_optimal_flow() {
+        let (mut g, s, t) = instance();
+        solve(&mut g, s, t, 4);
+        let mut st = OpStats::new();
+        assert!(negative_cycle(&g, &mut st).is_none());
+    }
+}

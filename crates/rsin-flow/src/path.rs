@@ -1,0 +1,173 @@
+//! Flow decomposition into arc-disjoint s–t paths.
+//!
+//! Theorem 2's proof observes that "every legal integral flow defines a set
+//! of F nonoverlapping paths from s to t". For an MRSIN-derived network each
+//! such path, stripped of the source and sink legs, is exactly a circuit
+//! from a requesting processor to a free resource — so path decomposition is
+//! how a flow assignment is turned back into a request→resource mapping.
+
+use crate::graph::{ArcId, FlowNetwork, NodeId};
+
+/// One unit-flow path from source to sink (sequence of forward arc ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPath {
+    /// Arcs from `s` to `t`, in order.
+    pub arcs: Vec<ArcId>,
+}
+
+impl FlowPath {
+    /// Node sequence of the path, starting at the source.
+    pub fn nodes(&self, g: &FlowNetwork) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.arcs.len() + 1);
+        if let Some(&first) = self.arcs.first() {
+            out.push(g.arc(first).from);
+        }
+        for &a in &self.arcs {
+            out.push(g.arc(a).to);
+        }
+        out
+    }
+}
+
+/// Decompose the current flow of `g` into arc-disjoint s–t paths, one per
+/// unit of flow.
+///
+/// Requires the flow to be legal; arcs carrying more than one unit (e.g. the
+/// bypass arc `(u, t)` of Transformation 2) are traversed once per unit.
+/// Completed paths that visit the `skip` node (the bypass node `u`) are
+/// *dropped* from the result — they represent requests that were not
+/// allocated — but their flow is still consumed so the remaining paths
+/// decompose correctly.
+///
+/// The flow in `g` is not modified; bookkeeping uses a scratch copy of the
+/// per-arc flow counts.
+pub fn decompose_unit_flow(
+    g: &FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    skip: Option<NodeId>,
+) -> Vec<FlowPath> {
+    // remaining[a] = flow remaining to route through forward arc a.
+    let mut remaining: Vec<i64> = g.forward_arcs().map(|(_, a)| a.flow.max(0)).collect();
+    let mut paths = Vec::new();
+    // Start a new path over an unexhausted source arc, until none remain.
+    while let Some(start) = g
+        .out_arcs(s)
+        .iter()
+        .copied()
+        .find(|a| a.is_forward() && remaining[a.index() / 2] > 0)
+    {
+        let mut arcs = vec![start];
+        remaining[start.index() / 2] -= 1;
+        let mut u = g.arc(start).to;
+        let mut skipped = Some(u) == skip;
+        while u != t {
+            let next = g
+                .out_arcs(u)
+                .iter()
+                .copied()
+                .find(|a| a.is_forward() && remaining[a.index() / 2] > 0)
+                .expect("legal flow must continue to the sink");
+            remaining[next.index() / 2] -= 1;
+            u = g.arc(next).to;
+            if Some(u) == skip {
+                skipped = true;
+            }
+            arcs.push(next);
+        }
+        if !skipped {
+            paths.push(FlowPath { arcs });
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_flow::{solve, Algorithm};
+
+    #[test]
+    fn decomposes_into_disjoint_paths() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(s, b, 1, 0);
+        g.add_arc(a, t, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        let r = solve(&mut g, s, t, Algorithm::Dinic);
+        let paths = decompose_unit_flow(&g, s, t, None);
+        assert_eq!(paths.len() as i64, r.value);
+        // Arc-disjointness.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for &arc in &p.arcs {
+                assert!(seen.insert(arc), "arc used twice");
+            }
+            let nodes = p.nodes(&g);
+            assert_eq!(nodes.first(), Some(&s));
+            assert_eq!(nodes.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn skip_node_excluded_from_paths() {
+        // s -> bypass -> t carries flow but must be ignored.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let bypass = g.add_node("u");
+        let a = g.add_node("a");
+        let t = g.add_node("t");
+        let sb = g.add_arc(s, bypass, 1, 0);
+        let bt = g.add_arc(bypass, t, 1, 0);
+        let sa = g.add_arc(s, a, 1, 0);
+        let at = g.add_arc(a, t, 1, 0);
+        g.push(sb, 1);
+        g.push(bt, 1);
+        g.push(sa, 1);
+        g.push(at, 1);
+        let paths = decompose_unit_flow(&g, s, t, Some(bypass));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes(&g), vec![s, a, t]);
+    }
+
+    #[test]
+    fn zero_flow_decomposes_empty() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        g.add_arc(s, t, 1, 0);
+        assert!(decompose_unit_flow(&g, s, t, None).is_empty());
+    }
+
+    #[test]
+    fn cancellation_yields_simple_paths() {
+        // After augmenting through a cancellation, decomposition must still
+        // produce simple forward paths (Fig. 3(c): two separate paths).
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let t = g.add_node("t");
+        g.add_arc(s, a, 1, 0);
+        g.add_arc(s, c, 1, 0);
+        g.add_arc(a, b, 1, 0);
+        g.add_arc(a, d, 1, 0);
+        g.add_arc(c, d, 1, 0);
+        g.add_arc(b, t, 1, 0);
+        g.add_arc(d, t, 1, 0);
+        let r = solve(&mut g, s, t, Algorithm::Dinic);
+        assert_eq!(r.value, 2);
+        let paths = decompose_unit_flow(&g, s, t, None);
+        assert_eq!(paths.len(), 2);
+        let node_sets: Vec<Vec<_>> =
+            paths.iter().map(|p| p.nodes(&g).iter().map(|n| g.name(*n).to_string()).collect()).collect();
+        assert!(node_sets.contains(&vec!["s".into(), "a".into(), "b".into(), "t".into()]));
+        assert!(node_sets.contains(&vec!["s".into(), "c".into(), "d".into(), "t".into()]));
+    }
+}

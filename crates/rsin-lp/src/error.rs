@@ -1,0 +1,39 @@
+//! Error type for LP construction and solving.
+
+use std::fmt;
+
+/// Errors raised while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable id that does not
+    /// belong to this problem.
+    UnknownVariable(usize),
+    /// A variable was declared with `lower > upper`.
+    InvalidBounds { var: usize, lower: f64, upper: f64 },
+    /// A coefficient, bound, or right-hand side was NaN.
+    NotANumber,
+    /// The LP has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (should not happen with
+    /// Bland's rule unless the limit is set too low).
+    IterationLimit(usize),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable(v) => write!(f, "unknown variable id {v}"),
+            LpError::InvalidBounds { var, lower, upper } => {
+                write!(f, "variable {var} has invalid bounds [{lower}, {upper}]")
+            }
+            LpError::NotANumber => write!(f, "NaN encountered in problem data"),
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit(n) => write!(f, "simplex exceeded {n} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,304 @@
+//! Dense full-tableau two-phase simplex with Bland's anti-cycling rule.
+//!
+//! Operates on a [`StandardForm`](crate::standard::StandardForm)-shaped
+//! problem: `min c'x, Ax = b, x >= 0, b >= 0`. Phase 1 starts from an
+//! all-artificial basis and minimizes the sum of artificials; phase 2
+//! optimizes the true objective after driving artificials out of the basis.
+
+use crate::error::LpError;
+use crate::EPS;
+
+/// Outcome of a tableau solve.
+#[derive(Debug, Clone)]
+pub struct TableauResult {
+    /// Optimal point in standard-form coordinates (length = structural cols).
+    pub x: Vec<f64>,
+    /// Optimal value of `c'x`.
+    pub objective: f64,
+    /// Dual values (simplex multipliers) `y = c_B' B^{-1}`, one per row.
+    pub duals: Vec<f64>,
+    /// Simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+/// Full-tableau simplex state.
+///
+/// `tab` has `m` constraint rows followed by one objective row; each row has
+/// `total_cols` entries followed by the RHS.
+pub struct Tableau {
+    m: usize,
+    /// structural + slack columns (excludes artificials)
+    n: usize,
+    total_cols: usize,
+    tab: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    pivots: usize,
+    /// Columns barred from entering the basis (artificials in phase 2).
+    banned: Vec<bool>,
+}
+
+impl Tableau {
+    /// Build phase-1 tableau: `[A | I | b]`, artificial basis.
+    pub fn new(a: &[Vec<f64>], b: &[f64]) -> Self {
+        let m = a.len();
+        let n = if m > 0 { a[0].len() } else { 0 };
+        let total_cols = n + m;
+        let mut tab = Vec::with_capacity(m + 1);
+        for i in 0..m {
+            debug_assert!(b[i] >= 0.0, "standard form requires b >= 0");
+            let mut row = Vec::with_capacity(total_cols + 1);
+            row.extend_from_slice(&a[i]);
+            for j in 0..m {
+                row.push(if i == j { 1.0 } else { 0.0 });
+            }
+            row.push(b[i]);
+            tab.push(row);
+        }
+        // Phase-1 objective row: reduced costs of minimizing sum of
+        // artificials with the artificial basis: z_j = -sum_i a_ij for
+        // structural j, 0 for artificial j; z_rhs = -sum b.
+        let mut zrow = vec![0.0; total_cols + 1];
+        for j in 0..n {
+            let mut s = 0.0;
+            for row in tab.iter().take(m) {
+                s += row[j];
+            }
+            zrow[j] = -s;
+        }
+        let mut srhs = 0.0;
+        for row in tab.iter().take(m) {
+            srhs += row[total_cols];
+        }
+        zrow[total_cols] = -srhs;
+        tab.push(zrow);
+
+        let basis = (n..n + m).collect();
+        Tableau { m, n, total_cols, tab, basis, pivots: 0, banned: vec![false; total_cols] }
+    }
+
+    /// Current objective-row value (negated accumulated objective).
+    fn obj_value(&self) -> f64 {
+        -self.tab[self.m][self.total_cols]
+    }
+
+    /// One simplex pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
+        let piv = self.tab[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in &mut self.tab[row] {
+            *v *= inv;
+        }
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.tab[r][col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for j in 0..=self.total_cols {
+                let delta = factor * self.tab[row][j];
+                self.tab[r][j] -= delta;
+            }
+            // Clamp tiny residue in the pivot column to exactly zero so
+            // Bland's rule never re-selects a numerically dirty column.
+            self.tab[r][col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run Bland-rule simplex iterations until optimal or unbounded.
+    fn iterate(&mut self, max_iters: usize) -> Result<(), LpError> {
+        for _ in 0..max_iters {
+            // Bland: entering column = smallest index with negative reduced cost.
+            let mut entering = None;
+            for j in 0..self.total_cols {
+                if !self.banned[j] && self.tab[self.m][j] < -EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let aij = self.tab[i][col];
+                if aij > EPS {
+                    let ratio = self.tab[i][self.total_cols] / aij;
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit(max_iters))
+    }
+
+    /// Phase 1: find a basic feasible solution. Returns `Infeasible` if the
+    /// artificial objective cannot be driven to zero.
+    pub fn phase1(&mut self, max_iters: usize) -> Result<(), LpError> {
+        self.iterate(max_iters)?;
+        if self.obj_value() > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive artificial variables out of the basis.
+        for i in 0..self.m {
+            if self.basis[i] >= self.n {
+                // Find any eligible structural/slack column to pivot in.
+                let col = (0..self.n).find(|&j| self.tab[i][j].abs() > 1e-7);
+                if let Some(col) = col {
+                    self.pivot(i, col);
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value 0 and artificial columns are banned below, so it
+                // can never become positive again.
+            }
+        }
+        for j in self.n..self.total_cols {
+            self.banned[j] = true;
+        }
+        Ok(())
+    }
+
+    /// Phase 2: install the true objective `c` (length `n`) and optimize.
+    pub fn phase2(&mut self, c: &[f64], max_iters: usize) -> Result<(), LpError> {
+        debug_assert_eq!(c.len(), self.n);
+        // Reduced cost row: z_j = c_j - c_B' B^{-1} a_j. The tableau rows are
+        // already B^{-1}A, so accumulate c_B[i] * tab[i][j].
+        let mut zrow = vec![0.0; self.total_cols + 1];
+        zrow[..self.n].copy_from_slice(c);
+        for i in 0..self.m {
+            let cb = if self.basis[i] < self.n { c[self.basis[i]] } else { 0.0 };
+            if cb == 0.0 {
+                continue;
+            }
+            for (zj, tj) in zrow.iter_mut().zip(&self.tab[i]) {
+                *zj -= cb * tj;
+            }
+        }
+        // Zero out reduced costs of basic variables exactly.
+        for i in 0..self.m {
+            if self.basis[i] < self.total_cols {
+                zrow[self.basis[i]] = 0.0;
+            }
+        }
+        self.tab[self.m] = zrow;
+        self.iterate(max_iters)
+    }
+
+    /// Extract the current basic solution restricted to the first `n` columns.
+    pub fn solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.m {
+            if self.basis[i] < self.n {
+                x[self.basis[i]] = self.tab[i][self.total_cols];
+            }
+        }
+        x
+    }
+
+    /// Number of pivots performed so far.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Dual values from the final objective row: the artificial column of
+    /// row `i` is the identity column `e_i`, so its reduced cost is
+    /// `0 − y_i`; hence `y_i = −z[n + i]`.
+    pub fn duals(&self) -> Vec<f64> {
+        (0..self.m).map(|i| -self.tab[self.m][self.n + i]).collect()
+    }
+}
+
+/// Solve `min c'x, Ax = b, x >= 0` (with `b >= 0`) by two-phase simplex.
+pub fn solve_standard(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+) -> Result<TableauResult, LpError> {
+    let m = a.len();
+    let n = if m > 0 { a[0].len() } else { c.len() };
+    // Bland's rule terminates finitely; the bound below is a generous backstop.
+    let max_iters = 2000 + 200 * (m + n);
+    let mut t = Tableau::new(a, b);
+    t.phase1(max_iters)?;
+    t.phase2(c, max_iters)?;
+    let x = t.solution();
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Ok(TableauResult { x, objective, duals: t.duals(), pivots: t.pivots() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_equality_lp() {
+        // min x + y  s.t.  x + y = 2, x - y = 0  => x = y = 1.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![2.0, 0.0];
+        let c = vec![1.0, 1.0];
+        let r = solve_standard(&a, &b, &c).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] - 1.0).abs() < 1e-9);
+        assert!((r.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x = 1 and x = 2 simultaneously.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(solve_standard(&a, &b, &c).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x - y  s.t.  x - y = 0  (ray x = y -> inf).
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![0.0];
+        let c = vec![-1.0, -1.0];
+        assert_eq!(solve_standard(&a, &b, &c).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let a = vec![
+            vec![0.5, -5.5, -2.5, 9.0, 1.0, 0.0, 0.0],
+            vec![0.5, -1.5, -0.5, 1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![0.0, 0.0, 1.0];
+        let c = vec![-10.0, 57.0, 9.0, 24.0, 0.0, 0.0, 0.0];
+        let r = solve_standard(&a, &b, &c).unwrap();
+        assert!((r.objective - (-1.0)).abs() < 1e-6, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn redundant_row_is_tolerated() {
+        // Second row duplicates the first.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![2.0, 2.0];
+        let c = vec![1.0, 0.0];
+        let r = solve_standard(&a, &b, &c).unwrap();
+        assert!(r.objective.abs() < 1e-9);
+        assert!((r.x[1] - 2.0).abs() < 1e-9);
+    }
+}

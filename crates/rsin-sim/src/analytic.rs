@@ -1,0 +1,99 @@
+//! Analytic blocking model for banyan networks (Patel's recurrence).
+//!
+//! The performance literature the paper builds on (Patel \[37\], Dias &
+//! Jump \[11\]) analyzes delta networks under uniform random requests with
+//! a per-stage recurrence: if each input of an `a×b` crossbar stage
+//! carries a request with probability `p`, each of its outputs is
+//! requested with probability
+//!
+//! ```text
+//! p' = 1 − (1 − p/b)^a
+//! ```
+//!
+//! Iterating over the stages gives the probability that a network output
+//! carries a request, hence the expected acceptance rate. The ANALYTIC
+//! experiment compares this closed form against this workspace's simulated
+//! address-mapped routing — theory vs. rebuilt measurement.
+
+/// One step of Patel's recurrence for an `a×b` crossbar stage.
+///
+/// ```
+/// // Both inputs of a 2x2 switch loaded: each output requested with 3/4.
+/// assert!((rsin_sim::analytic::patel_stage(1.0, 2, 2) - 0.75).abs() < 1e-12);
+/// ```
+pub fn patel_stage(p: f64, a: usize, b: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    1.0 - (1.0 - p / b as f64).powi(a as i32)
+}
+
+/// Output-request probability after `stages` stages of `a×a` switches,
+/// starting from input load `p0`.
+pub fn patel_output_rate(p0: f64, a: usize, stages: usize) -> f64 {
+    let mut p = p0;
+    for _ in 0..stages {
+        p = patel_stage(p, a, a);
+    }
+    p
+}
+
+/// Expected fraction of offered requests accepted by an `n×n` banyan of
+/// `a×a` switches under uniform random destinations with input load `p0`:
+/// `accepted/offered = p_out · n / (p0 · n)`.
+pub fn patel_acceptance(p0: f64, a: usize, stages: usize) -> f64 {
+    if p0 <= 0.0 {
+        return 1.0;
+    }
+    patel_output_rate(p0, a, stages) / p0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_full_load() {
+        // 2x2 switch, both inputs loaded: each output requested with
+        // probability 1 - (1/2)^2 = 0.75.
+        assert!((patel_stage(1.0, 2, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_decreases_with_stages() {
+        let mut prev = 1.0;
+        for stages in 1..8 {
+            let r = patel_output_rate(1.0, 2, stages);
+            assert!(r < prev, "stage {stages}: {r} >= {prev}");
+            assert!(r > 0.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn acceptance_improves_at_light_load() {
+        let heavy = patel_acceptance(1.0, 2, 3);
+        let light = patel_acceptance(0.2, 2, 3);
+        assert!(light > heavy);
+        assert!(light <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn zero_load_accepts_everything() {
+        assert_eq!(patel_acceptance(0.0, 2, 3), 1.0);
+    }
+
+    #[test]
+    fn larger_switches_block_less_at_equal_size() {
+        // For the same 16x16 network: 4 stages of 2x2 vs 2 stages of 4x4.
+        // Fewer, larger switches lose less to internal contention (Patel's
+        // classic observation favouring delta networks of larger radix).
+        let via_2x2 = patel_acceptance(1.0, 2, 4);
+        let via_4x4 = patel_acceptance(1.0, 4, 2);
+        assert!(
+            via_4x4 > via_2x2,
+            "4x4: {via_4x4}, 2x2: {via_2x2}"
+        );
+        // Known values: 0.4498… vs 0.5275…
+        assert!((via_2x2 - 0.4499).abs() < 1e-3);
+        assert!((via_4x4 - 0.5275).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Architecture cost model: monitor (software) vs distributed (token)
+//! scheduling.
+//!
+//! Section IV: the monitor's overhead "is measured by the number of
+//! instructions executed in the algorithm", the distributed architecture's
+//! "in gate delays instead of instruction cycles" — and the latter "will
+//! run at a much higher speed". This module fixes the two time constants so
+//! the SPEEDUP experiment can put both on one axis. The defaults are
+//! mid-1980s figures (a 1 MIPS minicomputer monitor vs a 20 MHz clocked
+//! token network); the *ratio* is what matters and the experiment prints
+//! results for several assumptions.
+
+/// Time constants for the two architectures.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Nanoseconds per monitor instruction (default 1000 ns = 1 MIPS).
+    pub instruction_ns: f64,
+    /// Nanoseconds per token-propagation clock period (default 50 ns).
+    pub clock_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { instruction_ns: 1000.0, clock_ns: 50.0 }
+    }
+}
+
+impl CostModel {
+    /// Scheduling latency of the monitor architecture, in microseconds.
+    pub fn monitor_us(&self, instructions: u64) -> f64 {
+        instructions as f64 * self.instruction_ns / 1000.0
+    }
+
+    /// Scheduling latency of the distributed architecture, in microseconds.
+    pub fn distributed_us(&self, clocks: u64) -> f64 {
+        clocks as f64 * self.clock_ns / 1000.0
+    }
+
+    /// Speedup of the distributed architecture over the monitor.
+    pub fn speedup(&self, instructions: u64, clocks: u64) -> f64 {
+        if clocks == 0 {
+            return f64::INFINITY;
+        }
+        self.monitor_us(instructions) / self.distributed_us(clocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_constants_are_1980s_scale() {
+        let m = CostModel::default();
+        assert_eq!(m.monitor_us(1000), 1000.0);
+        assert_eq!(m.distributed_us(100), 5.0);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let m = CostModel::default();
+        // 10_000 instructions vs 40 clocks: (10^7 ns) / (2000 ns) = 5000.
+        assert!((m.speedup(10_000, 40) - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_clocks_is_infinite_speedup() {
+        assert!(CostModel::default().speedup(10, 0).is_infinite());
+    }
+}

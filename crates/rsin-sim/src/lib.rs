@@ -1,0 +1,50 @@
+//! # rsin-sim — simulation of resource-sharing multiprocessors
+//!
+//! The measurement substrate that regenerates the paper's quantitative
+//! claims (the original simulators, \[22\] and \[44\], are unavailable; this
+//! crate rebuilds them from the Section II system model):
+//!
+//! * [`workload`] — random scheduling snapshots (who requests, what is
+//!   free, which circuits pre-occupy links) and arrival processes;
+//! * [`blocking`] — Monte-Carlo *static* experiments: average blocking
+//!   probability of a scheduler on a topology, the metric behind "the
+//!   average blocking probability can be as low as 2 percent … if a
+//!   heuristic routing algorithm is used, then the average blocking
+//!   probability increases to around 20 percent";
+//! * [`system`] — a *dynamic* discrete-event simulation of the full model:
+//!   Poisson task arrivals, one task transmitted at a time per processor,
+//!   circuits released after transmission, resources busy until completion
+//!   (model points 1–5), yielding utilization and response times;
+//! * [`metrics`] — sample statistics with confidence intervals;
+//! * [`monitor`] — the centralized monitor architecture of Fig. 6, with
+//!   its exact cycle semantics (mid-cycle arrivals and releases deferred);
+//! * [`analytic`] — Patel's closed-form banyan acceptance model, for
+//!   theory-vs-simulation calibration;
+//! * [`packet`] — the circuit-vs-packet-switching model-choice ablation
+//!   backing Section II's first modelling decision;
+//! * [`cost`] — the architecture cost model comparing the monitor
+//!   (instruction-counted software) against the distributed engine
+//!   (clock-period-counted token propagation).
+//!
+//! ```
+//! use rsin_sim::blocking::{BlockingConfig, run_blocking};
+//! use rsin_core::scheduler::MaxFlowScheduler;
+//! use rsin_topology::builders::omega;
+//!
+//! let net = omega(8).unwrap();
+//! let cfg = BlockingConfig { trials: 200, requests: 5, resources: 5, occupied_circuits: 0, seed: 7 };
+//! let stats = run_blocking(&net, &MaxFlowScheduler::default(), &cfg);
+//! assert!(stats.blocking.mean < 0.2, "optimal scheduling blocks rarely on a free Omega");
+//! ```
+
+pub mod analytic;
+pub mod blocking;
+pub mod cost;
+pub mod packet;
+pub mod metrics;
+pub mod monitor;
+pub mod system;
+pub mod workload;
+
+pub use blocking::{run_blocking, BlockingConfig, BlockingStats};
+pub use system::{DynamicConfig, DynamicStats, SystemSim};

@@ -1,0 +1,150 @@
+//! Sample statistics for simulation outputs.
+
+/// Running mean/variance accumulator (Welford) with a normal-approximation
+/// confidence interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sample {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Sample {
+    /// Empty sample.
+    pub fn new() -> Self {
+        Sample { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for empty samples).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the ~95 % confidence interval (normal approximation;
+    /// fine for the thousands of trials the experiments run).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Convenience summary for printing experiment rows.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean of the observations.
+    pub mean: f64,
+    /// 95 % confidence half-width.
+    pub ci95: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl From<&Sample> for Summary {
+    fn from(s: &Sample) -> Self {
+        Summary { mean: s.mean(), ci95: s.ci95_half_width(), n: s.count() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = Sample::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_sample_is_safe() {
+        let s = Sample::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Sample::new();
+        let mut large = Sample::new();
+        for i in 0..10 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 2) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn summary_conversion() {
+        let mut s = Sample::new();
+        s.push(1.0);
+        s.push(3.0);
+        let sum = Summary::from(&s);
+        assert_eq!(sum.mean, 2.0);
+        assert_eq!(sum.n, 2);
+    }
+}

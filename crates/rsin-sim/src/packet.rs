@@ -1,0 +1,158 @@
+//! Circuit vs. packet switching for resource tasks (Section II, point 1).
+//!
+//! The paper's model *chooses* circuit switching and argues for it twice:
+//! "owing to the resource characteristics, a task cannot be processed until
+//! it is completely received. The extra delay in breaking a task into
+//! multiple packets may decrease the utilization of resources, and hence
+//! increase the response time of the system" — and rerouting a blocked
+//! packet costs more than rerouting a circuit request.
+//!
+//! This module backs that modelling decision with a small discrete-time
+//! queueing comparison on the same multistage fabric:
+//!
+//! * **Circuit switching**: the task waits until a free path exists
+//!   (retrying each slot), then streams its `L` units over the reserved
+//!   circuit — delivery at `wait + S + L` (pipeline fill + payload).
+//! * **Packet switching**: the task is cut into `L` packets that traverse
+//!   `S` store-and-forward stages, each stage forwarding one packet per
+//!   slot per output link and queueing the rest behind *background*
+//!   packets arriving with rate `ρ` per link per slot. The resource starts
+//!   only when the **last** packet arrives.
+//!
+//! The model is deliberately simple (independent geometric background
+//! traffic, FIFO queues, fixed path) — it is a *model-choice ablation*, not
+//! a reproduction target; DESIGN.md records it as such.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of one delivery comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchingConfig {
+    /// Task length in packets/slots.
+    pub task_len: u64,
+    /// Stages the path crosses.
+    pub stages: u64,
+    /// Background load per link per slot, `0.0..1.0`.
+    pub background: f64,
+    /// Probability that a circuit-setup attempt finds the path blocked by
+    /// background circuits (per slot).
+    pub circuit_block_prob: f64,
+}
+
+/// Delivery times of the same task under both disciplines.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchingOutcome {
+    /// Slot at which the circuit-switched task is fully received.
+    pub circuit_delivery: u64,
+    /// Slot at which the packet-switched task is fully received.
+    pub packet_delivery: u64,
+}
+
+/// Simulate one task delivery under both disciplines with a shared RNG.
+pub fn compare_once(cfg: &SwitchingConfig, rng: &mut StdRng) -> SwitchingOutcome {
+    // Circuit switching: geometric wait for a free path, then stream.
+    let mut wait = 0u64;
+    while rng.random_range(0.0..1.0) < cfg.circuit_block_prob {
+        wait += 1;
+    }
+    let circuit_delivery = wait + cfg.stages + cfg.task_len;
+
+    // Packet switching: track each packet's arrival time at each stage.
+    // `free_at[s]` = first slot at which stage s's output link is free for
+    // our traffic (background packets occupy it with probability
+    // `background` each slot).
+    let mut delivery_last = 0u64;
+    let mut prev_departure = vec![0u64; cfg.stages as usize];
+    for p in 0..cfg.task_len {
+        // Packet p is injected at slot p.
+        let mut t = p;
+        for stage_departure in prev_departure.iter_mut() {
+            // FIFO behind our own earlier packets at this stage...
+            t = t.max(*stage_departure);
+            // ...and behind background packets: each slot the link serves
+            // background first with probability `background`.
+            while rng.random_range(0.0..1.0) < cfg.background {
+                t += 1;
+            }
+            t += 1; // the hop itself
+            *stage_departure = t;
+        }
+        delivery_last = delivery_last.max(t);
+    }
+    SwitchingOutcome { circuit_delivery, packet_delivery: delivery_last }
+}
+
+/// Mean delivery times over `trials` tasks.
+pub fn compare_mean(cfg: &SwitchingConfig, trials: u64, rng: &mut StdRng) -> (f64, f64) {
+    let mut c = 0.0;
+    let mut p = 0.0;
+    for _ in 0..trials {
+        let o = compare_once(cfg, rng);
+        c += o.circuit_delivery as f64;
+        p += o.packet_delivery as f64;
+    }
+    (c / trials as f64, p / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::trial_rng;
+
+    fn cfg(task_len: u64, background: f64, block: f64) -> SwitchingConfig {
+        SwitchingConfig { task_len, stages: 3, background, circuit_block_prob: block }
+    }
+
+    #[test]
+    fn no_contention_both_are_pipeline_plus_payload() {
+        let mut rng = trial_rng(1, 0);
+        let o = compare_once(&cfg(10, 0.0, 0.0), &mut rng);
+        assert_eq!(o.circuit_delivery, 3 + 10);
+        assert_eq!(o.packet_delivery, 9 + 3); // last packet injected at slot 9, 3 hops
+    }
+
+    #[test]
+    fn background_traffic_hurts_packets_not_circuits() {
+        let mut rng = trial_rng(2, 0);
+        let (c, p) = compare_mean(&cfg(20, 0.4, 0.0), 400, &mut rng);
+        assert_eq!(c, 23.0, "reserved circuit is immune to per-link queueing");
+        assert!(p > c, "packets queue behind background traffic: {p} vs {c}");
+    }
+
+    #[test]
+    fn circuit_blocking_adds_setup_wait() {
+        let mut rng = trial_rng(3, 0);
+        let (c_free, _) = compare_mean(&cfg(20, 0.0, 0.0), 400, &mut rng);
+        let mut rng = trial_rng(3, 1);
+        let (c_blocked, _) = compare_mean(&cfg(20, 0.0, 0.5), 400, &mut rng);
+        assert!(c_blocked > c_free);
+        // Geometric(0.5) wait ≈ 1 extra slot on average.
+        assert!((c_blocked - c_free - 1.0).abs() < 0.3, "{c_blocked} vs {c_free}");
+    }
+
+    #[test]
+    fn crossover_favours_circuits_for_long_tasks_under_load() {
+        // The paper's argument: resource tasks (long, must fully arrive)
+        // prefer circuits once the fabric carries load.
+        let mut rng = trial_rng(4, 0);
+        let (c, p) = compare_mean(
+            &SwitchingConfig {
+                task_len: 50,
+                stages: 4,
+                background: 0.3,
+                circuit_block_prob: 0.3,
+            },
+            400,
+            &mut rng,
+        );
+        assert!(c < p, "circuit {c} should beat packet {p} for long tasks");
+    }
+
+    #[test]
+    fn short_tasks_at_light_load_are_close() {
+        let mut rng = trial_rng(5, 0);
+        let (c, p) = compare_mean(&cfg(2, 0.05, 0.05), 2000, &mut rng);
+        assert!((c - p).abs() < 1.5, "short tasks: {c} vs {p}");
+    }
+}

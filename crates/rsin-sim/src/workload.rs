@@ -1,0 +1,159 @@
+//! Workload generation: random scheduling snapshots and arrival processes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rsin_topology::{CircuitState, Network};
+
+/// A random static snapshot: requesting processors, free resources, and a
+/// circuit state with some links pre-occupied by established circuits.
+#[derive(Debug)]
+pub struct Snapshot<'n> {
+    /// Occupancy overlay with the pre-established circuits.
+    pub circuits: CircuitState<'n>,
+    /// Requesting processors (disjoint from the circuits' sources).
+    pub requesting: Vec<usize>,
+    /// Free resources (disjoint from the circuits' destinations).
+    pub free: Vec<usize>,
+}
+
+/// Deterministic RNG for a (seed, trial) pair so experiments are exactly
+/// reproducible and trials are independent.
+pub fn trial_rng(seed: u64, trial: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Draw a snapshot: `occupied_circuits` random processor→resource circuits
+/// are established first (retrying blocked pairs), then `requests`
+/// processors and `resources` resources are drawn uniformly from the
+/// remainder.
+pub fn random_snapshot<'n>(
+    net: &'n Network,
+    requests: usize,
+    resources: usize,
+    occupied_circuits: usize,
+    rng: &mut StdRng,
+) -> Snapshot<'n> {
+    let np = net.num_processors();
+    let nr = net.num_resources();
+    let mut cs = CircuitState::new(net);
+    let mut busy_p = vec![false; np];
+    let mut busy_r = vec![false; nr];
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < occupied_circuits && attempts < 20 * occupied_circuits.max(1) {
+        attempts += 1;
+        let p = rng.random_range(0..np);
+        let r = rng.random_range(0..nr);
+        if busy_p[p] || busy_r[r] {
+            continue;
+        }
+        if cs.connect(p, r).is_ok() {
+            busy_p[p] = true;
+            busy_r[r] = true;
+            placed += 1;
+        }
+    }
+    let mut procs: Vec<usize> = (0..np).filter(|&p| !busy_p[p]).collect();
+    let mut ress: Vec<usize> = (0..nr).filter(|&r| !busy_r[r]).collect();
+    procs.shuffle(rng);
+    ress.shuffle(rng);
+    procs.truncate(requests.min(procs.len()));
+    ress.truncate(resources.min(ress.len()));
+    procs.sort_unstable();
+    ress.sort_unstable();
+    Snapshot { circuits: cs, requesting: procs, free: ress }
+}
+
+/// Exponential variate with the given rate (`λ`), via inverse transform —
+/// the inter-arrival and service distribution of the dynamic simulation.
+pub fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    assert!(rate > 0.0);
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Random priorities/preferences in `1..=levels` for a slice of ids.
+pub fn random_levels(ids: &[usize], levels: u32, rng: &mut StdRng) -> Vec<(usize, u32)> {
+    ids.iter().map(|&i| (i, rng.random_range(1..=levels))).collect()
+}
+
+/// Assign each id a uniformly random resource type in `0..types`.
+pub fn random_types(ids: &[usize], types: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    ids.iter().map(|&i| (i, rng.random_range(0..types))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_topology::builders::omega;
+
+    #[test]
+    fn snapshot_is_reproducible() {
+        let net = omega(8).unwrap();
+        let mut r1 = trial_rng(1, 5);
+        let mut r2 = trial_rng(1, 5);
+        let s1 = random_snapshot(&net, 4, 4, 1, &mut r1);
+        let s2 = random_snapshot(&net, 4, 4, 1, &mut r2);
+        assert_eq!(s1.requesting, s2.requesting);
+        assert_eq!(s1.free, s2.free);
+        assert_eq!(s1.circuits.occupied_count(), s2.circuits.occupied_count());
+    }
+
+    #[test]
+    fn snapshot_respects_disjointness() {
+        let net = omega(8).unwrap();
+        for trial in 0..50 {
+            let mut rng = trial_rng(2, trial);
+            let s = random_snapshot(&net, 3, 3, 2, &mut rng);
+            assert!(s.requesting.len() <= 3);
+            assert!(s.free.len() <= 3);
+            // Requesting processors have free exit links (they hold no
+            // pre-established circuit).
+            for &p in &s.requesting {
+                let l = net.processor_link(p).unwrap();
+                assert!(s.circuits.is_free(l), "p{} holds a circuit", p + 1);
+            }
+            for &r in &s.free {
+                let l = net.resource_link(r).unwrap();
+                assert!(s.circuits.is_free(l), "r{} is connected", r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn different_trials_differ() {
+        let net = omega(8).unwrap();
+        let mut any_diff = false;
+        let mut prev: Option<Vec<usize>> = None;
+        for trial in 0..10 {
+            let mut rng = trial_rng(3, trial);
+            let s = random_snapshot(&net, 4, 4, 0, &mut rng);
+            if let Some(p) = &prev {
+                any_diff |= *p != s.requesting;
+            }
+            prev = Some(s.requesting);
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_inverse_rate() {
+        let mut rng = trial_rng(4, 0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn levels_and_types_in_range() {
+        let mut rng = trial_rng(5, 0);
+        let ids = vec![0, 3, 5];
+        for (_, lvl) in random_levels(&ids, 10, &mut rng) {
+            assert!((1..=10).contains(&lvl));
+        }
+        for (_, ty) in random_types(&ids, 3, &mut rng) {
+            assert!(ty < 3);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Static analysis of interconnection networks.
+//!
+//! The survey metrics a network designer compares topologies by (Feng
+//! \[16\], which the paper's introduction leans on): hardware complexity
+//! (boxes, links, crosspoints, legal switch states), path structure
+//! (distance, path multiplicity), and blocking character (nonblocking /
+//! rearrangeable / blocking, estimated from exact permutation routing).
+
+use crate::circuit::CircuitState;
+use crate::network::Network;
+use crate::routing;
+use crate::switchbox::Switchbox;
+
+/// Blocking classification of a topology under full permutation traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingClass {
+    /// Every sampled permutation routed greedily one pair at a time in
+    /// every sampled order (a stronger-than-rearrangeable observation; a
+    /// crossbar is the canonical member).
+    ApparentlyNonblocking,
+    /// Every sampled permutation routable from an empty network
+    /// (rearrangeable, like the Benes network).
+    ApparentlyRearrangeable,
+    /// Some sampled permutation cannot be routed at all (a blocking
+    /// network, like every single-path banyan).
+    Blocking,
+}
+
+/// The report card of one topology.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Topology name.
+    pub name: String,
+    /// Processors / resources.
+    pub ports: (usize, usize),
+    /// Switchbox count.
+    pub boxes: usize,
+    /// Stage count.
+    pub stages: usize,
+    /// Directed link count.
+    pub links: usize,
+    /// Total crosspoints (Σ inputs×outputs over boxes) — the hardware cost
+    /// a crossbar comparison is made against.
+    pub crosspoints: usize,
+    /// Σ log2(legal switch settings) over boxes — the network's control
+    /// state in bits.
+    pub control_bits: f64,
+    /// Shortest/longest processor→resource path length in links.
+    pub path_length: (usize, usize),
+    /// Min/max number of distinct paths over all (p, r) pairs.
+    pub path_multiplicity: (usize, usize),
+    /// Fraction of sampled permutations routable from an empty network.
+    pub admissibility: f64,
+    /// Blocking classification.
+    pub class: BlockingClass,
+}
+
+/// Analyze a network (samples `perm_samples` permutations with `seed`).
+pub fn analyze(net: &Network, perm_samples: usize, seed: u64) -> NetworkReport {
+    let cs = CircuitState::new(net);
+    let mut crosspoints = 0usize;
+    let mut control_bits = 0.0f64;
+    for b in 0..net.num_boxes() {
+        let spec = net.box_spec(b);
+        crosspoints += spec.inputs * spec.outputs;
+        control_bits += (Switchbox::num_legal_settings(spec.inputs, spec.outputs) as f64).log2();
+    }
+    let mut shortest = usize::MAX;
+    let mut longest = 0usize;
+    let mut multi_min = usize::MAX;
+    let mut multi_max = 0usize;
+    for p in 0..net.num_processors() {
+        for r in 0..net.num_resources() {
+            let paths = routing::enumerate_paths(&cs, p, r);
+            multi_min = multi_min.min(paths.len());
+            multi_max = multi_max.max(paths.len());
+            for path in &paths {
+                shortest = shortest.min(path.len());
+                longest = longest.max(path.len());
+            }
+        }
+    }
+    if shortest == usize::MAX {
+        shortest = 0;
+    }
+    let admissibility = routing::permutation_admissibility(&cs, perm_samples, seed);
+    let class = if admissibility < 1.0 {
+        BlockingClass::Blocking
+    } else if greedy_nonblocking_probe(&cs, perm_samples.min(10), seed) {
+        BlockingClass::ApparentlyNonblocking
+    } else {
+        BlockingClass::ApparentlyRearrangeable
+    };
+    NetworkReport {
+        name: net.name().to_string(),
+        ports: (net.num_processors(), net.num_resources()),
+        boxes: net.num_boxes(),
+        stages: net.num_stages(),
+        links: net.num_links(),
+        crosspoints,
+        control_bits,
+        path_length: (shortest, longest),
+        path_multiplicity: (if multi_min == usize::MAX { 0 } else { multi_min }, multi_max),
+        admissibility,
+        class,
+    }
+}
+
+/// Probe for nonblocking behaviour: serve sampled permutations pair by
+/// pair, greedily (first enumerated path), never backtracking. True if no
+/// pair ever blocks — the defining behaviour of a nonblocking network.
+fn greedy_nonblocking_probe(cs: &CircuitState, samples: usize, seed: u64) -> bool {
+    let n = cs.network().num_processors();
+    if n != cs.network().num_resources() {
+        return false;
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..samples {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut scratch = cs.clone();
+        for (p, &r) in perm.iter().enumerate() {
+            match scratch.find_path(p, r) {
+                Some(path) => {
+                    scratch.establish(&path).expect("free path");
+                }
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{benes, crossbar, gamma, omega};
+
+    #[test]
+    fn omega_report() {
+        let net = omega(8).unwrap();
+        let r = analyze(&net, 40, 1);
+        assert_eq!(r.ports, (8, 8));
+        assert_eq!(r.boxes, 12);
+        assert_eq!(r.stages, 3);
+        assert_eq!(r.links, 32);
+        assert_eq!(r.crosspoints, 48);
+        // 12 boxes x log2(7 legal settings of a 2x2 crossbar).
+        assert!((r.control_bits - 12.0 * 7f64.log2()).abs() < 1e-9);
+        assert_eq!(r.path_length, (4, 4));
+        assert_eq!(r.path_multiplicity, (1, 1));
+        assert_eq!(r.class, BlockingClass::Blocking);
+        assert!(r.admissibility > 0.0 && r.admissibility < 1.0);
+    }
+
+    #[test]
+    fn benes_is_rearrangeable() {
+        let net = benes(8).unwrap();
+        let r = analyze(&net, 25, 2);
+        assert_eq!(r.admissibility, 1.0);
+        // Benes blocks under greedy pair-by-pair service, so it must be
+        // classified rearrangeable, not nonblocking.
+        assert_eq!(r.class, BlockingClass::ApparentlyRearrangeable);
+        assert_eq!(r.path_multiplicity.0, 4); // 2^(n-1) paths in benes-8
+    }
+
+    #[test]
+    fn crossbar_is_nonblocking() {
+        let net = crossbar(6, 6).unwrap();
+        let r = analyze(&net, 20, 3);
+        assert_eq!(r.class, BlockingClass::ApparentlyNonblocking);
+        assert_eq!(r.crosspoints, 36);
+        assert_eq!(r.path_length, (2, 2));
+    }
+
+    #[test]
+    fn gamma_has_multipath_structure() {
+        let net = gamma(8).unwrap();
+        let r = analyze(&net, 15, 4);
+        assert!(r.path_multiplicity.1 > 1);
+        assert!(r.path_multiplicity.0 >= 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Wiring permutations used by the MIN builders.
+//!
+//! All functions operate on `n`-bit line indices `0..2^n` and are their own
+//! documentation of the classic interconnection patterns: the perfect
+//! shuffle (Stone), its inverse, bit reversal, the exchange (cube-k)
+//! permutation, and the bit-relocation maps used to express bit-controlled
+//! banyan networks (cube, indirect binary n-cube) in a uniform framework.
+
+/// Perfect shuffle on `n`-bit indices: rotate the bits left by one
+/// (`b_{n-1} b_{n-2} … b_0 → b_{n-2} … b_0 b_{n-1}`).
+pub fn perfect_shuffle(x: usize, n: u32) -> usize {
+    debug_assert!(n > 0 && x < (1 << n));
+    let mask = (1usize << n) - 1;
+    ((x << 1) | (x >> (n - 1))) & mask
+}
+
+/// Inverse perfect shuffle: rotate the bits right by one.
+pub fn inverse_shuffle(x: usize, n: u32) -> usize {
+    debug_assert!(n > 0 && x < (1 << n));
+    let lsb = x & 1;
+    (x >> 1) | (lsb << (n - 1))
+}
+
+/// The cube-k (exchange) permutation: complement bit `k`.
+pub fn cube(x: usize, k: u32) -> usize {
+    x ^ (1 << k)
+}
+
+/// Reverse the low `n` bits of `x`.
+pub fn bit_reversal(x: usize, n: u32) -> usize {
+    let mut out = 0;
+    for i in 0..n {
+        if x & (1 << i) != 0 {
+            out |= 1 << (n - 1 - i);
+        }
+    }
+    out
+}
+
+/// Move bit `k` of `x` to the least-significant position, preserving the
+/// relative order of the other bits. Lines that differ only in bit `k` map
+/// to adjacent indices `2b` / `2b+1`, i.e. to the two ports of box `b` —
+/// the standard trick for laying out bit-controlled banyan stages.
+pub fn move_bit_to_lsb(x: usize, k: u32) -> usize {
+    let low = x & ((1usize << k) - 1);
+    let bit = (x >> k) & 1;
+    let high = x >> (k + 1);
+    (high << (k + 1)) | (low << 1) | bit
+}
+
+/// Inverse of [`move_bit_to_lsb`].
+pub fn move_lsb_to_bit(x: usize, k: u32) -> usize {
+    let bit = x & 1;
+    let rest = x >> 1;
+    let low = rest & ((1usize << k) - 1);
+    let high = rest >> k;
+    (high << (k + 1)) | (bit << k) | low
+}
+
+/// Inverse shuffle restricted to aligned blocks of size `2^bits` (the
+/// baseline network's inter-stage pattern).
+pub fn block_inverse_shuffle(x: usize, block_bits: u32) -> usize {
+    let block = x >> block_bits << block_bits;
+    let offset = x - block;
+    block + inverse_shuffle(offset, block_bits)
+}
+
+/// Perfect shuffle restricted to aligned blocks of size `2^bits` (the
+/// gathering pattern of the Benes network's back half).
+pub fn block_perfect_shuffle(x: usize, block_bits: u32) -> usize {
+    let block = x >> block_bits << block_bits;
+    let offset = x - block;
+    block + perfect_shuffle(offset, block_bits)
+}
+
+/// `a`-ary perfect shuffle on `0..a^digits`: rotate the base-`a` digits
+/// left by one. For `a = 2` this is [`perfect_shuffle`]. Used by the delta
+/// network builder.
+pub fn ary_shuffle(x: usize, a: usize, digits: u32) -> usize {
+    let size = a.pow(digits);
+    debug_assert!(x < size);
+    (x * a) % size + (x * a) / size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_roundtrip() {
+        for n in 1..6u32 {
+            for x in 0..(1usize << n) {
+                assert_eq!(inverse_shuffle(perfect_shuffle(x, n), n), x);
+                assert_eq!(perfect_shuffle(inverse_shuffle(x, n), n), x);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_known_values() {
+        // n = 3: shuffle(1) = 2, shuffle(4) = 1 (100 -> 001).
+        assert_eq!(perfect_shuffle(1, 3), 2);
+        assert_eq!(perfect_shuffle(4, 3), 1);
+        assert_eq!(perfect_shuffle(7, 3), 7);
+        assert_eq!(perfect_shuffle(0, 3), 0);
+    }
+
+    #[test]
+    fn cube_is_involution() {
+        for k in 0..4 {
+            for x in 0..16 {
+                assert_eq!(cube(cube(x, k), k), x);
+                assert_ne!(cube(x, k), x);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_involution_and_values() {
+        for n in 1..6u32 {
+            for x in 0..(1usize << n) {
+                assert_eq!(bit_reversal(bit_reversal(x, n), n), x);
+            }
+        }
+        assert_eq!(bit_reversal(0b001, 3), 0b100);
+        assert_eq!(bit_reversal(0b110, 3), 0b011);
+    }
+
+    #[test]
+    fn move_bit_roundtrip() {
+        for k in 0..4u32 {
+            for x in 0..32usize {
+                assert_eq!(move_lsb_to_bit(move_bit_to_lsb(x, k), k), x);
+            }
+        }
+    }
+
+    #[test]
+    fn move_bit_pairs_partners_adjacently() {
+        // Lines differing only in bit k become 2b and 2b+1.
+        for k in 0..4u32 {
+            for x in 0..16usize {
+                let a = move_bit_to_lsb(x, k);
+                let b = move_bit_to_lsb(cube(x, k), k);
+                assert_eq!(a >> 1, b >> 1, "same box");
+                assert_eq!((a & 1) ^ 1, b & 1, "opposite ports");
+            }
+        }
+    }
+
+    #[test]
+    fn move_bit_zero_is_identity() {
+        for x in 0..32usize {
+            assert_eq!(move_bit_to_lsb(x, 0), x);
+        }
+    }
+
+    #[test]
+    fn block_inverse_shuffle_stays_in_block() {
+        for x in 0..16usize {
+            let y = block_inverse_shuffle(x, 2);
+            assert_eq!(x >> 2, y >> 2, "block preserved");
+        }
+        // Within block of 4: 0->0, 1->2, 2->1, 3->3.
+        assert_eq!(block_inverse_shuffle(5, 2), 6);
+        assert_eq!(block_inverse_shuffle(6, 2), 5);
+    }
+
+    #[test]
+    fn block_perfect_shuffle_inverts_block_inverse() {
+        for bits in 1..4u32 {
+            for x in 0..16usize {
+                assert_eq!(block_perfect_shuffle(block_inverse_shuffle(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn ary_shuffle_generalizes_binary() {
+        for x in 0..8usize {
+            assert_eq!(ary_shuffle(x, 2, 3), perfect_shuffle(x, 3));
+        }
+        // Base 3, 2 digits: x = 3a+b -> 3b+a.
+        assert_eq!(ary_shuffle(5, 3, 2), 7); // 12_3 -> 21_3
+        assert_eq!(ary_shuffle(8, 3, 2), 8); // 22_3 fixed
+        // It is a permutation.
+        let image: std::collections::HashSet<_> = (0..27).map(|x| ary_shuffle(x, 3, 3)).collect();
+        assert_eq!(image.len(), 27);
+    }
+
+    #[test]
+    fn all_are_permutations() {
+        use std::collections::HashSet;
+        let n = 4u32;
+        let size = 1usize << n;
+        let funcs: Vec<Box<dyn Fn(usize) -> usize>> = vec![
+            Box::new(move |x| perfect_shuffle(x, n)),
+            Box::new(move |x| inverse_shuffle(x, n)),
+            Box::new(move |x| bit_reversal(x, n)),
+            Box::new(move |x| cube(x, 2)),
+            Box::new(move |x| move_bit_to_lsb(x, 2)),
+            Box::new(move |x| block_inverse_shuffle(x, 3)),
+        ];
+        for f in funcs {
+            let image: HashSet<_> = (0..size).map(&f).collect();
+            assert_eq!(image.len(), size);
+        }
+    }
+}

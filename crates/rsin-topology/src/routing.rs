@@ -1,0 +1,227 @@
+//! Path enumeration and permutation routing.
+//!
+//! Utilities over a [`CircuitState`]: enumerate *all* simple free paths
+//! between a processor and a resource (redundant-path networks such as the
+//! gamma/ADM family or the Benes network have several), and attempt to
+//! route an entire permutation — the classical admissibility question for
+//! MINs ("Omega passes the shuffle but not every permutation; Benes passes
+//! all of them"). Permutation routing uses backtracking over the
+//! enumerated paths, which is exact (if a routing exists it is found) and
+//! practical for the network sizes the paper studies.
+
+use crate::circuit::CircuitState;
+use crate::network::{LinkId, NodeRef};
+
+/// Enumerate every simple free path from processor `p` to resource `r`.
+///
+/// Networks are loop-free (validated at build time), so simple-path
+/// enumeration is a straightforward DFS.
+pub fn enumerate_paths(cs: &CircuitState, p: usize, r: usize) -> Vec<Vec<LinkId>> {
+    let net = cs.network();
+    let Some(start) = net.processor_link(p) else {
+        return Vec::new();
+    };
+    if !cs.is_free(start) {
+        return Vec::new();
+    }
+    fn recurse(cs: &CircuitState, r: usize, path: &mut Vec<LinkId>, out: &mut Vec<Vec<LinkId>>) {
+        let net = cs.network();
+        let last = *path.last().unwrap();
+        match net.link(last).dst {
+            NodeRef::Resource(dst) => {
+                if dst == r {
+                    out.push(path.clone());
+                }
+            }
+            NodeRef::Box(b) => {
+                for next in net.out_links(NodeRef::Box(b)) {
+                    if cs.is_free(next) {
+                        path.push(next);
+                        recurse(cs, r, path, out);
+                        path.pop();
+                    }
+                }
+            }
+            NodeRef::Processor(_) => unreachable!("links never end at processors"),
+        }
+    }
+    let mut out = Vec::new();
+    let mut path = vec![start];
+    recurse(cs, r, &mut path, &mut out);
+    out
+}
+
+/// Number of distinct free paths between every (processor, resource) pair;
+/// `matrix[p][r]`. A banyan network has all-ones on a free network.
+pub fn path_count_matrix(cs: &CircuitState) -> Vec<Vec<usize>> {
+    let net = cs.network();
+    (0..net.num_processors())
+        .map(|p| (0..net.num_resources()).map(|r| enumerate_paths(cs, p, r).len()).collect())
+        .collect()
+}
+
+/// Try to route the full permutation `perm` (processor `i` → resource
+/// `perm[i]`) with link-disjoint circuits on the *current* free links.
+///
+/// Returns one path per processor on success, `None` when the permutation
+/// is not admissible. Exact backtracking search.
+///
+/// ```
+/// use rsin_topology::{builders::benes, CircuitState, routing};
+/// let net = benes(4).unwrap();
+/// let cs = CircuitState::new(&net);
+/// // Benes is rearrangeable: any permutation routes.
+/// assert!(routing::route_permutation(&cs, &[3, 2, 1, 0]).is_some());
+/// ```
+pub fn route_permutation(cs: &CircuitState, perm: &[usize]) -> Option<Vec<Vec<LinkId>>> {
+    let net = cs.network();
+    assert_eq!(perm.len(), net.num_processors(), "perm must cover all processors");
+    let mut scratch = cs.clone();
+
+    fn go(
+        scratch: &mut CircuitState,
+        perm: &[usize],
+        i: usize,
+        acc: &mut Vec<Vec<LinkId>>,
+    ) -> bool {
+        if i == perm.len() {
+            return true;
+        }
+        for path in enumerate_paths(scratch, i, perm[i]) {
+            let c = scratch.establish(&path).expect("enumerated path is free");
+            acc.push(path);
+            if go(scratch, perm, i + 1, acc) {
+                return true;
+            }
+            acc.pop();
+            scratch.release(c).unwrap();
+        }
+        false
+    }
+
+    let mut acc = Vec::with_capacity(perm.len());
+    go(&mut scratch, perm, 0, &mut acc).then_some(acc)
+}
+
+/// Fraction of a sample of permutations that the network can route
+/// (sampled deterministically from `seed` by a splitmix-style generator).
+pub fn permutation_admissibility(cs: &CircuitState, samples: usize, seed: u64) -> f64 {
+    let n = cs.network().num_processors();
+    if samples == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut ok = 0usize;
+    for _ in 0..samples {
+        // Fisher-Yates permutation.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        if route_permutation(cs, &perm).is_some() {
+            ok += 1;
+        }
+    }
+    ok as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{benes, crossbar, gamma, omega};
+
+    #[test]
+    fn omega_has_unique_paths() {
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let m = path_count_matrix(&cs);
+        assert!(m.iter().all(|row| row.iter().all(|&c| c == 1)));
+    }
+
+    #[test]
+    fn gamma_has_redundant_paths() {
+        let net = gamma(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let m = path_count_matrix(&cs);
+        // At least one pair has more than one path (the point of gamma).
+        assert!(m.iter().flatten().any(|&c| c > 1));
+        // And every pair has at least one.
+        assert!(m.iter().flatten().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn omega_routes_identity_and_uniform_shift() {
+        // Lawrie: the Omega network passes the identity and all uniform
+        // shifts (the access patterns it was designed for).
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let identity: Vec<usize> = (0..8).collect();
+        assert!(route_permutation(&cs, &identity).is_some());
+        for k in 1..8 {
+            let shift: Vec<usize> = (0..8).map(|x| (x + k) % 8).collect();
+            assert!(route_permutation(&cs, &shift).is_some(), "shift {k}");
+        }
+    }
+
+    #[test]
+    fn omega_rejects_some_permutation() {
+        // Omega-8 passes only 2^12 of 8! permutations; a transposition of
+        // neighbours sharing a first-stage box with conflicting targets is
+        // a classic counterexample. Search for any inadmissible one.
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let frac = permutation_admissibility(&cs, 60, 7);
+        assert!(frac < 1.0, "omega must reject some sampled permutation ({frac})");
+        assert!(frac > 0.0, "omega must route some sampled permutation ({frac})");
+    }
+
+    #[test]
+    fn benes_routes_every_sampled_permutation() {
+        // Rearrangeability of the Benes network.
+        let net = benes(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let frac = permutation_admissibility(&cs, 40, 11);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn crossbar_routes_everything() {
+        let net = crossbar(6, 6).unwrap();
+        let cs = CircuitState::new(&net);
+        let frac = permutation_admissibility(&cs, 30, 13);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn routed_permutation_is_link_disjoint() {
+        let net = benes(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let perm = vec![3, 1, 4, 0, 5, 7, 2, 6];
+        let paths = route_permutation(&cs, &perm).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for path in &paths {
+            for l in path {
+                assert!(seen.insert(*l), "link shared between circuits");
+            }
+        }
+        assert_eq!(paths.len(), 8);
+    }
+
+    #[test]
+    fn occupied_links_block_permutations() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        cs.connect(0, 0).unwrap();
+        let identity: Vec<usize> = (0..8).collect();
+        // p1's only exit is taken, so the identity cannot be routed anew.
+        assert!(route_permutation(&cs, &identity).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests over the topology substrate.
+
+use proptest::prelude::*;
+use rsin_topology::builders;
+use rsin_topology::routing;
+use rsin_topology::{CircuitState, Switchbox};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every builder yields a full-access network at any power-of-two size.
+    #[test]
+    fn builders_full_access(bits in 1u32..5, which in 0usize..6) {
+        let n = 1usize << bits;
+        let net = match which {
+            0 => builders::omega(n),
+            1 => builders::baseline(n),
+            2 => builders::generalized_cube(n),
+            3 => builders::indirect_cube(n),
+            4 => builders::benes(n),
+            _ => builders::gamma(n),
+        };
+        // Some builders need n >= 4 (dilated/others); all here accept n >= 2.
+        let net = net.unwrap();
+        let cs = CircuitState::new(&net);
+        for p in 0..n {
+            for r in 0..n {
+                prop_assert!(cs.find_path(p, r).is_some(), "{} p{} r{}", net.name(), p, r);
+            }
+        }
+    }
+
+    /// enumerate_paths agrees with find_path on reachability, and each
+    /// enumerated path is establishable.
+    #[test]
+    fn enumerated_paths_are_real(seed in 0u64..200) {
+        let net = builders::gamma(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        // Random occupancy.
+        let p0 = (seed % 8) as usize;
+        let r0 = ((seed / 8) % 8) as usize;
+        let _ = cs.connect(p0, r0);
+        for p in 0..8 {
+            for r in 0..8 {
+                let paths = routing::enumerate_paths(&cs, p, r);
+                prop_assert_eq!(paths.is_empty(), cs.find_path(p, r).is_none());
+                for path in paths.iter().take(3) {
+                    let mut scratch = cs.clone();
+                    let c = scratch.establish(path);
+                    prop_assert!(c.is_ok());
+                }
+            }
+        }
+    }
+
+    /// Switchbox connect/disconnect keeps the nonbroadcast invariant under
+    /// arbitrary operation sequences.
+    #[test]
+    fn switchbox_invariant(ops in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 0..40)) {
+        let mut b = Switchbox::new(4, 4);
+        for (i, o, connect) in ops {
+            if connect {
+                let _ = b.connect(i, o);
+            } else {
+                b.disconnect_input(i);
+            }
+            prop_assert!(b.is_legal());
+        }
+    }
+
+    /// Permutation routing results are always link-disjoint and correctly
+    /// paired, whatever the permutation.
+    #[test]
+    fn routed_permutations_are_valid(perm in Just(()).prop_flat_map(|_| {
+        proptest::sample::subsequence((0..8usize).collect::<Vec<_>>(), 8)
+    }), seed in 0u64..50) {
+        let _ = seed;
+        // `subsequence` of all 8 elements is the identity; shuffle instead.
+        let mut p: Vec<usize> = perm;
+        // Simple deterministic shuffle from seed.
+        let mut st = seed.wrapping_add(1);
+        for i in (1..p.len()).rev() {
+            st ^= st << 13; st ^= st >> 7; st ^= st << 17;
+            p.swap(i, (st % (i as u64 + 1)) as usize);
+        }
+        let net = builders::benes(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let routed = routing::route_permutation(&cs, &p).expect("benes is rearrangeable");
+        let mut seen = std::collections::HashSet::new();
+        for (i, path) in routed.iter().enumerate() {
+            // Endpoints correct.
+            let first = net.link(path[0]);
+            let last = net.link(*path.last().unwrap());
+            prop_assert_eq!(first.src, rsin_topology::NodeRef::Processor(i));
+            prop_assert_eq!(last.dst, rsin_topology::NodeRef::Resource(p[i]));
+            for l in path {
+                prop_assert!(seen.insert(*l));
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Watch the distributed architecture schedule: a clock-by-clock trace of
+//! the token-propagation engine and its status bus (Section IV).
+//!
+//! ```text
+//! cargo run -p rsin-examples --bin distributed_trace
+//! ```
+
+use rsin_core::model::ScheduleProblem;
+use rsin_distrib::TokenEngine;
+use rsin_examples::print_outcome;
+use rsin_topology::builders::generalized_cube;
+use rsin_topology::CircuitState;
+
+fn main() {
+    let net = generalized_cube(8).unwrap();
+    println!("distributed MRSIN: {}", net.summary());
+    let mut circuits = CircuitState::new(&net);
+    circuits.connect(0, 2).unwrap();
+    println!("pre-established: p1 -> r3\n");
+
+    let problem = ScheduleProblem::homogeneous(&circuits, &[1, 2, 3, 4], &[0, 3, 5, 7]);
+    println!("requests: p2 p3 p4 p5; free: r1 r4 r6 r8\n");
+    let report = TokenEngine::run(&problem);
+
+    println!("status-bus trace (wire-OR of all RQ/RS/NS status registers):");
+    println!("{:>6}  {:<9}  phase", "clock", "bus");
+    for t in &report.trace {
+        println!("{:>6}  {:<9}  {}", t.clock, t.vector, t.phase);
+    }
+    println!(
+        "\n{} iterations of (request tokens -> resource tokens -> registration),",
+        report.iterations
+    );
+    println!("{} clock periods total — gate delays, not instructions.\n", report.clocks);
+    println!("final bonded circuits:");
+    print_outcome(&net, &report.outcome);
+    println!(
+        "\nno token carried an address: each processor only learned *that* it was\n\
+         bonded; the circuit itself is the binding."
+    );
+}

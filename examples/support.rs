@@ -1,0 +1,25 @@
+//! Shared pretty-printing helpers for the runnable examples.
+
+use rsin_core::mapping::Assignment;
+use rsin_core::model::ScheduleOutcome;
+use rsin_topology::Network;
+
+/// Print an outcome as `(pX, rY)` pairs with path lengths.
+pub fn print_outcome(net: &Network, outcome: &ScheduleOutcome) {
+    let mut rows: Vec<&Assignment> = outcome.assignments.iter().collect();
+    rows.sort_by_key(|a| a.processor);
+    for a in rows {
+        println!(
+            "  p{:<2} -> r{:<2}  ({} links through {})",
+            a.processor + 1,
+            a.resource + 1,
+            a.path.len(),
+            net.name()
+        );
+    }
+    if !outcome.blocked.is_empty() {
+        let blocked: Vec<String> =
+            outcome.blocked.iter().map(|p| format!("p{}", p + 1)).collect();
+        println!("  blocked: {}", blocked.join(", "));
+    }
+}

@@ -1,0 +1,53 @@
+//! Topology zoo: build any implemented network, print its survey card and
+//! a Graphviz DOT rendering.
+//!
+//! ```text
+//! cargo run -p rsin-examples --bin topology_zoo -- omega-8
+//! cargo run -p rsin-examples --bin topology_zoo -- benes-8 --dot > benes.dot
+//! ```
+
+use rsin_topology::analysis::analyze;
+use rsin_topology::builders;
+use rsin_topology::Network;
+
+fn by_name(name: &str) -> Option<Network> {
+    let (kind, size) = name.rsplit_once('-')?;
+    let n: usize = size.parse().ok()?;
+    match kind {
+        "omega" => builders::omega(n).ok(),
+        "baseline" => builders::baseline(n).ok(),
+        "cube" => builders::generalized_cube(n).ok(),
+        "indirect-cube" => builders::indirect_cube(n).ok(),
+        "benes" => builders::benes(n).ok(),
+        "gamma" => builders::gamma(n).ok(),
+        "adm" => builders::data_manipulator(n).ok(),
+        "crossbar" => builders::crossbar(n, n).ok(),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "omega-8".into());
+    let want_dot = args.any(|a| a == "--dot");
+    let Some(net) = by_name(&name) else {
+        eprintln!(
+            "unknown topology '{name}'; try omega-8, baseline-8, cube-8, \
+             indirect-cube-8, benes-8, gamma-8, adm-8, crossbar-8"
+        );
+        std::process::exit(1);
+    };
+    if want_dot {
+        print!("{}", net.to_dot());
+        return;
+    }
+    println!("{}", net.summary());
+    let r = analyze(&net, 30, 1);
+    println!("  crosspoints        : {}", r.crosspoints);
+    println!("  control state      : {:.0} bits", r.control_bits);
+    println!("  path length        : {}..{} links", r.path_length.0, r.path_length.1);
+    println!("  paths per pair     : {}..{}", r.path_multiplicity.0, r.path_multiplicity.1);
+    println!("  perm admissibility : {:.0}%", 100.0 * r.admissibility);
+    println!("  blocking class     : {:?}", r.class);
+    println!("\n(run with --dot for a Graphviz rendering)");
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
+use rsin_sim::workload::{random_snapshot, trial_rng, Snapshot};
+use rsin_topology::Network;
+
+/// A random homogeneous scheduling snapshot (re-exported convenience).
+pub fn snapshot(net: &Network, seed: u64, trial: u64, k: usize, occupied: usize) -> Snapshot<'_> {
+    let mut rng = trial_rng(seed, trial);
+    random_snapshot(net, k, k, occupied, &mut rng)
+}
+
+/// Attach random priorities / preferences / types to a snapshot.
+pub fn problem_with_attrs<'a, 'n>(
+    snap: &'a Snapshot<'n>,
+    levels: u32,
+    types: usize,
+    rng: &mut StdRng,
+) -> ScheduleProblem<'a, 'n> {
+    ScheduleProblem {
+        circuits: &snap.circuits,
+        requests: snap
+            .requesting
+            .iter()
+            .map(|&p| ScheduleRequest {
+                processor: p,
+                priority: rng.random_range(1..=levels),
+                resource_type: rng.random_range(0..types),
+            })
+            .collect(),
+        free: snap
+            .free
+            .iter()
+            .map(|&r| FreeResource {
+                resource: r,
+                preference: rng.random_range(1..=levels),
+                resource_type: rng.random_range(0..types),
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-checks between independent implementations of the same optimum:
+//! exhaustive search vs flow-based schedulers, SSP vs out-of-kilter,
+//! LP multicommodity vs exhaustive on typed instances.
+
+use rsin_core::mapping::verify;
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{
+    ExhaustiveScheduler, MaxFlowScheduler, MinCostScheduler, MultiCommodityScheduler, Scheduler,
+};
+use rsin_flow::min_cost::Algorithm as McAlgo;
+use rsin_integration::{problem_with_attrs, snapshot};
+use rsin_sim::workload::trial_rng;
+use rsin_topology::builders::{baseline, generalized_cube, omega};
+
+#[test]
+fn max_flow_matches_exhaustive_cardinality() {
+    let nets = [omega(8).unwrap(), baseline(8).unwrap(), generalized_cube(8).unwrap()];
+    for net in &nets {
+        for trial in 0..25 {
+            let snap = snapshot(net, 21, trial, 4, 1);
+            let problem =
+                ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+            let opt = MaxFlowScheduler::default().schedule(&problem);
+            let truth = ExhaustiveScheduler::default().schedule(&problem);
+            assert_eq!(
+                opt.allocated(),
+                truth.allocated(),
+                "{} trial {trial}",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn min_cost_matches_exhaustive_cardinality_and_cost() {
+    let net = omega(8).unwrap();
+    for trial in 0..25 {
+        let snap = snapshot(&net, 22, trial, 3, 1);
+        let mut rng = trial_rng(1000, trial);
+        let problem = problem_with_attrs(&snap, 10, 1, &mut rng);
+        let truth = ExhaustiveScheduler::default().schedule(&problem);
+        for algo in McAlgo::ALL {
+            let out = MinCostScheduler::new(algo).schedule(&problem);
+            assert_eq!(out.allocated(), truth.allocated(), "trial {trial} {algo:?}");
+            assert_eq!(out.total_cost, truth.total_cost, "trial {trial} {algo:?}");
+            verify(&out.assignments, &problem).unwrap();
+        }
+    }
+}
+
+#[test]
+fn ssp_and_out_of_kilter_always_agree() {
+    let net = generalized_cube(8).unwrap();
+    for trial in 0..40 {
+        let snap = snapshot(&net, 23, trial, 5, 2);
+        let mut rng = trial_rng(2000, trial);
+        let problem = problem_with_attrs(&snap, 10, 1, &mut rng);
+        let a = MinCostScheduler::new(McAlgo::SuccessiveShortestPaths).schedule(&problem);
+        let b = MinCostScheduler::new(McAlgo::OutOfKilter).schedule(&problem);
+        assert_eq!(a.allocated(), b.allocated(), "trial {trial}");
+        assert_eq!(a.total_cost, b.total_cost, "trial {trial}");
+    }
+}
+
+#[test]
+fn multicommodity_matches_exhaustive_on_typed_instances() {
+    let net = omega(8).unwrap();
+    for trial in 0..20 {
+        let snap = snapshot(&net, 24, trial, 4, 0);
+        let mut rng = trial_rng(3000, trial);
+        let problem = problem_with_attrs(&snap, 1, 2, &mut rng);
+        let lp = MultiCommodityScheduler::default().schedule(&problem);
+        let truth = ExhaustiveScheduler::default().schedule(&problem);
+        assert_eq!(lp.allocated(), truth.allocated(), "trial {trial}");
+        verify(&lp.assignments, &problem).unwrap();
+    }
+}
+
+#[test]
+fn priority_scheduling_never_sacrifices_cardinality() {
+    // Theorem 3's crucial property, checked against the cost-free optimum.
+    let net = omega(8).unwrap();
+    for trial in 0..30 {
+        let snap = snapshot(&net, 25, trial, 5, 1);
+        let mut rng = trial_rng(4000, trial);
+        let priced = problem_with_attrs(&snap, 10, 1, &mut rng);
+        let plain =
+            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let with_cost = MinCostScheduler::default().schedule(&priced);
+        let without = MaxFlowScheduler::default().schedule(&plain);
+        assert_eq!(with_cost.allocated(), without.allocated(), "trial {trial}");
+    }
+}
+
+#[test]
+fn all_max_flow_algorithms_identical_outcome_counts() {
+    use rsin_flow::max_flow::Algorithm;
+    let net = baseline(8).unwrap();
+    for trial in 0..30 {
+        let snap = snapshot(&net, 26, trial, 6, 2);
+        let problem =
+            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let counts: Vec<usize> = Algorithm::ALL
+            .iter()
+            .map(|&a| MaxFlowScheduler::new(a).schedule(&problem).allocated())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "trial {trial}: {counts:?}");
+    }
+}
