@@ -16,8 +16,7 @@ fn bench_max_flow(c: &mut Criterion) {
         let net = omega(n).unwrap();
         let mut rng = trial_rng(1, n as u64);
         let snap = random_snapshot(&net, n / 2, n / 2, n / 8, &mut rng);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let transformed = homogeneous::transform(&problem);
         for algo in Algorithm::ALL {
             group.bench_with_input(

@@ -22,11 +22,19 @@ fn typed_problem<'a, 'n>(
         circuits: &snap.circuits,
         requests: req
             .iter()
-            .map(|&(p, ty)| ScheduleRequest { processor: p, priority: 1, resource_type: ty })
+            .map(|&(p, ty)| ScheduleRequest {
+                processor: p,
+                priority: 1,
+                resource_type: ty,
+            })
             .collect(),
         free: res
             .iter()
-            .map(|&(r, ty)| FreeResource { resource: r, preference: 1, resource_type: ty })
+            .map(|&(r, ty)| FreeResource {
+                resource: r,
+                preference: 1,
+                resource_type: ty,
+            })
             .collect(),
     }
 }
@@ -44,7 +52,13 @@ fn bench_multicommodity(c: &mut Criterion) {
             &problem,
             |b, p| {
                 let t = transform_max(p);
-                b.iter(|| black_box(multicommodity::max_flow(&t.flow, &t.commodities).unwrap().objective))
+                b.iter(|| {
+                    black_box(
+                        multicommodity::max_flow(&t.flow, &t.commodities)
+                            .unwrap()
+                            .objective,
+                    )
+                })
             },
         );
         group.bench_with_input(

@@ -4,11 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{
-    GreedyScheduler, MatchingScheduler, MaxFlowScheduler, MinCostScheduler, RequestOrder,
-    Scheduler,
+    GreedyScheduler, MatchingScheduler, MaxFlowScheduler, MinCostScheduler, RequestOrder, Scheduler,
 };
-use rsin_topology::builders::crossbar;
 use rsin_sim::workload::{random_snapshot, trial_rng};
+use rsin_topology::builders::crossbar;
 use rsin_topology::builders::omega;
 use std::hint::black_box;
 
@@ -26,8 +25,7 @@ fn bench_schedulers(c: &mut Criterion) {
         let net = omega(n).unwrap();
         let mut rng = trial_rng(4, n as u64);
         let snap = random_snapshot(&net, n / 2, n / 2, n / 8, &mut rng);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         for (name, s) in &schedulers {
             group.bench_with_input(BenchmarkId::new(*name, n), &problem, |b, p| {
                 b.iter(|| black_box(s.schedule(p).allocated()))
@@ -45,8 +43,7 @@ fn bench_crossbar_fast_path(c: &mut Criterion) {
         let net = crossbar(n, n).unwrap();
         let mut rng = trial_rng(14, n as u64);
         let snap = random_snapshot(&net, n / 2, n / 2, 2, &mut rng);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &problem, |b, p| {
             b.iter(|| black_box(MatchingScheduler.schedule(p).allocated()))
         });

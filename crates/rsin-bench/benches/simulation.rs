@@ -18,7 +18,13 @@ fn bench_blocking_batch(c: &mut Criterion) {
         seed: 6,
     };
     c.bench_function("blocking_100_trials_omega8", |b| {
-        b.iter(|| black_box(run_blocking(&net, &MaxFlowScheduler::default(), &cfg).blocking.mean))
+        b.iter(|| {
+            black_box(
+                run_blocking(&net, &MaxFlowScheduler::default(), &cfg)
+                    .blocking
+                    .mean,
+            )
+        })
     });
 }
 
@@ -34,7 +40,13 @@ fn bench_dynamic(c: &mut Criterion) {
         types: 1,
     };
     c.bench_function("dynamic_200tu_omega8", |b| {
-        b.iter(|| black_box(SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default()).completed))
+        b.iter(|| {
+            black_box(
+                SystemSim::new(&net, cfg)
+                    .run(&MaxFlowScheduler::default())
+                    .completed,
+            )
+        })
     });
 }
 

@@ -11,6 +11,8 @@
 //! RSIN's flow-based scheduler (free to pick *any* free resource) should
 //! beat both.
 
+use rand::seq::SliceRandom;
+use rand::Rng;
 use rsin_bench::emit_table;
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{MaxFlowScheduler, Scheduler};
@@ -19,11 +21,12 @@ use rsin_sim::metrics::Sample;
 use rsin_sim::workload::trial_rng;
 use rsin_topology::builders::omega;
 use rsin_topology::CircuitState;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000u64);
     let n = 16usize;
     let stages = 4usize;
     let net = omega(n).unwrap();
@@ -78,8 +81,14 @@ fn main() {
             format!("{:.3} ±{:.3}", rsin.mean(), rsin.ci95_half_width()),
         ]);
     }
-    emit_table("analytic", 
-        &["input load p0", "Patel model", "simulated tag routing", "RSIN optimal"],
+    emit_table(
+        "analytic",
+        &[
+            "input load p0",
+            "Patel model",
+            "simulated tag routing",
+            "RSIN optimal",
+        ],
         &rows,
     );
     println!(

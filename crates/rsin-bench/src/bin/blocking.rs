@@ -18,7 +18,7 @@ use rsin_core::scheduler::{
     AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler,
 };
 use rsin_distrib::engine::DistributedScheduler;
-use rsin_sim::blocking::{run_blocking, BlockingConfig};
+use rsin_sim::blocking::{run_blocking_threads, BlockingConfig};
 use rsin_sim::metrics::Sample;
 
 fn main() {
@@ -26,13 +26,22 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(2000u64);
+    // Worker threads for each Monte-Carlo batch (arg 2). The statistics are
+    // bit-identical for any value; default to the host's parallelism.
+    let threads = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let optimal = MaxFlowScheduler::default();
     let distributed = DistributedScheduler;
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(7));
     let address = AddressMappedScheduler::new(7);
     let schedulers: Vec<&dyn Scheduler> = vec![&optimal, &distributed, &greedy, &address];
 
-    println!("BLOCK — mean blocking fraction, free network, {trials} trials per cell");
+    println!(
+        "BLOCK — mean blocking fraction, free network, {trials} trials per cell, \
+         {threads} worker thread(s)"
+    );
     println!("(requests = resources = k, drawn uniformly; denominator = min(x, y))\n");
     let mut rows = Vec::new();
     for net in standard_networks() {
@@ -48,7 +57,7 @@ fn main() {
                     occupied_circuits: 0,
                     seed: 100 + k as u64,
                 };
-                let st = run_blocking(&net, *s, &cfg);
+                let st = run_blocking_threads(&net, *s, &cfg, threads);
                 all.push(st.blocking.mean);
                 per_k.push(format!("{:.1}", 100.0 * st.blocking.mean));
             }
@@ -61,7 +70,8 @@ fn main() {
         }
         rows.push(vec![String::new(); 4]);
     }
-    emit_table("blocking", 
+    emit_table(
+        "blocking",
         &["network", "scheduler", "mean blocking", "per-k% (k=2..8)"],
         &rows,
     );

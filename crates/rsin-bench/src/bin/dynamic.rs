@@ -8,28 +8,45 @@
 
 use rsin_bench::{emit_table, network_by_name};
 use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
-use rsin_sim::system::{DynamicConfig, SystemSim};
+use rsin_sim::system::{run_sweep, DynamicConfig};
+
+const LOADS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
 fn main() {
-    let horizon = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3000.0f64);
+    let horizon = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3000.0f64);
+    let threads = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let net = network_by_name("omega-8").unwrap();
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(5));
     let schedulers: Vec<&dyn Scheduler> = vec![&optimal, &greedy];
-    println!("DYNAMIC — omega-8, horizon {horizon}, mean service 1.0, mean transmission 0.2\n");
+    println!(
+        "DYNAMIC — omega-8, horizon {horizon}, mean service 1.0, mean transmission 0.2, \
+         {threads} worker thread(s)\n"
+    );
+    let configs: Vec<DynamicConfig> = LOADS
+        .iter()
+        .map(|&load| DynamicConfig {
+            arrival_rate: load,
+            mean_transmission: 0.2,
+            mean_service: 1.0,
+            sim_time: horizon,
+            warmup: horizon * 0.1,
+            seed: 42,
+            types: 1,
+        })
+        .collect();
     let mut rows = Vec::new();
-    for load in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
-        for s in &schedulers {
-            let cfg = DynamicConfig {
-                arrival_rate: load,
-                mean_transmission: 0.2,
-                mean_service: 1.0,
-                sim_time: horizon,
-                warmup: horizon * 0.1,
-                seed: 42,
-                types: 1,
-            };
-            let stats = SystemSim::new(&net, cfg).run(*s);
+    // The whole load sweep runs in parallel per scheduler; row order (and
+    // every statistic) is independent of the thread count.
+    for s in &schedulers {
+        let sweep = run_sweep(&net, *s, &configs, threads);
+        for (load, stats) in LOADS.iter().zip(&sweep) {
             rows.push(vec![
                 format!("{load:.1}"),
                 s.name().to_string(),
@@ -41,8 +58,17 @@ fn main() {
             ]);
         }
     }
-    emit_table("dynamic", 
-        &["arrival rate", "scheduler", "utilization", "response", "queue", "cycle blocking", "completed"],
+    emit_table(
+        "dynamic",
+        &[
+            "arrival rate",
+            "scheduler",
+            "utilization",
+            "response",
+            "queue",
+            "cycle blocking",
+            "completed",
+        ],
         &rows,
     );
     println!(

@@ -16,7 +16,10 @@ use rsin_topology::builders::{omega_dilated, omega_extra_stage};
 use rsin_topology::Network;
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000u64);
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(9));
     println!(
@@ -45,7 +48,11 @@ fn main() {
             format!("{:+.2} pp", 100.0 * (h.blocking.mean - o.blocking.mean)),
         ]);
     }
-    emit_table("extra_stage", &["network", "optimal", "greedy", "gap"], &rows);
+    emit_table(
+        "extra_stage",
+        &["network", "optimal", "greedy", "gap"],
+        &rows,
+    );
     println!(
         "\npaper shape: with more alternate paths both schedulers approach zero \
          blocking and the optimal-vs-heuristic gap shrinks — \"finding an optimal \

@@ -8,6 +8,7 @@
 //! and the token engine remains exactly equivalent to it on the surviving
 //! topology.
 
+use rand::Rng;
 use rsin_bench::{emit_table, network_by_name, pct};
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
@@ -15,10 +16,12 @@ use rsin_distrib::TokenEngine;
 use rsin_sim::metrics::Sample;
 use rsin_sim::workload::trial_rng;
 use rsin_topology::{CircuitState, LinkId};
-use rand::Rng;
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1500u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1500u64);
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(17));
     println!("FAULTS — blocking vs injected faults (benes-8, 5 req / 5 res, {trials} trials)\n");
@@ -57,7 +60,11 @@ fn main() {
             if equal { "yes".into() } else { "NO".into() },
         ]);
     }
-    emit_table("faults", &["faulty links", "optimal", "greedy", "token == optimal"], &rows);
+    emit_table(
+        "faults",
+        &["faulty links", "optimal", "greedy", "token == optimal"],
+        &rows,
+    );
     println!(
         "\nshape: the redundant-path Benes degrades gracefully under the optimal\n\
          scheduler (faults are just missing arcs in the flow network), the greedy\n\

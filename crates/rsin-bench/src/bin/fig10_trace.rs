@@ -15,7 +15,12 @@ use rsin_topology::CircuitState;
 fn main() {
     println!("Table I — status bus bit assignment:");
     for e in Event::ALL {
-        println!("  bit {}: {:?} (driven by {})", e.bit(), e, e.associated_processes());
+        println!(
+            "  bit {}: {:?} (driven by {})",
+            e.bit(),
+            e,
+            e.associated_processes()
+        );
     }
 
     let net = omega(8).unwrap();
@@ -39,7 +44,10 @@ fn main() {
     );
     let vectors: Vec<&str> = report.trace.iter().map(|t| t.vector.as_str()).collect();
     for expected in ["111000x", "111001x", "110100x", "110110x"] {
-        assert!(vectors.contains(&expected), "missing paper vector {expected}");
+        assert!(
+            vectors.contains(&expected),
+            "missing paper vector {expected}"
+        );
     }
     println!("all four paper state vectors observed. reproduced.");
 }

@@ -19,17 +19,28 @@ fn main() {
     let mut cs = CircuitState::new(&net);
     cs.connect(1, 5).expect("p2 -> r6");
     cs.connect(3, 3).expect("p4 -> r4");
-    println!("pre-established circuits: p2->r6, p4->r4 ({} links occupied)", cs.occupied_count());
+    println!(
+        "pre-established circuits: p2->r6, p4->r4 ({} links occupied)",
+        cs.occupied_count()
+    );
 
     let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
     let out = MaxFlowScheduler::default().schedule(&problem);
     verify(&out.assignments, &problem).expect("valid mapping");
 
-    println!("\noptimal (max-flow) mapping — {} of 5 allocated:", out.allocated());
+    println!(
+        "\noptimal (max-flow) mapping — {} of 5 allocated:",
+        out.allocated()
+    );
     let mut rows = out.assignments.clone();
     rows.sort_by_key(|a| a.processor);
     for a in &rows {
-        println!("  (p{}, r{})  via {} links", a.processor + 1, a.resource + 1, a.path.len());
+        println!(
+            "  (p{}, r{})  via {} links",
+            a.processor + 1,
+            a.resource + 1,
+            a.path.len()
+        );
     }
 
     // The bad mapping from the text: p8 -> r8 becomes blocked.

@@ -35,7 +35,11 @@ fn main() {
     // Fig. 3(b): the augmenting path s-c-d-a-b-t exists; Dinic finds it.
     let r = solve(&mut g, s, t, Algorithm::Dinic);
     println!("\nFIG3(b): augmenting path s-c-d-a-b-t advanced (cancels a->d)");
-    println!("FIG3(c): final flow value {} (+{} from augmentation)", g.flow_value(s), r.value);
+    println!(
+        "FIG3(c): final flow value {} (+{} from augmentation)",
+        g.flow_value(s),
+        r.value
+    );
     assert_eq!(g.flow_value(s), 2);
     // a->d must have been cancelled.
     assert_eq!(g.arc(ad).flow, 0, "arc a->d cancelled");

@@ -31,7 +31,11 @@ fn main() {
         verify(&out.assignments, &problem).expect("valid");
         let mut rows = out.assignments.clone();
         rows.sort_by_key(|a| a.processor);
-        println!("\n{algo:?}: {} allocated, cost {}", out.allocated(), out.total_cost);
+        println!(
+            "\n{algo:?}: {} allocated, cost {}",
+            out.allocated(),
+            out.total_cost
+        );
         for a in &rows {
             println!("  (p{}, r{})", a.processor + 1, a.resource + 1);
         }
@@ -39,7 +43,11 @@ fn main() {
         // The chosen resources are the three most preferred: r1, r5, r7.
         let mut chosen: Vec<usize> = out.assignments.iter().map(|a| a.resource).collect();
         chosen.sort_unstable();
-        assert_eq!(chosen, vec![0, 4, 6], "highest-preference resources selected");
+        assert_eq!(
+            chosen,
+            vec![0, 4, 6],
+            "highest-preference resources selected"
+        );
     }
     println!(
         "\npaper: min-cost flow binds the requests to the selected (bold) paths, \

@@ -47,10 +47,15 @@ fn main() {
     let r4_t = g.add_arc(r4, t, 1, 0);
 
     // Initial flow: p1 -> 4 -> 7 -> r4 and p4 -> 5 -> 6 -> r1 (dashed in the figure).
-    for arc in [s_p1, a_p1_4, a_4_7, a_7_r4, r4_t, s_p4, a_p4_5, a_5_6, a_6_r1, r1_t] {
+    for arc in [
+        s_p1, a_p1_4, a_4_7, a_7_r4, r4_t, s_p4, a_p4_5, a_5_6, a_6_r1, r1_t,
+    ] {
         g.push(arc, 1);
     }
-    println!("FIG8(a): initial flow value {} — (p1,r4), (p4,r1); p2 blocked", g.flow_value(s));
+    println!(
+        "FIG8(a): initial flow value {} — (p1,r4), (p4,r1); p2 blocked",
+        g.flow_value(s)
+    );
 
     // Fig. 8(b): the layered network.
     let mut st = OpStats::new();
@@ -68,7 +73,11 @@ fn main() {
     println!("  includes the arc 6 -> 5 (cancelling the flow 5 -> 6), as in the paper");
 
     let add = solve(&mut g, s, t, Algorithm::Dinic);
-    println!("\naugmented by {}: final value {}", add.value, g.flow_value(s));
+    println!(
+        "\naugmented by {}: final value {}",
+        add.value,
+        g.flow_value(s)
+    );
     assert_eq!(g.flow_value(s), 3);
     println!("final mapping:");
     for p in decompose_unit_flow(&g, s, t, None) {

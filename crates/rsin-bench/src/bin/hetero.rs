@@ -9,13 +9,16 @@
 use rsin_bench::{emit_table, standard_networks};
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{MultiCommodityScheduler, Scheduler};
-use rsin_flow::multicommodity;
 use rsin_core::transform::hetero::transform_max;
+use rsin_flow::multicommodity;
 use rsin_sim::metrics::Sample;
 use rsin_sim::workload::{random_snapshot, random_types, trial_rng};
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200u64);
     println!("HETERO — multicommodity scheduling, {trials} trials per cell\n");
     let mut rows = Vec::new();
     for net in standard_networks() {
@@ -67,8 +70,15 @@ fn main() {
             ]);
         }
     }
-    emit_table("hetero", 
-        &["network", "types", "allocated (LP)", "type-demand bound", "LP integral"],
+    emit_table(
+        "hetero",
+        &[
+            "network",
+            "types",
+            "allocated (LP)",
+            "type-demand bound",
+            "LP integral",
+        ],
         &rows,
     );
     println!(

@@ -15,7 +15,10 @@ use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Sche
 use rsin_sim::blocking::{run_blocking, BlockingConfig};
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2000u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000u64);
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(3));
     let schedulers: Vec<&dyn Scheduler> = vec![&optimal, &greedy];
@@ -41,7 +44,11 @@ fn main() {
         }
         rows.push(vec![String::new(); 4]);
     }
-    emit_table("occupancy", &["network", "occupied circuits", "optimal", "greedy"], &rows);
+    emit_table(
+        "occupancy",
+        &["network", "occupied circuits", "optimal", "greedy"],
+        &rows,
+    );
     println!(
         "\npaper shape: blocking grows with load for both; the optimal scheduler \
          degrades far more gracefully than the heuristic.\n\

@@ -8,6 +8,7 @@
 //! (`rsin_distrib::system::DistributedSystem`), each maintaining its own
 //! circuit state, and compares the accumulated scheduling time.
 
+use rand::Rng;
 use rsin_bench::emit_table;
 use rsin_core::model::ScheduleRequest;
 use rsin_core::scheduler::MaxFlowScheduler;
@@ -16,10 +17,12 @@ use rsin_sim::cost::CostModel;
 use rsin_sim::monitor::Monitor;
 use rsin_sim::workload::trial_rng;
 use rsin_topology::builders::omega;
-use rand::Rng;
 
 fn main() {
-    let rounds = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500u64);
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500u64);
     let model = CostModel::default();
     println!(
         "OVERHEAD — {rounds} request/release rounds, monitor vs distributed\n\
@@ -40,7 +43,11 @@ fn main() {
         for _ in 0..rounds {
             for _ in 0..2 {
                 let p = rng.random_range(0..n);
-                monitor.submit(ScheduleRequest { processor: p, priority: 1, resource_type: 0 });
+                monitor.submit(ScheduleRequest {
+                    processor: p,
+                    priority: 1,
+                    resource_type: 0,
+                });
                 distributed.submit(p);
             }
             if mon_served.len() > n / 2 {
@@ -83,7 +90,14 @@ fn main() {
     }
     emit_table(
         "overhead",
-        &["network", "monitor cycles", "monitor time", "token cycles", "token time", "speedup"],
+        &[
+            "network",
+            "monitor cycles",
+            "monitor time",
+            "token cycles",
+            "token time",
+            "speedup",
+        ],
         &rows,
     );
     println!(

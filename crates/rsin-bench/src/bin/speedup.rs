@@ -21,7 +21,10 @@ use rsin_sim::workload::{random_snapshot, trial_rng};
 use rsin_topology::builders::omega;
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300u64);
     let model = CostModel::default();
     println!(
         "SPEEDUP — monitor ({} ns/instruction) vs token propagation ({} ns/clock), {trials} trials\n",
@@ -54,8 +57,16 @@ fn main() {
             format!("{:.0}x", speed.mean()),
         ]);
     }
-    emit_table("speedup", 
-        &["network", "instructions", "clock periods", "monitor", "distributed", "speedup"],
+    emit_table(
+        "speedup",
+        &[
+            "network",
+            "instructions",
+            "clock periods",
+            "monitor",
+            "distributed",
+            "speedup",
+        ],
         &rows,
     );
     println!(

@@ -12,7 +12,10 @@ use rsin_sim::packet::{compare_mean, SwitchingConfig};
 use rsin_sim::workload::trial_rng;
 
 fn main() {
-    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000u64);
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000u64);
     println!("SWITCH — mean task delivery time (slots), 4-stage fabric, {trials} trials/cell\n");
     let mut rows = Vec::new();
     for &task_len in &[2u64, 10, 50] {
@@ -30,7 +33,11 @@ fn main() {
                 format!("{load:.1}"),
                 format!("{c:.1}"),
                 format!("{p:.1}"),
-                if c <= p { "circuit".into() } else { "packet".to_string() },
+                if c <= p {
+                    "circuit".into()
+                } else {
+                    "packet".to_string()
+                },
             ]);
         }
     }

@@ -10,7 +10,10 @@ use rsin_topology::analysis::{analyze, BlockingClass};
 use rsin_topology::builders;
 
 fn main() {
-    let samples = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40usize);
+    let samples = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40usize);
     let nets = vec![
         builders::omega(8).unwrap(),
         builders::baseline(8).unwrap(),
@@ -48,10 +51,20 @@ fn main() {
             },
         ]);
     }
-    emit_table("topo_report", 
+    emit_table(
+        "topo_report",
         &[
-            "network", "ports", "boxes", "stages", "links", "xpoints", "ctrl bits",
-            "path len", "paths/pair", "perm adm.", "class",
+            "network",
+            "ports",
+            "boxes",
+            "stages",
+            "links",
+            "xpoints",
+            "ctrl bits",
+            "path len",
+            "paths/pair",
+            "perm adm.",
+            "class",
         ],
         &rows,
     );

@@ -15,12 +15,7 @@ pub fn emit_table(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-fn write_csv(
-    dir: &str,
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = std::path::Path::new(dir).join(format!("{name}.csv"));
     let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
@@ -31,12 +26,24 @@ fn write_csv(
             s.to_string()
         }
     };
-    writeln!(f, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         if row.iter().all(|c| c.is_empty()) {
             continue; // visual spacer rows
         }
-        writeln!(f, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
     }
     f.flush()
 }

@@ -47,13 +47,19 @@ pub fn extract(t: &Transformed) -> Result<Vec<Assignment>, MappingError> {
     for p in paths {
         let (&first, rest) = p.arcs.split_first().ok_or(MappingError::MalformedPath)?;
         let (&last, middle) = rest.split_last().ok_or(MappingError::MalformedPath)?;
-        let processor = t.processor_of_arc(first).ok_or(MappingError::MalformedPath)?;
+        let processor = t
+            .processor_of_arc(first)
+            .ok_or(MappingError::MalformedPath)?;
         let resource = t.resource_of_arc(last).ok_or(MappingError::MalformedPath)?;
         let path = middle
             .iter()
             .map(|&a| t.link_of_arc(a).ok_or(MappingError::MissingLink))
             .collect::<Result<Vec<_>, _>>()?;
-        out.push(Assignment { processor, resource, path });
+        out.push(Assignment {
+            processor,
+            resource,
+            path,
+        });
     }
     Ok(out)
 }
@@ -69,8 +75,9 @@ pub fn extract_hetero(
     let mut out = Vec::new();
     for (ci, com) in t.commodities.iter().enumerate() {
         // Remaining integral flow per forward arc for this commodity.
-        let mut remaining: Vec<Flow> =
-            (0..t.flow.num_arcs()).map(|k| sol.int_flow(ci, ArcId(2 * k as u32))).collect();
+        let mut remaining: Vec<Flow> = (0..t.flow.num_arcs())
+            .map(|k| sol.int_flow(ci, ArcId(2 * k as u32)))
+            .collect();
         let bypass = t.bypass[ci];
         // Trace one path per unit of this commodity's request-arc flow.
         while let Some(&(processor, _, first)) = t
@@ -84,9 +91,12 @@ pub fn extract_hetero(
             let mut resource = None;
             let mut bypassed = false;
             while node != com.sink {
-                let Some(&next) = t.flow.out_arcs(node).iter().find(|a| {
-                    a.is_forward() && remaining[a.index() / 2] > 0
-                }) else {
+                let Some(&next) = t
+                    .flow
+                    .out_arcs(node)
+                    .iter()
+                    .find(|a| a.is_forward() && remaining[a.index() / 2] > 0)
+                else {
                     return Err(MappingError::MalformedPath);
                 };
                 remaining[next.index() / 2] -= 1;
@@ -96,9 +106,7 @@ pub fn extract_hetero(
                 if let Some(l) = t.arc_link.get(next.index() / 2).copied().flatten() {
                     links.push(l);
                 }
-                if let Some(&(r, _, _)) =
-                    t.resource_arcs.iter().find(|&&(_, _, a)| a == next)
-                {
+                if let Some(&(r, _, _)) = t.resource_arcs.iter().find(|&&(_, _, a)| a == next) {
                     resource = Some(r);
                 }
                 node = t.flow.arc(next).to;
@@ -107,7 +115,11 @@ pub fn extract_hetero(
                 continue; // unallocated request
             }
             let resource = resource.ok_or(MappingError::MalformedPath)?;
-            out.push(Assignment { processor, resource, path: links });
+            out.push(Assignment {
+                processor,
+                resource,
+                path: links,
+            });
         }
     }
     Ok(out)
@@ -217,8 +229,7 @@ mod tests {
         let net = omega(8).unwrap();
         let mut cs = CircuitState::new(&net);
         fig2(&mut cs);
-        let problem =
-            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
         let mut t = homogeneous::transform(&problem);
         let r = solve(&mut t.flow, t.source, t.sink, Algorithm::Dinic);
         assert_eq!(r.value, 5);
@@ -269,8 +280,16 @@ mod tests {
         let cs = CircuitState::new(&net);
         let problem = ScheduleProblem::homogeneous(&cs, &[0], &[0, 1]);
         let path = cs.find_path(0, 0).unwrap();
-        let a1 = Assignment { processor: 0, resource: 0, path: path.clone() };
-        let a2 = Assignment { processor: 0, resource: 1, path };
+        let a1 = Assignment {
+            processor: 0,
+            resource: 0,
+            path: path.clone(),
+        };
+        let a2 = Assignment {
+            processor: 0,
+            resource: 1,
+            path,
+        };
         assert!(verify(std::slice::from_ref(&a1), &problem).is_ok());
         assert!(verify(&[a1, a2], &problem).is_err());
     }
@@ -282,7 +301,11 @@ mod tests {
         let path = cs.find_path(0, 0).unwrap();
         cs.establish(&path).unwrap();
         let problem = ScheduleProblem::homogeneous(&cs, &[0], &[0]);
-        let a = Assignment { processor: 0, resource: 0, path };
+        let a = Assignment {
+            processor: 0,
+            resource: 0,
+            path,
+        };
         assert!(verify(&[a], &problem).is_err());
     }
 
@@ -293,7 +316,11 @@ mod tests {
         let problem = ScheduleProblem::homogeneous(&cs, &[0, 1], &[0, 1]);
         let path = cs.find_path(0, 0).unwrap();
         // Claim it connects p2 (it starts at p1).
-        let a = Assignment { processor: 1, resource: 0, path };
+        let a = Assignment {
+            processor: 1,
+            resource: 0,
+            path,
+        };
         assert!(verify(&[a], &problem).is_err());
     }
 
@@ -303,7 +330,11 @@ mod tests {
         let cs = CircuitState::new(&net);
         let problem = ScheduleProblem::homogeneous(&cs, &[1], &[0]);
         let path = cs.find_path(0, 0).unwrap();
-        let a = Assignment { processor: 0, resource: 0, path };
+        let a = Assignment {
+            processor: 0,
+            resource: 0,
+            path,
+        };
         assert_eq!(
             verify(&[a], &problem),
             Err("p1 did not request".to_string())

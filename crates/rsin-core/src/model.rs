@@ -57,11 +57,19 @@ impl<'a, 'n> ScheduleProblem<'a, 'n> {
             circuits,
             requests: requesting
                 .iter()
-                .map(|&p| ScheduleRequest { processor: p, priority: 1, resource_type: 0 })
+                .map(|&p| ScheduleRequest {
+                    processor: p,
+                    priority: 1,
+                    resource_type: 0,
+                })
                 .collect(),
             free: free
                 .iter()
-                .map(|&r| FreeResource { resource: r, preference: 1, resource_type: 0 })
+                .map(|&r| FreeResource {
+                    resource: r,
+                    preference: 1,
+                    resource_type: 0,
+                })
                 .collect(),
         }
     }
@@ -77,11 +85,19 @@ impl<'a, 'n> ScheduleProblem<'a, 'n> {
             circuits,
             requests: requesting
                 .iter()
-                .map(|&(p, pr)| ScheduleRequest { processor: p, priority: pr, resource_type: 0 })
+                .map(|&(p, pr)| ScheduleRequest {
+                    processor: p,
+                    priority: pr,
+                    resource_type: 0,
+                })
                 .collect(),
             free: free
                 .iter()
-                .map(|&(r, q)| FreeResource { resource: r, preference: q, resource_type: 0 })
+                .map(|&(r, q)| FreeResource {
+                    resource: r,
+                    preference: q,
+                    resource_type: 0,
+                })
                 .collect(),
         }
     }
@@ -121,7 +137,11 @@ impl<'a, 'n> ScheduleProblem<'a, 'n> {
         self.resource_types()
             .into_iter()
             .map(|ty| {
-                let reqs = self.requests.iter().filter(|r| r.resource_type == ty).count();
+                let reqs = self
+                    .requests
+                    .iter()
+                    .filter(|r| r.resource_type == ty)
+                    .count();
                 let res = self.free.iter().filter(|f| f.resource_type == ty).count();
                 reqs.min(res)
             })
@@ -204,7 +224,11 @@ mod tests {
         let mut p = ScheduleProblem::homogeneous(&cs, &[0, 1, 2], &[0]);
         assert_eq!(p.demand_bound(), 1);
         p.requests[2].resource_type = 1;
-        p.free.push(FreeResource { resource: 5, preference: 1, resource_type: 1 });
+        p.free.push(FreeResource {
+            resource: 5,
+            preference: 1,
+            resource_type: 1,
+        });
         assert!(!p.is_homogeneous());
         assert_eq!(p.demand_bound(), 2);
         assert_eq!(p.resource_types(), vec![0, 1]);

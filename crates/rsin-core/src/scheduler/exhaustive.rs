@@ -9,7 +9,7 @@
 //! the flow-based schedulers match its allocation count and cost on small
 //! random instances.
 
-use super::{finish_outcome, Scheduler};
+use super::{finish_outcome, ScheduleError, Scheduler};
 use crate::mapping::Assignment;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use rsin_topology::{CircuitState, LinkId, NodeRef};
@@ -25,7 +25,9 @@ pub struct ExhaustiveScheduler {
 
 impl Default for ExhaustiveScheduler {
     fn default() -> Self {
-        ExhaustiveScheduler { step_limit: 2_000_000 }
+        ExhaustiveScheduler {
+            step_limit: 2_000_000,
+        }
     }
 }
 
@@ -42,12 +44,7 @@ fn enumerate_paths(cs: &CircuitState, p: usize, r: usize) -> Vec<Vec<LinkId>> {
     let mut stack = vec![start];
     // Iterative DFS with an explicit path; networks are DAGs so no cycle
     // bookkeeping is needed.
-    fn recurse(
-        cs: &CircuitState,
-        r: usize,
-        path: &mut Vec<LinkId>,
-        out: &mut Vec<Vec<LinkId>>,
-    ) {
+    fn recurse(cs: &CircuitState, r: usize, path: &mut Vec<LinkId>, out: &mut Vec<Vec<LinkId>>) {
         let net = cs.network();
         let last = *path.last().unwrap();
         match net.link(last).dst {
@@ -118,9 +115,7 @@ impl Search<'_, '_, '_> {
         let req = self.problem.requests[req_idx];
         // Try every compatible resource and every path realizing the pair.
         for free_idx in 0..self.problem.free.len() {
-            if taken[free_idx]
-                || self.problem.free[free_idx].resource_type != req.resource_type
-            {
+            if taken[free_idx] || self.problem.free[free_idx].resource_type != req.resource_type {
                 continue;
             }
             let r = self.problem.free[free_idx].resource;
@@ -128,7 +123,11 @@ impl Search<'_, '_, '_> {
                 let c = scratch.establish(&path).expect("enumerated path is free");
                 taken[free_idx] = true;
                 current.push((
-                    Assignment { processor: req.processor, resource: r, path },
+                    Assignment {
+                        processor: req.processor,
+                        resource: r,
+                        path,
+                    },
                     self.pair_cost(req_idx, free_idx),
                 ));
                 self.go(req_idx + 1, scratch, taken, current);
@@ -147,7 +146,7 @@ impl Scheduler for ExhaustiveScheduler {
         "exhaustive"
     }
 
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
         let mut scratch: CircuitState = problem.circuits.clone();
         let mut search = Search {
             problem,
@@ -162,7 +161,7 @@ impl Scheduler for ExhaustiveScheduler {
         let mut current = Vec::new();
         search.go(0, &mut scratch, &mut taken, &mut current);
         let best = search.best;
-        finish_outcome(problem, best, search.steps)
+        Ok(finish_outcome(problem, best, search.steps))
     }
 }
 
@@ -191,11 +190,8 @@ mod tests {
     fn matches_min_cost_on_priority_instance() {
         let net = baseline(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem = ScheduleProblem::with_priorities(
-            &cs,
-            &[(0, 3), (2, 7), (5, 1)],
-            &[(1, 5), (4, 2)],
-        );
+        let problem =
+            ScheduleProblem::with_priorities(&cs, &[(0, 3), (2, 7), (5, 1)], &[(1, 5), (4, 2)]);
         let ex = ExhaustiveScheduler::default().schedule(&problem);
         let mc = MinCostScheduler::default().schedule(&problem);
         assert_eq!(ex.allocated(), mc.allocated());
@@ -208,7 +204,11 @@ mod tests {
         let net = benes(4).unwrap();
         let cs = CircuitState::new(&net);
         let paths = enumerate_paths(&cs, 0, 3);
-        assert!(paths.len() >= 2, "Benes has redundant paths, got {}", paths.len());
+        assert!(
+            paths.len() >= 2,
+            "Benes has redundant paths, got {}",
+            paths.len()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! reduction. This scheduler refuses deeper networks (where pairwise
 //! accessibility ignores interior link sharing and would overcount).
 
-use super::{finish_outcome, Scheduler};
+use super::{finish_outcome, ScheduleError, Scheduler};
 use crate::mapping::Assignment;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use rsin_flow::bipartite::Bipartite;
@@ -25,7 +25,7 @@ impl Scheduler for MatchingScheduler {
     ///
     /// Panics if the network has more than one stage: interior links of
     /// deeper MINs are shared between circuits, which matching cannot see.
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
         let net = problem.circuits.network();
         assert!(
             net.num_stages() <= 1,
@@ -61,7 +61,7 @@ impl Scheduler for MatchingScheduler {
         }
         // Work model: ~10 instructions per BFS/DFS phase edge touch.
         let instructions = (m.phases as u64) * 10 * (problem.requests.len() as u64 + 1);
-        finish_outcome(problem, assignments, instructions)
+        Ok(finish_outcome(problem, assignments, instructions))
     }
 }
 
@@ -80,7 +80,9 @@ mod tests {
             let mut cs = CircuitState::new(&net);
             let _ = cs.connect((trial % 8) as usize, ((trial * 3) % 8) as usize);
             let req: Vec<usize> = (0..8).filter(|i| (trial >> (i % 5)) & 1 == 0).collect();
-            let free: Vec<usize> = (0..8).filter(|i| (trial >> ((i + 1) % 5)) & 1 == 1).collect();
+            let free: Vec<usize> = (0..8)
+                .filter(|i| (trial >> ((i + 1) % 5)) & 1 == 1)
+                .collect();
             let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
             let hk = MatchingScheduler.schedule(&problem);
             let mf = MaxFlowScheduler::default().schedule(&problem);
@@ -96,10 +98,22 @@ mod tests {
         let cs = CircuitState::new(&net);
         let problem = ScheduleProblem {
             circuits: &cs,
-            requests: vec![ScheduleRequest { processor: 0, priority: 1, resource_type: 1 }],
+            requests: vec![ScheduleRequest {
+                processor: 0,
+                priority: 1,
+                resource_type: 1,
+            }],
             free: vec![
-                FreeResource { resource: 0, preference: 1, resource_type: 0 },
-                FreeResource { resource: 1, preference: 1, resource_type: 1 },
+                FreeResource {
+                    resource: 0,
+                    preference: 1,
+                    resource_type: 0,
+                },
+                FreeResource {
+                    resource: 1,
+                    preference: 1,
+                    resource_type: 1,
+                },
             ],
         };
         let out = MatchingScheduler.schedule(&problem);

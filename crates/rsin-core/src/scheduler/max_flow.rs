@@ -1,6 +1,6 @@
 //! The optimal homogeneous scheduler: Transformation 1 + maximum flow.
 
-use super::{finish_outcome, Scheduler};
+use super::{finish_outcome, ScheduleError, ScheduleScratch, Scheduler};
 use crate::mapping::extract;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::homogeneous;
@@ -18,7 +18,9 @@ pub struct MaxFlowScheduler {
 
 impl Default for MaxFlowScheduler {
     fn default() -> Self {
-        MaxFlowScheduler { algorithm: Algorithm::Dinic }
+        MaxFlowScheduler {
+            algorithm: Algorithm::Dinic,
+        }
     }
 }
 
@@ -40,12 +42,39 @@ impl Scheduler for MaxFlowScheduler {
         }
     }
 
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
         let mut t = homogeneous::transform(problem);
         let r = max_flow::solve(&mut t.flow, t.source, t.sink, self.algorithm);
-        let assignments = extract(&t).expect("max-flow produces a decomposable flow");
+        let assignments = extract(&t)?;
         debug_assert_eq!(assignments.len() as i64, r.value);
-        finish_outcome(problem, assignments, r.stats.estimated_instructions())
+        Ok(finish_outcome(
+            problem,
+            assignments,
+            r.stats.estimated_instructions(),
+        ))
+    }
+
+    /// Zero-rebuild path: retune the scratch's superset Transformation-1
+    /// graph for this snapshot and solve with reusable buffers.
+    fn try_schedule_reusing(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let ScheduleScratch {
+            solve,
+            max_flow: reusable,
+            ..
+        } = scratch;
+        let t = reusable.configure_max_flow(problem);
+        let r = max_flow::solve_with(&mut t.flow, t.source, t.sink, self.algorithm, solve);
+        let assignments = extract(t)?;
+        debug_assert_eq!(assignments.len() as i64, r.value);
+        Ok(finish_outcome(
+            problem,
+            assignments,
+            r.stats.estimated_instructions(),
+        ))
     }
 }
 
@@ -62,8 +91,7 @@ mod tests {
         let mut cs = CircuitState::new(&net);
         cs.connect(1, 5).unwrap();
         cs.connect(3, 3).unwrap();
-        let problem =
-            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
         let out = MaxFlowScheduler::default().schedule(&problem);
         assert_eq!(out.allocated(), 5);
         assert!(out.blocked.is_empty());

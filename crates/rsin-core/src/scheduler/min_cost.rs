@@ -1,7 +1,7 @@
 //! The optimal priority/preference scheduler: Transformation 2 + min-cost
 //! flow.
 
-use super::{finish_outcome, Scheduler};
+use super::{finish_outcome, ScheduleError, ScheduleScratch, Scheduler};
 use crate::mapping::extract;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::priority;
@@ -20,7 +20,9 @@ pub struct MinCostScheduler {
 
 impl Default for MinCostScheduler {
     fn default() -> Self {
-        MinCostScheduler { algorithm: Algorithm::SuccessiveShortestPaths }
+        MinCostScheduler {
+            algorithm: Algorithm::SuccessiveShortestPaths,
+        }
     }
 }
 
@@ -40,11 +42,38 @@ impl Scheduler for MinCostScheduler {
         }
     }
 
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
         let (mut t, f0) = priority::transform(problem);
         let r = min_cost::solve(&mut t.flow, t.source, t.sink, f0, self.algorithm);
-        let assignments = extract(&t).expect("min-cost flow decomposes");
-        finish_outcome(problem, assignments, r.stats.estimated_instructions())
+        let assignments = extract(&t)?;
+        Ok(finish_outcome(
+            problem,
+            assignments,
+            r.stats.estimated_instructions(),
+        ))
+    }
+
+    /// Zero-rebuild path: retune the scratch's superset Transformation-2
+    /// graph (costs included) for this snapshot and solve with reusable
+    /// buffers.
+    fn try_schedule_reusing(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let ScheduleScratch {
+            solve,
+            min_cost: reusable,
+            ..
+        } = scratch;
+        let (t, f0) = reusable.configure_min_cost(problem);
+        let r = min_cost::solve_with(&mut t.flow, t.source, t.sink, f0, self.algorithm, solve);
+        let assignments = extract(t)?;
+        Ok(finish_outcome(
+            problem,
+            assignments,
+            r.stats.estimated_instructions(),
+        ))
     }
 }
 
@@ -91,7 +120,9 @@ mod tests {
         let c1 = MinCostScheduler::new(Algorithm::SuccessiveShortestPaths)
             .schedule(&problem)
             .total_cost;
-        let c2 = MinCostScheduler::new(Algorithm::OutOfKilter).schedule(&problem).total_cost;
+        let c2 = MinCostScheduler::new(Algorithm::OutOfKilter)
+            .schedule(&problem)
+            .total_cost;
         assert_eq!(c1, c2);
     }
 
@@ -102,8 +133,7 @@ mod tests {
         // Two requests, one resource slot reachable by both: p3 has higher
         // priority. Free network: both can reach anything, but only one
         // resource is free.
-        let problem =
-            ScheduleProblem::with_priorities(&cs, &[(0, 1), (2, 9)], &[(4, 1)]);
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 1), (2, 9)], &[(4, 1)]);
         let out = MinCostScheduler::default().schedule(&problem);
         assert_eq!(out.allocated(), 1);
         assert_eq!(out.assignments[0].processor, 2);

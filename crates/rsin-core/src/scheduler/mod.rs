@@ -29,21 +29,128 @@ pub use max_flow::MaxFlowScheduler;
 pub use min_cost::MinCostScheduler;
 pub use multicommodity::MultiCommodityScheduler;
 
-use crate::mapping::Assignment;
+use crate::mapping::{Assignment, MappingError};
 use crate::model::{ScheduleOutcome, ScheduleProblem};
+use crate::transform::reusable::ReusableTransform;
+use rsin_flow::SolveScratch;
+use rsin_topology::circuit::CircuitError;
+use std::collections::{HashMap, HashSet};
+
+/// Why a scheduler could not produce an outcome for a snapshot.
+///
+/// Optimal schedulers cannot fail on well-formed problems (their theorems
+/// guarantee decomposable flows), so an error here always indicates a
+/// corrupted snapshot or an internal invariant violation — but callers that
+/// drive schedulers over untrusted input get a typed error instead of a
+/// panic via [`Scheduler::try_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The optimal flow did not decompose into request→resource circuits.
+    Mapping(MappingError),
+    /// A fallback path could not establish a circuit it believed was free.
+    Circuit(CircuitError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Mapping(e) => write!(f, "flow decomposition failed: {e:?}"),
+            ScheduleError::Circuit(e) => write!(f, "circuit establishment failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<MappingError> for ScheduleError {
+    fn from(e: MappingError) -> Self {
+        ScheduleError::Mapping(e)
+    }
+}
+
+impl From<CircuitError> for ScheduleError {
+    fn from(e: CircuitError) -> Self {
+        ScheduleError::Circuit(e)
+    }
+}
+
+/// Reusable per-thread state for the scheduling hot path: solver buffers
+/// plus lazily built reusable transformation graphs (one per transformation
+/// shape). Feed it to [`Scheduler::try_schedule_reusing`] to re-solve
+/// successive snapshots on the same topology without rebuilding the
+/// transformation graph or reallocating solver scratch.
+#[derive(Debug, Default)]
+pub struct ScheduleScratch {
+    /// Solver working memory shared by all flow algorithms.
+    pub(crate) solve: SolveScratch,
+    /// Superset Transformation-1 graph (max-flow schedulers).
+    pub(crate) max_flow: ReusableTransform,
+    /// Superset Transformation-2 graph (min-cost schedulers).
+    pub(crate) min_cost: ReusableTransform,
+}
+
+impl ScheduleScratch {
+    /// Empty scratch; graphs and buffers are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A scheduling discipline: map pending requests to free resources for one
 /// scheduling cycle.
-pub trait Scheduler {
+///
+/// `Sync` is a supertrait so one scheduler instance can drive concurrent
+/// Monte-Carlo workers (`rsin-sim` shares `&dyn Scheduler` across threads).
+pub trait Scheduler: Sync {
     /// Short identifier used in experiment output.
     fn name(&self) -> &'static str;
 
+    /// Compute a request→resource mapping for the snapshot, reporting
+    /// failures as typed errors.
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError>;
+
     /// Compute a request→resource mapping for the snapshot.
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome;
+    ///
+    /// Panics if the scheduler fails (impossible on well-formed snapshots);
+    /// use [`Self::try_schedule`] to handle failures.
+    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+        match self.try_schedule(problem) {
+            Ok(out) => out,
+            Err(e) => panic!("{} failed to schedule: {e}", self.name()),
+        }
+    }
+
+    /// Like [`Self::try_schedule`], but reusing `scratch` across calls so
+    /// repeated solves on the same topology skip graph construction and
+    /// solver allocations. The default implementation ignores the scratch;
+    /// the flow-based schedulers override it.
+    fn try_schedule_reusing(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let _ = scratch;
+        self.try_schedule(problem)
+    }
+
+    /// Panicking wrapper over [`Self::try_schedule_reusing`], mirroring
+    /// [`Self::schedule`].
+    fn schedule_reusing(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> ScheduleOutcome {
+        match self.try_schedule_reusing(problem, scratch) {
+            Ok(out) => out,
+            Err(e) => panic!("{} failed to schedule: {e}", self.name()),
+        }
+    }
 }
 
 /// Shared outcome assembly: derive the blocked list and the
-/// Transformation-2 cost of the accepted assignments.
+/// Transformation-2 cost of the accepted assignments. Indexes requests and
+/// resources by id once, so each assignment costs O(1) instead of a linear
+/// scan (quadratic per cycle before).
 pub(crate) fn finish_outcome(
     problem: &ScheduleProblem,
     assignments: Vec<Assignment>,
@@ -51,21 +158,38 @@ pub(crate) fn finish_outcome(
 ) -> ScheduleOutcome {
     let gamma_max = problem.max_priority() as i64;
     let q_max = problem.max_preference() as i64;
+    let priority_of: HashMap<usize, i64> = problem
+        .requests
+        .iter()
+        .map(|r| (r.processor, r.priority as i64))
+        .collect();
+    let preference_of: HashMap<usize, i64> = problem
+        .free
+        .iter()
+        .map(|f| (f.resource, f.preference as i64))
+        .collect();
     let mut total_cost = 0;
     for a in &assignments {
-        let req = problem.requests.iter().find(|r| r.processor == a.processor);
-        let res = problem.free.iter().find(|f| f.resource == a.resource);
-        if let (Some(req), Some(res)) = (req, res) {
-            total_cost += (gamma_max - req.priority as i64) + (q_max - res.preference as i64);
+        if let (Some(&prio), Some(&pref)) = (
+            priority_of.get(&a.processor),
+            preference_of.get(&a.resource),
+        ) {
+            total_cost += (gamma_max - prio) + (q_max - pref);
         }
     }
+    let allocated: HashSet<usize> = assignments.iter().map(|a| a.processor).collect();
     let blocked = problem
         .requests
         .iter()
         .map(|r| r.processor)
-        .filter(|p| !assignments.iter().any(|a| a.processor == *p))
+        .filter(|p| !allocated.contains(p))
         .collect();
-    ScheduleOutcome { assignments, blocked, total_cost, estimated_instructions }
+    ScheduleOutcome {
+        assignments,
+        blocked,
+        total_cost,
+        estimated_instructions,
+    }
 }
 
 #[cfg(test)]
@@ -83,8 +207,7 @@ mod tests {
         let mut cs = CircuitState::new(&net);
         cs.connect(1, 5).unwrap();
         cs.connect(3, 3).unwrap();
-        let problem =
-            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
         let schedulers: Vec<Box<dyn Scheduler>> = vec![
             Box::new(MaxFlowScheduler::default()),
             Box::new(MinCostScheduler::default()),
@@ -95,8 +218,7 @@ mod tests {
         ];
         for s in schedulers {
             let out = s.schedule(&problem);
-            verify(&out.assignments, &problem)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            verify(&out.assignments, &problem).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             assert_eq!(
                 out.assignments.len() + out.blocked.len(),
                 5,
@@ -110,10 +232,13 @@ mod tests {
     fn finish_outcome_computes_cost_and_blocked() {
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem =
-            ScheduleProblem::with_priorities(&cs, &[(0, 3), (1, 10)], &[(0, 5), (1, 10)]);
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 3), (1, 10)], &[(0, 5), (1, 10)]);
         let path = cs.find_path(0, 0).unwrap();
-        let a = Assignment { processor: 0, resource: 0, path };
+        let a = Assignment {
+            processor: 0,
+            resource: 0,
+            path,
+        };
         let out = finish_outcome(&problem, vec![a], 7);
         // gamma_max = 10, q_max = 10; cost = (10-3) + (10-5) = 12.
         assert_eq!(out.total_cost, 12);

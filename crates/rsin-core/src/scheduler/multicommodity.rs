@@ -1,6 +1,6 @@
 //! The heterogeneous scheduler: multicommodity LP with integral fallback.
 
-use super::{finish_outcome, Scheduler};
+use super::{finish_outcome, ScheduleError, Scheduler};
 use crate::mapping::{extract, extract_hetero, Assignment};
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::{hetero, homogeneous};
@@ -26,11 +26,13 @@ pub struct MultiCommodityScheduler {
 impl MultiCommodityScheduler {
     /// Priority-aware variant.
     pub fn with_priorities() -> Self {
-        MultiCommodityScheduler { use_priorities: true }
+        MultiCommodityScheduler {
+            use_priorities: true,
+        }
     }
 
     /// Sequential per-type fallback (also used when the LP is fractional).
-    fn sequential(&self, problem: &ScheduleProblem) -> Vec<Assignment> {
+    fn sequential(&self, problem: &ScheduleProblem) -> Result<Vec<Assignment>, ScheduleError> {
         // Allocate types one at a time against a scratch circuit state so
         // later types see the links consumed by earlier ones.
         let mut scratch: CircuitState = problem.circuits.clone();
@@ -44,19 +46,23 @@ impl MultiCommodityScheduler {
                     .filter(|r| r.resource_type == ty)
                     .copied()
                     .collect(),
-                free: problem.free.iter().filter(|f| f.resource_type == ty).copied().collect(),
+                free: problem
+                    .free
+                    .iter()
+                    .filter(|f| f.resource_type == ty)
+                    .copied()
+                    .collect(),
             };
             let mut t = homogeneous::transform(&sub);
             max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
-            let assignments = extract(&t).expect("decomposable");
+            let assignments = extract(&t)?;
             for a in &assignments {
-                scratch
-                    .establish(&a.path)
-                    .expect("paths are free and disjoint within one solve");
+                // Paths are free and arc-disjoint within one solve.
+                scratch.establish(&a.path)?;
             }
             all.extend(assignments);
         }
-        all
+        Ok(all)
     }
 }
 
@@ -69,28 +75,33 @@ impl Scheduler for MultiCommodityScheduler {
         }
     }
 
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
+        // LP errors (infeasible demand, non-fixed commodities) are not fatal:
+        // the sequential fallback below always produces an integral mapping.
         let (t, sol) = if self.use_priorities {
             let t = hetero::transform_min_cost(problem);
-            let sol = multicommodity::min_cost(&t.flow, &t.commodities);
+            let sol = multicommodity::min_cost(&t.flow, &t.commodities).ok();
             (t, sol)
         } else {
             let t = hetero::transform_max(problem);
-            let sol = multicommodity::max_flow(&t.flow, &t.commodities);
+            let sol = multicommodity::max_flow(&t.flow, &t.commodities).ok();
             (t, sol)
         };
         match sol {
-            Ok(sol) if sol.integral => {
-                let assignments =
-                    extract_hetero(&t, &sol).expect("integral solutions decompose");
+            Some(sol) if sol.integral => {
+                let assignments = extract_hetero(&t, &sol)?;
                 // Simplex pivots stand in for instruction count here.
-                finish_outcome(problem, assignments, 100 * sol.pivots as u64)
+                Ok(finish_outcome(
+                    problem,
+                    assignments,
+                    100 * sol.pivots as u64,
+                ))
             }
             _ => {
                 // Fractional vertex or infeasible demand formulation:
                 // integral sequential fallback.
-                let assignments = self.sequential(problem);
-                finish_outcome(problem, assignments, 0)
+                let assignments = self.sequential(problem)?;
+                Ok(finish_outcome(problem, assignments, 0))
             }
         }
     }
@@ -108,23 +119,57 @@ mod tests {
         ScheduleProblem {
             circuits: cs,
             requests: vec![
-                ScheduleRequest { processor: 0, priority: 2, resource_type: 0 },
-                ScheduleRequest { processor: 1, priority: 8, resource_type: 1 },
-                ScheduleRequest { processor: 4, priority: 5, resource_type: 0 },
-                ScheduleRequest { processor: 6, priority: 1, resource_type: 2 },
+                ScheduleRequest {
+                    processor: 0,
+                    priority: 2,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 1,
+                    priority: 8,
+                    resource_type: 1,
+                },
+                ScheduleRequest {
+                    processor: 4,
+                    priority: 5,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 6,
+                    priority: 1,
+                    resource_type: 2,
+                },
             ],
             free: vec![
-                FreeResource { resource: 0, preference: 3, resource_type: 0 },
-                FreeResource { resource: 2, preference: 6, resource_type: 1 },
-                FreeResource { resource: 3, preference: 1, resource_type: 0 },
-                FreeResource { resource: 5, preference: 9, resource_type: 2 },
+                FreeResource {
+                    resource: 0,
+                    preference: 3,
+                    resource_type: 0,
+                },
+                FreeResource {
+                    resource: 2,
+                    preference: 6,
+                    resource_type: 1,
+                },
+                FreeResource {
+                    resource: 3,
+                    preference: 1,
+                    resource_type: 0,
+                },
+                FreeResource {
+                    resource: 5,
+                    preference: 9,
+                    resource_type: 2,
+                },
             ],
         }
     }
 
     /// Ground-truth optimum for the instance (exhaustive search).
     fn optimum(problem: &ScheduleProblem) -> usize {
-        crate::scheduler::ExhaustiveScheduler::default().schedule(problem).allocated()
+        crate::scheduler::ExhaustiveScheduler::default()
+            .schedule(problem)
+            .allocated()
     }
 
     #[test]
@@ -157,7 +202,7 @@ mod tests {
         let cs = CircuitState::new(&net);
         let problem = hetero_problem(&cs);
         let s = MultiCommodityScheduler::default();
-        let assignments = s.sequential(&problem);
+        let assignments = s.sequential(&problem).unwrap();
         verify(&assignments, &problem).unwrap();
         // Sequential is a heuristic: never better than the optimum.
         assert!(assignments.len() <= optimum(&problem));
@@ -172,10 +217,22 @@ mod tests {
         let problem = ScheduleProblem {
             circuits: &cs,
             requests: vec![
-                ScheduleRequest { processor: 0, priority: 1, resource_type: 0 },
-                ScheduleRequest { processor: 3, priority: 1, resource_type: 0 },
+                ScheduleRequest {
+                    processor: 0,
+                    priority: 1,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 3,
+                    priority: 1,
+                    resource_type: 0,
+                },
             ],
-            free: vec![FreeResource { resource: 7, preference: 1, resource_type: 0 }],
+            free: vec![FreeResource {
+                resource: 7,
+                preference: 1,
+                resource_type: 0,
+            }],
         };
         let out = MultiCommodityScheduler::default().schedule(&problem);
         assert_eq!(out.allocated(), 1);

@@ -52,17 +52,13 @@ pub fn table2() -> Vec<DisciplineRow> {
             discipline: "heterogeneous, restricted topology",
             flow_problem: "integer multicommodity flow (LP integral vertex)",
             algorithms: vec!["simplex method, tableau + revised (rsin_lp)"],
-            architectures: vec![
-                "monitor/software (rsin_core::scheduler::MultiCommodityScheduler)",
-            ],
+            architectures: vec!["monitor/software (rsin_core::scheduler::MultiCommodityScheduler)"],
             complexity: "empirically linear (simplex on network LPs)",
         },
         DisciplineRow {
             discipline: "heterogeneous, general topology",
             flow_problem: "integer multicommodity flow",
-            algorithms: vec![
-                "NP-hard in general; LP relaxation + sequential per-type fallback",
-            ],
+            algorithms: vec!["NP-hard in general; LP relaxation + sequential per-type fallback"],
             architectures: vec![
                 "monitor/software (rsin_core::scheduler::MultiCommodityScheduler fallback)",
             ],
@@ -83,7 +79,10 @@ pub fn render() -> String {
         out.push_str(&format!("discipline   : {}\n", row.discipline));
         out.push_str(&format!("flow problem : {}\n", row.flow_problem));
         out.push_str(&format!("algorithms   : {}\n", row.algorithms.join("; ")));
-        out.push_str(&format!("architecture : {}\n", row.architectures.join("; ")));
+        out.push_str(&format!(
+            "architecture : {}\n",
+            row.architectures.join("; ")
+        ));
         out.push_str(&format!("complexity   : {}\n", row.complexity));
         out.push_str(&"-".repeat(72));
         out.push('\n');
@@ -104,7 +103,10 @@ mod tests {
     fn homogeneous_row_lists_dinic() {
         let rows = table2();
         assert!(rows[0].algorithms.iter().any(|a| a.contains("dinic")));
-        assert!(rows[0].architectures.iter().any(|a| a.contains("distributed")));
+        assert!(rows[0]
+            .architectures
+            .iter()
+            .any(|a| a.contains("distributed")));
     }
 
     #[test]

@@ -34,24 +34,31 @@ pub struct HeteroTransformed {
     pub bypass: Vec<Option<NodeId>>,
 }
 
-fn build(
-    problem: &ScheduleProblem,
-    with_priorities: bool,
-) -> HeteroTransformed {
+fn build(problem: &ScheduleProblem, with_priorities: bool) -> HeteroTransformed {
     let net = problem.circuits.network();
     let types = problem.resource_types();
     let mut flow = FlowNetwork::new();
     // Per-type boundary nodes first.
-    let sources: Vec<NodeId> =
-        types.iter().map(|ty| flow.add_node(format!("s{ty}"))).collect();
-    let sinks: Vec<NodeId> = types.iter().map(|ty| flow.add_node(format!("t{ty}"))).collect();
+    let sources: Vec<NodeId> = types
+        .iter()
+        .map(|ty| flow.add_node(format!("s{ty}")))
+        .collect();
+    let sinks: Vec<NodeId> = types
+        .iter()
+        .map(|ty| flow.add_node(format!("t{ty}")))
+        .collect();
     let bypass: Vec<Option<NodeId>> = types
         .iter()
         .map(|ty| with_priorities.then(|| flow.add_node(format!("u{ty}"))))
         .collect();
     let requesting: Vec<usize> = problem.requests.iter().map(|r| r.processor).collect();
     let free: Vec<usize> = problem.free.iter().map(|f| f.resource).collect();
-    let NetworkImage { proc_node, res_node, arc_link: mut arc_link_vec, .. } = mirror_network(
+    let NetworkImage {
+        proc_node,
+        res_node,
+        arc_link: mut arc_link_vec,
+        ..
+    } = mirror_network(
         &mut flow,
         net,
         |l| problem.circuits.is_free(l),
@@ -67,7 +74,11 @@ fn build(
     for req in &problem.requests {
         let ti = type_index(req.resource_type);
         let p_node = proc_node[req.processor].unwrap();
-        let cost = if with_priorities { gamma_max - req.priority as i64 } else { 0 };
+        let cost = if with_priorities {
+            gamma_max - req.priority as i64
+        } else {
+            0
+        };
         let a = flow.add_arc(sources[ti], p_node, 1, cost);
         arc_link_vec.push(None);
         request_arcs.push((req.processor, req.resource_type, a));
@@ -82,15 +93,22 @@ fn build(
     for res in &problem.free {
         let ti = type_index(res.resource_type);
         let r_node = res_node[res.resource].unwrap();
-        let cost = if with_priorities { q_max - res.preference as i64 } else { 0 };
+        let cost = if with_priorities {
+            q_max - res.preference as i64
+        } else {
+            0
+        };
         let a = flow.add_arc(r_node, sinks[ti], 1, cost);
         arc_link_vec.push(None);
         resource_arcs.push((res.resource, res.resource_type, a));
     }
     let mut commodities = Vec::with_capacity(types.len());
     for (ti, &ty) in types.iter().enumerate() {
-        let demand =
-            problem.requests.iter().filter(|r| r.resource_type == ty).count() as Flow;
+        let demand = problem
+            .requests
+            .iter()
+            .filter(|r| r.resource_type == ty)
+            .count() as Flow;
         if let Some(u) = bypass[ti] {
             flow.add_arc(u, sinks[ti], demand.max(1), bypass_cost);
             arc_link_vec.push(None);
@@ -141,14 +159,38 @@ mod tests {
         ScheduleProblem {
             circuits: cs,
             requests: vec![
-                ScheduleRequest { processor: 0, priority: 1, resource_type: 0 },
-                ScheduleRequest { processor: 2, priority: 1, resource_type: 1 },
-                ScheduleRequest { processor: 5, priority: 1, resource_type: 0 },
+                ScheduleRequest {
+                    processor: 0,
+                    priority: 1,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 2,
+                    priority: 1,
+                    resource_type: 1,
+                },
+                ScheduleRequest {
+                    processor: 5,
+                    priority: 1,
+                    resource_type: 0,
+                },
             ],
             free: vec![
-                FreeResource { resource: 1, preference: 1, resource_type: 0 },
-                FreeResource { resource: 4, preference: 1, resource_type: 1 },
-                FreeResource { resource: 6, preference: 1, resource_type: 0 },
+                FreeResource {
+                    resource: 1,
+                    preference: 1,
+                    resource_type: 0,
+                },
+                FreeResource {
+                    resource: 4,
+                    preference: 1,
+                    resource_type: 1,
+                },
+                FreeResource {
+                    resource: 6,
+                    preference: 1,
+                    resource_type: 0,
+                },
             ],
         }
     }
@@ -186,10 +228,22 @@ mod tests {
         let problem = ScheduleProblem {
             circuits: &cs,
             requests: vec![
-                ScheduleRequest { processor: 0, priority: 1, resource_type: 0 },
-                ScheduleRequest { processor: 1, priority: 1, resource_type: 1 },
+                ScheduleRequest {
+                    processor: 0,
+                    priority: 1,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 1,
+                    priority: 1,
+                    resource_type: 1,
+                },
             ],
-            free: vec![FreeResource { resource: 3, preference: 1, resource_type: 1 }],
+            free: vec![FreeResource {
+                resource: 3,
+                preference: 1,
+                resource_type: 1,
+            }],
         };
         let t = transform_max(&problem);
         let sol = multicommodity::max_flow(&t.flow, &t.commodities).unwrap();
@@ -218,7 +272,10 @@ mod tests {
         assert_eq!(demands, vec![2, 1]);
         let sol = multicommodity::min_cost(&t.flow, &t.commodities).unwrap();
         let total: f64 = sol.values.iter().sum();
-        assert!((total - 3.0).abs() < 1e-6, "demands are met (possibly via bypass)");
+        assert!(
+            (total - 3.0).abs() < 1e-6,
+            "demands are met (possibly via bypass)"
+        );
     }
 
     #[test]
@@ -231,10 +288,22 @@ mod tests {
         let problem = ScheduleProblem {
             circuits: &cs,
             requests: vec![
-                ScheduleRequest { processor: 0, priority: 2, resource_type: 0 },
-                ScheduleRequest { processor: 3, priority: 9, resource_type: 0 },
+                ScheduleRequest {
+                    processor: 0,
+                    priority: 2,
+                    resource_type: 0,
+                },
+                ScheduleRequest {
+                    processor: 3,
+                    priority: 9,
+                    resource_type: 0,
+                },
             ],
-            free: vec![FreeResource { resource: 6, preference: 1, resource_type: 0 }],
+            free: vec![FreeResource {
+                resource: 6,
+                preference: 1,
+                resource_type: 0,
+            }],
         };
         let t = transform_min_cost(&problem);
         let sol = multicommodity::min_cost(&t.flow, &t.commodities).unwrap();

@@ -86,8 +86,7 @@ mod tests {
         let mut cs = CircuitState::new(&net);
         cs.connect(1, 5).unwrap();
         cs.connect(3, 3).unwrap();
-        let problem =
-            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
         let mut t = transform(&problem);
         let r = solve(&mut t.flow, t.source, t.sink, Algorithm::Dinic);
         assert_eq!(r.value, 5);

@@ -19,6 +19,7 @@
 pub mod hetero;
 pub mod homogeneous;
 pub mod priority;
+pub mod reusable;
 
 use rsin_flow::{ArcId, FlowNetwork, NodeId};
 use rsin_topology::{LinkId, Network, NodeRef};
@@ -56,12 +57,18 @@ impl Transformed {
 
     /// Processor whose request arc is `a`, if `a` is one.
     pub fn processor_of_arc(&self, a: ArcId) -> Option<usize> {
-        self.request_arcs.iter().find(|(_, arc)| *arc == a).map(|(p, _)| *p)
+        self.request_arcs
+            .iter()
+            .find(|(_, arc)| *arc == a)
+            .map(|(p, _)| *p)
     }
 
     /// Resource whose sink arc is `a`, if `a` is one.
     pub fn resource_of_arc(&self, a: ArcId) -> Option<usize> {
-        self.resource_arcs.iter().find(|(_, arc)| *arc == a).map(|(r, _)| *r)
+        self.resource_arcs
+            .iter()
+            .find(|(_, arc)| *arc == a)
+            .map(|(r, _)| *r)
     }
 }
 
@@ -89,8 +96,9 @@ pub(crate) fn mirror_network(
     for &p in requesting {
         proc_node[p] = Some(flow.add_node(format!("p{}", p + 1)));
     }
-    let box_node: Vec<NodeId> =
-        (0..net.num_boxes()).map(|b| flow.add_node(format!("sb{b}"))).collect();
+    let box_node: Vec<NodeId> = (0..net.num_boxes())
+        .map(|b| flow.add_node(format!("sb{b}")))
+        .collect();
     let mut res_node = vec![None; net.num_resources()];
     for &r in free_resources {
         res_node[r] = Some(flow.add_node(format!("r{}", r + 1)));
@@ -120,7 +128,13 @@ pub(crate) fn mirror_network(
             debug_assert_eq!(arc_link.len() - 1, a.index() / 2);
         }
     }
-    NetworkImage { proc_node, res_node, box_node, link_arc, arc_link }
+    NetworkImage {
+        proc_node,
+        res_node,
+        box_node,
+        link_arc,
+        arc_link,
+    }
 }
 
 #[cfg(test)]

@@ -106,14 +106,16 @@ mod tests {
         // More requests than resources: the extra requests route via u.
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem = ScheduleProblem::with_priorities(
-            &cs,
-            &[(0, 5), (1, 3), (2, 1)],
-            &[(0, 2)],
-        );
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 5), (1, 3), (2, 1)], &[(0, 2)]);
         let (mut t, f0) = transform(&problem);
         assert_eq!(f0, 3);
-        let r = min_cost::solve(&mut t.flow, t.source, t.sink, f0, Algorithm::SuccessiveShortestPaths);
+        let r = min_cost::solve(
+            &mut t.flow,
+            t.source,
+            t.sink,
+            f0,
+            Algorithm::SuccessiveShortestPaths,
+        );
         assert_eq!(r.flow, 3, "bypass absorbs the two unallocatable requests");
     }
 
@@ -148,17 +150,26 @@ mod tests {
         // Two requests, one resource: the higher-priority request gets it.
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem =
-            ScheduleProblem::with_priorities(&cs, &[(0, 9), (1, 2)], &[(3, 1)]);
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 9), (1, 2)], &[(3, 1)]);
         let (mut t, f0) = transform(&problem);
-        min_cost::solve(&mut t.flow, t.source, t.sink, f0, Algorithm::SuccessiveShortestPaths);
+        min_cost::solve(
+            &mut t.flow,
+            t.source,
+            t.sink,
+            f0,
+            Algorithm::SuccessiveShortestPaths,
+        );
         // s->p1 arc (priority 9, cost gamma_max-9=0) must carry flow.
         let (_, a_p1) = t.request_arcs.iter().find(|(p, _)| *p == 0).unwrap();
         let (_, a_p2) = t.request_arcs.iter().find(|(p, _)| *p == 1).unwrap();
         assert_eq!(t.flow.arc(*a_p1).flow, 1);
         // p2's request also carries one unit — through the bypass.
         assert_eq!(t.flow.arc(*a_p2).flow, 1);
-        let real: i64 = t.resource_arcs.iter().map(|&(_, a)| t.flow.arc(a).flow).sum();
+        let real: i64 = t
+            .resource_arcs
+            .iter()
+            .map(|&(_, a)| t.flow.arc(a).flow)
+            .sum();
         assert_eq!(real, 1);
     }
 
@@ -170,11 +181,8 @@ mod tests {
         // to prefer it).
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem = ScheduleProblem::with_priorities(
-            &cs,
-            &[(0, 9), (3, 1), (5, 6)],
-            &[(1, 5), (6, 5)],
-        );
+        let problem =
+            ScheduleProblem::with_priorities(&cs, &[(0, 9), (3, 1), (5, 6)], &[(1, 5), (6, 5)]);
         for algo in Algorithm::ALL {
             let (mut t, f0) = transform(&problem);
             min_cost::solve(&mut t.flow, t.source, t.sink, f0, algo);
@@ -182,8 +190,11 @@ mod tests {
             // p4 (priority 1) flows, but only via the bypass: its network
             // links carry nothing. Check by summing real resource arrivals.
             assert_eq!(t.flow.arc(*a_low).flow, 1, "{algo:?}");
-            let real: i64 =
-                t.resource_arcs.iter().map(|&(_, a)| t.flow.arc(a).flow).sum();
+            let real: i64 = t
+                .resource_arcs
+                .iter()
+                .map(|&(_, a)| t.flow.arc(a).flow)
+                .sum();
             assert_eq!(real, 2, "{algo:?}: both resources allocated");
             // The bypass node absorbed exactly one unit - from p4.
             let u = t.bypass.unwrap();
@@ -197,12 +208,13 @@ mod tests {
             let p4_bypass = t
                 .flow
                 .forward_arcs()
-                .find(|(_, arc)| {
-                    arc.to == u && t.flow.name(arc.from) == "p4"
-                })
+                .find(|(_, arc)| arc.to == u && t.flow.name(arc.from) == "p4")
                 .map(|(_, arc)| arc.flow)
                 .unwrap();
-            assert_eq!(p4_bypass, 1, "{algo:?}: the priority-1 request is the bypassed one");
+            assert_eq!(
+                p4_bypass, 1,
+                "{algo:?}: the priority-1 request is the bypassed one"
+            );
         }
     }
 
@@ -211,28 +223,33 @@ mod tests {
         // One request, two resources: the preferred one is selected.
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem =
-            ScheduleProblem::with_priorities(&cs, &[(0, 1)], &[(2, 1), (5, 10)]);
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 1)], &[(2, 1), (5, 10)]);
         let (mut t, f0) = transform(&problem);
-        min_cost::solve(&mut t.flow, t.source, t.sink, f0, Algorithm::SuccessiveShortestPaths);
+        min_cost::solve(
+            &mut t.flow,
+            t.source,
+            t.sink,
+            f0,
+            Algorithm::SuccessiveShortestPaths,
+        );
         let (_, a_r6) = t.resource_arcs.iter().find(|(r, _)| *r == 5).unwrap();
-        assert_eq!(t.flow.arc(*a_r6).flow, 1, "preference 10 beats preference 1");
+        assert_eq!(
+            t.flow.arc(*a_r6).flow,
+            1,
+            "preference 10 beats preference 1"
+        );
     }
 
     #[test]
     fn bypass_cost_exceeds_any_real_path() {
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
-        let problem = ScheduleProblem::with_priorities(
-            &cs,
-            &[(0, 1), (1, 10)],
-            &[(0, 1), (1, 10)],
-        );
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 1), (1, 10)], &[(0, 1), (1, 10)]);
         let (t, _) = transform(&problem);
         // Max real path cost = (gamma_max - 1) + (q_max - 1) = 18.
         // Bypass path costs 2 * max(11, 11) = 22 plus the s->p leg.
-        let bypass_arc_cost = (problem.max_priority() as i64 + 1)
-            .max(problem.max_preference() as i64 + 1);
+        let bypass_arc_cost =
+            (problem.max_priority() as i64 + 1).max(problem.max_preference() as i64 + 1);
         assert!(2 * bypass_arc_cost > 18);
         assert!(t.bypass.is_some());
     }

@@ -1,0 +1,346 @@
+//! Zero-rebuild transformations: one superset graph per topology, retuned
+//! per snapshot.
+//!
+//! [`homogeneous::transform`](super::homogeneous::transform) and
+//! [`priority::transform`](super::priority::transform) rebuild the flow
+//! network — nodes, arcs, `format!`ed debug names, bookkeeping vectors —
+//! for every snapshot, even though consecutive snapshots in a simulation
+//! differ only in *which* processors request, *which* resources are free,
+//! and *which* links are occupied. [`ReusableTransform`] builds a
+//! **superset** graph once per topology (every processor, every resource,
+//! every link mirrored) and reconfigures it per snapshot by toggling arc
+//! capacities: absent elements get capacity 0, which makes their arcs
+//! invisible to every flow algorithm (zero residual), so solving the
+//! reconfigured superset is equivalent to solving a freshly built
+//! transformation — same flow value and same optimal cost, though possibly
+//! a different (equally optimal) assignment, since arc order differs. A
+//! property test pins that equivalence on random snapshots.
+//!
+//! The graph is rebuilt automatically when a snapshot arrives from a
+//! different topology (detected by a cheap FNV fingerprint of the link
+//! structure), so one scratch can serve sweeps over several networks.
+
+use super::{mirror_network, Transformed};
+use crate::model::ScheduleProblem;
+use rsin_flow::{ArcId, Flow, FlowNetwork};
+use rsin_topology::{Network, NodeRef};
+
+/// A lazily built, capacity-toggled superset transformation graph.
+///
+/// Holds either shape: Transformation 1 (plain max-flow) or Transformation 2
+/// (priced, with bypass node) — chosen by which `configure_*` method is
+/// called. Reconfiguring between shapes or topologies triggers a rebuild.
+#[derive(Debug, Default)]
+pub struct ReusableTransform {
+    inner: Option<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    t: Transformed,
+    priced: bool,
+    fingerprint: u64,
+    /// `(p, u)` bypass leg per processor, aligned with `t.request_arcs`
+    /// (priced shape only).
+    bypass_arcs: Vec<ArcId>,
+    /// The `(u, t)` arc absorbing unallocated requests (priced shape only).
+    bypass_sink_arc: Option<ArcId>,
+}
+
+/// FNV-1a over the network's element counts and link endpoints: cheap,
+/// order-sensitive, and collision-safe enough to detect "same topology as
+/// last time" (a false positive needs two *different* topologies colliding
+/// within one scratch's lifetime).
+fn fingerprint(net: &Network) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let encode = |n: NodeRef| -> u64 {
+        match n {
+            NodeRef::Processor(p) => (p as u64) << 2,
+            NodeRef::Box(b) => ((b as u64) << 2) | 1,
+            NodeRef::Resource(r) => ((r as u64) << 2) | 2,
+        }
+    };
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(net.num_processors() as u64);
+    mix(net.num_boxes() as u64);
+    mix(net.num_resources() as u64);
+    mix(net.num_links() as u64);
+    for (_, link) in net.links() {
+        mix(encode(link.src));
+        mix(encode(link.dst));
+    }
+    h
+}
+
+/// Build the superset graph: every processor, resource, and link mirrored,
+/// every tunable arc created with capacity 0 ("disabled").
+fn build(net: &Network, priced: bool, fp: u64) -> Inner {
+    let np = net.num_processors();
+    let nr = net.num_resources();
+    let mut flow = FlowNetwork::with_capacity(
+        net.num_boxes() + np + nr + if priced { 3 } else { 2 },
+        net.num_links() + np * if priced { 2 } else { 1 } + nr + usize::from(priced),
+    );
+    let source = flow.add_node("s");
+    let sink = flow.add_node("t");
+    let bypass = if priced {
+        Some(flow.add_node("u"))
+    } else {
+        None
+    };
+    let all_procs: Vec<usize> = (0..np).collect();
+    let all_res: Vec<usize> = (0..nr).collect();
+    let mut img = mirror_network(&mut flow, net, |_| true, &all_procs, &all_res);
+
+    let mut request_arcs = Vec::with_capacity(np);
+    let mut bypass_arcs = Vec::with_capacity(if priced { np } else { 0 });
+    for &p in &all_procs {
+        let p_node = img.proc_node[p].unwrap();
+        let a = flow.add_arc(source, p_node, 0, 0);
+        img.arc_link.push(None);
+        request_arcs.push((p, a));
+        if let Some(u) = bypass {
+            let b = flow.add_arc(p_node, u, 0, 0);
+            img.arc_link.push(None);
+            bypass_arcs.push(b);
+        }
+    }
+    let mut resource_arcs = Vec::with_capacity(nr);
+    for &r in &all_res {
+        let a = flow.add_arc(img.res_node[r].unwrap(), sink, 0, 0);
+        img.arc_link.push(None);
+        resource_arcs.push((r, a));
+    }
+    let bypass_sink_arc = bypass.map(|u| {
+        let a = flow.add_arc(u, sink, 0, 0);
+        img.arc_link.push(None);
+        a
+    });
+    Inner {
+        t: Transformed {
+            flow,
+            source,
+            sink,
+            link_arc: img.link_arc,
+            arc_link: img.arc_link,
+            request_arcs,
+            resource_arcs,
+            bypass,
+        },
+        priced,
+        fingerprint: fp,
+        bypass_arcs,
+        bypass_sink_arc,
+    }
+}
+
+impl ReusableTransform {
+    /// Empty holder; the graph is built on first `configure_*` call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retune the superset for `problem` in the Transformation-1 shape
+    /// (unit capacities, no costs) and return it ready to solve.
+    pub fn configure_max_flow(&mut self, problem: &ScheduleProblem) -> &mut Transformed {
+        self.configure(problem, false).0
+    }
+
+    /// Retune the superset for `problem` in the Transformation-2 shape
+    /// (priority/preference costs, bypass node). Returns the transformed
+    /// network plus `F₀`, the circulation target (= number of requests).
+    pub fn configure_min_cost(&mut self, problem: &ScheduleProblem) -> (&mut Transformed, Flow) {
+        self.configure(problem, true)
+    }
+
+    fn configure(&mut self, problem: &ScheduleProblem, priced: bool) -> (&mut Transformed, Flow) {
+        let net = problem.circuits.network();
+        let fp = fingerprint(net);
+        let stale = match &self.inner {
+            Some(inner) => inner.fingerprint != fp || inner.priced != priced,
+            None => true,
+        };
+        if stale {
+            self.inner = Some(build(net, priced, fp));
+        }
+        let Inner {
+            t,
+            bypass_arcs,
+            bypass_sink_arc,
+            ..
+        } = self.inner.as_mut().expect("just built");
+        t.flow.reset();
+
+        // Network links: free = unit capacity, occupied = invisible.
+        for (lid, _) in net.links() {
+            let a = t.link_arc[lid.index()].expect("superset mirrors every link");
+            t.flow.set_cap(a, Flow::from(problem.circuits.is_free(lid)));
+        }
+
+        // Request arcs: disable all, then enable (and price) the requesters.
+        for &(_, a) in &t.request_arcs {
+            t.flow.set_cap(a, 0);
+        }
+        for &b in bypass_arcs.iter() {
+            t.flow.set_cap(b, 0);
+        }
+        let gamma_max = problem.max_priority() as i64;
+        let q_max = problem.max_preference() as i64;
+        let bypass_cost = (gamma_max + 1).max(q_max + 1);
+        for req in &problem.requests {
+            let (p, a) = t.request_arcs[req.processor];
+            debug_assert_eq!(p, req.processor, "request_arcs indexed by processor");
+            t.flow.set_cap(a, 1);
+            if priced {
+                t.flow.set_cost(a, gamma_max - req.priority as i64);
+                let b = bypass_arcs[req.processor];
+                t.flow.set_cap(b, 1);
+                // Same priority surcharge as priority::transform (see its
+                // module docs): bypassing urgent requests is strictly dearer.
+                t.flow.set_cost(b, bypass_cost + req.priority as i64);
+            }
+        }
+
+        // Resource arcs: disable all, then enable (and price) the free ones.
+        for &(_, a) in &t.resource_arcs {
+            t.flow.set_cap(a, 0);
+        }
+        for res in &problem.free {
+            let (r, a) = t.resource_arcs[res.resource];
+            debug_assert_eq!(r, res.resource, "resource_arcs indexed by resource");
+            t.flow.set_cap(a, 1);
+            if priced {
+                t.flow.set_cost(a, q_max - res.preference as i64);
+            }
+        }
+
+        // The (u, t) leg carries every unallocated request.
+        if let Some(ua) = *bypass_sink_arc {
+            t.flow.set_cap(ua, problem.requests.len() as Flow);
+            t.flow.set_cost(ua, bypass_cost);
+        }
+        (t, problem.requests.len() as Flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{homogeneous, priority};
+    use super::*;
+    use crate::mapping::{extract, verify};
+    use rsin_flow::{max_flow, min_cost};
+    use rsin_topology::builders::{generalized_cube, omega};
+    use rsin_topology::CircuitState;
+
+    #[test]
+    fn reconfigured_superset_matches_fresh_build_value() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        cs.connect(1, 5).unwrap();
+        cs.connect(3, 3).unwrap();
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+
+        let mut fresh = homogeneous::transform(&problem);
+        let want = max_flow::solve(
+            &mut fresh.flow,
+            fresh.source,
+            fresh.sink,
+            max_flow::Algorithm::Dinic,
+        );
+
+        let mut reusable = ReusableTransform::new();
+        for _ in 0..3 {
+            let t = reusable.configure_max_flow(&problem);
+            let got = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+            assert_eq!(got.value, want.value);
+            let assignments = extract(t).unwrap();
+            assert_eq!(assignments.len() as i64, want.value);
+            verify(&assignments, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn priced_superset_matches_fresh_build_cost() {
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let problem = ScheduleProblem::with_priorities(
+            &cs,
+            &[(0, 5), (1, 2), (4, 9), (7, 1)],
+            &[(0, 3), (3, 7), (5, 1), (7, 9)],
+        );
+        let (mut fresh, f0) = priority::transform(&problem);
+        let want = min_cost::solve(
+            &mut fresh.flow,
+            fresh.source,
+            fresh.sink,
+            f0,
+            min_cost::Algorithm::SuccessiveShortestPaths,
+        );
+
+        let mut reusable = ReusableTransform::new();
+        for _ in 0..3 {
+            let (t, f0) = reusable.configure_min_cost(&problem);
+            let got = min_cost::solve(
+                &mut t.flow,
+                t.source,
+                t.sink,
+                f0,
+                min_cost::Algorithm::SuccessiveShortestPaths,
+            );
+            assert_eq!((got.flow, got.cost), (want.flow, want.cost));
+            let assignments = extract(t).unwrap();
+            verify(&assignments, &problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn topology_change_triggers_rebuild() {
+        let omega_net = omega(8).unwrap();
+        let cube_net = generalized_cube(8).unwrap();
+        let omega_cs = CircuitState::new(&omega_net);
+        let cube_cs = CircuitState::new(&cube_net);
+        let mut reusable = ReusableTransform::new();
+        for _ in 0..2 {
+            let p1 = ScheduleProblem::homogeneous(&omega_cs, &[0, 1, 2], &[0, 1, 2]);
+            let t = reusable.configure_max_flow(&p1);
+            let r = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+            assert_eq!(r.value, 3);
+
+            let p2 = ScheduleProblem::homogeneous(&cube_cs, &[1, 3, 5, 7], &[0, 3, 5, 7]);
+            let t = reusable.configure_max_flow(&p2);
+            let r = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+            let assignments = extract(t).unwrap();
+            assert_eq!(assignments.len() as i64, r.value);
+            verify(&assignments, &p2).unwrap();
+        }
+    }
+
+    #[test]
+    fn shrinking_snapshot_leaves_no_ghost_flow() {
+        // A big snapshot followed by a tiny one: the tiny solve must not see
+        // capacities or flow left over from the big one.
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let mut reusable = ReusableTransform::new();
+        let all: Vec<usize> = (0..8).collect();
+        let big = ScheduleProblem::homogeneous(&cs, &all, &all);
+        let t = reusable.configure_max_flow(&big);
+        let r = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+        assert_eq!(r.value, 8);
+
+        let tiny = ScheduleProblem::homogeneous(&cs, &[3], &[6]);
+        let t = reusable.configure_max_flow(&tiny);
+        let r = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+        assert_eq!(r.value, 1);
+        let assignments = extract(t).unwrap();
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].processor, 3);
+        assert_eq!(assignments[0].resource, 6);
+        verify(&assignments, &tiny).unwrap();
+    }
+}

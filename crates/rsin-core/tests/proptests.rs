@@ -1,0 +1,132 @@
+//! Property tests for the zero-rebuild scheduling path: a `ScheduleScratch`
+//! reconfigured across a random sequence of snapshots must always agree
+//! with a fresh build-transform-solve on allocation count, total cost, and
+//! mapping validity. (Assignment vectors may legitimately differ: the
+//! superset graph enumerates arcs in a different order, so the solver may
+//! pick a different — equally optimal — mapping.)
+
+use proptest::prelude::*;
+use rsin_core::mapping::verify;
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler};
+use rsin_topology::builders::{baseline, generalized_cube, omega};
+use rsin_topology::{CircuitState, Network};
+
+fn network(which: usize) -> Network {
+    match which % 3 {
+        0 => omega(8).unwrap(),
+        1 => generalized_cube(8).unwrap(),
+        _ => baseline(8).unwrap(),
+    }
+}
+
+/// One random snapshot: pre-established circuits plus requester/free masks.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    circuits: Vec<(usize, usize)>,
+    requesting: Vec<usize>,
+    free: Vec<usize>,
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+        0u8..255,
+        0u8..255,
+    )
+        .prop_map(|(circuits, req_mask, free_mask)| Snapshot {
+            circuits,
+            requesting: (0..8).filter(|p| (req_mask >> p) & 1 == 1).collect(),
+            free: (0..8).filter(|r| (free_mask >> r) & 1 == 1).collect(),
+        })
+}
+
+/// Establish the snapshot's circuits (skipping any that no longer fit) and
+/// return the circuit state the scheduling cycle sees.
+fn circuit_state<'n>(net: &'n Network, snap: &Snapshot) -> CircuitState<'n> {
+    let mut cs = CircuitState::new(net);
+    for &(p, r) in &snap.circuits {
+        let _ = cs.connect(p, r);
+    }
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Max-flow scheduling: scratch reuse across a random snapshot sequence
+    /// preserves the optimum of every individual solve.
+    #[test]
+    fn reusable_max_flow_matches_fresh_solve(
+        which in 0usize..3,
+        snaps in proptest::collection::vec(snapshot_strategy(), 1..5),
+    ) {
+        let net = network(which);
+        let scheduler = MaxFlowScheduler::default();
+        let mut scratch = ScheduleScratch::new();
+        for snap in &snaps {
+            let cs = circuit_state(&net, snap);
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            let fresh = scheduler.try_schedule(&problem).unwrap();
+            let reused = scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert_eq!(
+                reused.assignments.len() + reused.blocked.len(),
+                problem.requests.len()
+            );
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+        }
+    }
+
+    /// Min-cost scheduling with random priorities/preferences: scratch reuse
+    /// preserves both the cardinality and the optimal total cost.
+    #[test]
+    fn reusable_min_cost_matches_fresh_solve(
+        which in 0usize..3,
+        snaps in proptest::collection::vec(
+            (
+                snapshot_strategy(),
+                proptest::collection::vec(1u32..10, 8),
+                proptest::collection::vec(1u32..10, 8),
+            ),
+            1..4,
+        ),
+    ) {
+        let net = network(which);
+        let scheduler = MinCostScheduler::default();
+        let mut scratch = ScheduleScratch::new();
+        for (snap, prios, prefs) in &snaps {
+            let cs = circuit_state(&net, snap);
+            let requesting: Vec<(usize, u32)> =
+                snap.requesting.iter().map(|&p| (p, prios[p])).collect();
+            let free: Vec<(usize, u32)> =
+                snap.free.iter().map(|&r| (r, prefs[r])).collect();
+            let problem = ScheduleProblem::with_priorities(&cs, &requesting, &free);
+            let fresh = scheduler.try_schedule(&problem).unwrap();
+            let reused = scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert_eq!(reused.total_cost, fresh.total_cost);
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+        }
+    }
+
+    /// One scratch driven across *different topologies* mid-sequence must
+    /// transparently rebuild and still match fresh solves.
+    #[test]
+    fn scratch_survives_topology_changes(
+        snaps in proptest::collection::vec((0usize..3, snapshot_strategy()), 2..6),
+    ) {
+        let nets: Vec<Network> = (0..3).map(network).collect();
+        let scheduler = MaxFlowScheduler::default();
+        let mut scratch = ScheduleScratch::new();
+        for (which, snap) in &snaps {
+            let net = &nets[*which];
+            let cs = circuit_state(net, snap);
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            let fresh = scheduler.try_schedule(&problem).unwrap();
+            let reused = scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+        }
+    }
+}

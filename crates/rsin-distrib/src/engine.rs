@@ -16,7 +16,7 @@
 use crate::status::{Event, StatusBus};
 use rsin_core::mapping::Assignment;
 use rsin_core::model::{ScheduleOutcome, ScheduleProblem};
-use rsin_core::scheduler::Scheduler;
+use rsin_core::scheduler::{ScheduleError, Scheduler};
 use rsin_topology::{LinkId, Network, NodeRef, Switchbox};
 
 /// Dynamic state of one link during a scheduling cycle.
@@ -226,7 +226,7 @@ impl<'n> TokenEngine<'n> {
             self.record("registration");
             self.register(&winners);
             self.clocks += 1; // registration clock (state 110110x)
-            // Clear markings for the next iteration.
+                              // Clear markings for the next iteration.
             for ns in &mut self.ns {
                 for m in ns.input.iter_mut().chain(ns.output.iter_mut()) {
                     *m = PortMark::default();
@@ -256,10 +256,9 @@ impl<'n> TokenEngine<'n> {
         let mut hits = Vec::new();
         while !frontier.is_empty() {
             self.clocks += 1; // one link traversal per clock
-            // Deliver all tokens of this clock; group box arrivals so only
-            // the first batch is honoured.
-            let mut box_arrivals: Vec<Vec<(bool, usize)>> =
-                vec![Vec::new(); self.net.num_boxes()];
+                              // Deliver all tokens of this clock; group box arrivals so only
+                              // the first batch is honoured.
+            let mut box_arrivals: Vec<Vec<(bool, usize)>> = vec![Vec::new(); self.net.num_boxes()];
             for &(link, reverse) in &frontier {
                 let l = self.net.link(link);
                 if reverse {
@@ -339,7 +338,10 @@ impl<'n> TokenEngine<'n> {
             .iter()
             .filter_map(|&r| {
                 let l = self.net.resource_link(r)?;
-                Some(RToken { stack: vec![(l, true)], alive: true })
+                Some(RToken {
+                    stack: vec![(l, true)],
+                    alive: true,
+                })
             })
             .collect();
         let mut winners = Vec::new();
@@ -360,8 +362,7 @@ impl<'n> TokenEngine<'n> {
                         // Choose a receivable port: inputs exit reverse
                         // (toward the request's origin), outputs exit
                         // forward (confirming a cancellation).
-                        let exit = self
-                            .ns[b]
+                        let exit = self.ns[b]
                             .input
                             .iter()
                             .enumerate()
@@ -436,8 +437,7 @@ impl<'n> TokenEngine<'n> {
             // A hop travelled in reverse by the resource token is a *new
             // flow* link (traversed forward by the augmenting path); a hop
             // travelled forward is a *cancellation*.
-            let path: Vec<(LinkId, bool)> =
-                stack.iter().rev().map(|&(l, rev)| (l, rev)).collect();
+            let path: Vec<(LinkId, bool)> = stack.iter().rev().map(|&(l, rev)| (l, rev)).collect();
             // `forward` below = augmenting path goes along the link.
             // Rewire each intermediate box.
             for w in path.windows(2) {
@@ -453,21 +453,25 @@ impl<'n> TokenEngine<'n> {
                 match (in_new, out_new) {
                     (true, true) => {
                         // New flow in at input X, out at output Z.
-                        self.boxes[b].connect(li.dst_port, lo.src_port).expect("ports free");
+                        self.boxes[b]
+                            .connect(li.dst_port, lo.src_port)
+                            .expect("ports free");
                     }
                     (true, false) => {
                         // New flow in at X; cancel old flow that entered at Y.
                         let y = lo.dst_port;
-                        let z_old =
-                            self.boxes[b].output_of(y).expect("cancelled input was connected");
+                        let z_old = self.boxes[b]
+                            .output_of(y)
+                            .expect("cancelled input was connected");
                         self.boxes[b].disconnect_input(y);
                         self.boxes[b].connect(li.dst_port, z_old).expect("rewire");
                     }
                     (false, true) => {
                         // Cancel old flow that left at output A; new out at Z.
                         let a = li.src_port;
-                        let w_in =
-                            self.boxes[b].input_of(a).expect("cancelled output was connected");
+                        let w_in = self.boxes[b]
+                            .input_of(a)
+                            .expect("cancelled output was connected");
                         self.boxes[b].disconnect_input(w_in);
                         self.boxes[b].connect(w_in, lo.src_port).expect("rewire");
                     }
@@ -525,7 +529,11 @@ impl<'n> TokenEngine<'n> {
                 links.push(link);
                 match self.net.link(link).dst {
                     NodeRef::Resource(r) => {
-                        assignments.push(Assignment { processor: p, resource: r, path: links });
+                        assignments.push(Assignment {
+                            processor: p,
+                            resource: r,
+                            path: links,
+                        });
                         break;
                     }
                     NodeRef::Box(b) => {
@@ -571,8 +579,8 @@ impl Scheduler for DistributedScheduler {
         "distributed(token)"
     }
 
-    fn schedule(&self, problem: &ScheduleProblem) -> ScheduleOutcome {
-        TokenEngine::run(problem).outcome
+    fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
+        Ok(TokenEngine::run(problem).outcome)
     }
 }
 
@@ -601,8 +609,7 @@ mod tests {
         let mut cs = CircuitState::new(&net);
         cs.connect(1, 5).unwrap();
         cs.connect(3, 3).unwrap();
-        let problem =
-            ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
         let report = TokenEngine::run(&problem);
         assert_eq!(report.outcome.assignments.len(), 5);
         verify(&report.outcome.assignments, &problem).unwrap();
@@ -630,18 +637,21 @@ mod tests {
     fn matches_software_dinic_on_many_instances() {
         // Deterministic sweep over request/resource subsets on several
         // topologies with one pre-established circuit.
-        let nets =
-            vec![omega(8).unwrap(), baseline(8).unwrap(), generalized_cube(8).unwrap()];
+        let nets = vec![
+            omega(8).unwrap(),
+            baseline(8).unwrap(),
+            generalized_cube(8).unwrap(),
+        ];
         for net in &nets {
             for seed in 0..30u64 {
                 let mut cs = CircuitState::new(net);
                 let a = (seed % 8) as usize;
                 let b = ((seed / 8) % 8) as usize;
                 let _ = cs.connect(a, b);
-                let req: Vec<usize> =
-                    (0..8).filter(|i| (seed >> i) & 1 == 0 && *i != a).collect();
-                let free: Vec<usize> =
-                    (0..8).filter(|i| (seed >> (i + 3)) & 1 == 0 && *i != b).collect();
+                let req: Vec<usize> = (0..8).filter(|i| (seed >> i) & 1 == 0 && *i != a).collect();
+                let free: Vec<usize> = (0..8)
+                    .filter(|i| (seed >> (i + 3)) & 1 == 0 && *i != b)
+                    .collect();
                 let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
                 let report = TokenEngine::run(&problem);
                 let sw = MaxFlowScheduler::default().schedule(&problem);

@@ -49,7 +49,11 @@ pub struct Netlist {
 impl Netlist {
     /// A netlist reading `n_inputs` input wires.
     pub fn new(n_inputs: usize) -> Self {
-        Netlist { n_inputs, gates: Vec::new(), outputs: Vec::new() }
+        Netlist {
+            n_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Wire id of input `i`.
@@ -83,7 +87,11 @@ impl Netlist {
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {
-                next.push(if pair.len() == 2 { self.and(pair[0], pair[1]) } else { pair[0] });
+                next.push(if pair.len() == 2 {
+                    self.and(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
             }
             level = next;
         }
@@ -97,7 +105,11 @@ impl Netlist {
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {
-                next.push(if pair.len() == 2 { self.or(pair[0], pair[1]) } else { pair[0] });
+                next.push(if pair.len() == 2 {
+                    self.or(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
             }
             level = next;
         }
@@ -275,7 +287,12 @@ mod tests {
         let y = n.and(na, b);
         let xor = n.or(x, y);
         n.expose(xor);
-        for (ia, ib, want) in [(false, false, false), (true, false, true), (false, true, true), (true, true, false)] {
+        for (ia, ib, want) in [
+            (false, false, false),
+            (true, false, true),
+            (false, true, true),
+            (true, true, false),
+        ] {
             assert_eq!(n.eval(&[ia, ib]), vec![want]);
         }
         assert_eq!(n.gate_count(), 5);
@@ -309,7 +326,8 @@ mod tests {
         for v in 0..(1usize << COUNT) {
             let input = bits(v, COUNT);
             let out = n.eval(&input);
-            let any_arrival = input[TOKEN_IN0] || input[TOKEN_IN1] || input[TOKEN_OUT0] || input[TOKEN_OUT1];
+            let any_arrival =
+                input[TOKEN_IN0] || input[TOKEN_IN1] || input[TOKEN_OUT0] || input[TOKEN_OUT1];
             let expected = input[E3]
                 && any_arrival
                 && !input[GOT_BATCH]
@@ -333,14 +351,19 @@ mod tests {
             let receivable1 = input[RECV1] && !input[USED1] && !input[CLEARED1];
             let active = input[E4] && input[TOKEN_PRESENT];
             assert_eq!(out[0], active && receivable0, "grant0 v={v:#010b}");
-            assert_eq!(out[1], active && !receivable0 && receivable1, "grant1 v={v:#010b}");
-            assert_eq!(out[2], active && !receivable0 && !receivable1, "backtrack v={v:#010b}");
+            assert_eq!(
+                out[1],
+                active && !receivable0 && receivable1,
+                "grant1 v={v:#010b}"
+            );
+            assert_eq!(
+                out[2],
+                active && !receivable0 && !receivable1,
+                "backtrack v={v:#010b}"
+            );
             // Exactly one of the three fires when active.
             if active {
-                assert_eq!(
-                    [out[0], out[1], out[2]].iter().filter(|b| **b).count(),
-                    1
-                );
+                assert_eq!([out[0], out[1], out[2]].iter().filter(|b| **b).count(), 1);
             } else {
                 assert!(!out[0] && !out[1] && !out[2]);
             }
@@ -352,8 +375,16 @@ mod tests {
     fn gate_counts_are_tiny() {
         let req = request_duplication_2x2();
         let grant = resource_grant_2x2();
-        assert!(req.gate_count() <= 16, "request logic: {} gates", req.gate_count());
-        assert!(grant.gate_count() <= 16, "grant logic: {} gates", grant.gate_count());
+        assert!(
+            req.gate_count() <= 16,
+            "request logic: {} gates",
+            req.gate_count()
+        );
+        assert!(
+            grant.gate_count() <= 16,
+            "grant logic: {} gates",
+            grant.gate_count()
+        );
         assert!(req.depth() <= 6, "request depth {}", req.depth());
         assert!(grant.depth() <= 6, "grant depth {}", grant.depth());
     }

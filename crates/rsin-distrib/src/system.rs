@@ -75,8 +75,7 @@ impl<'n> DistributedSystem<'n> {
     /// Run one distributed scheduling cycle if there is work. Returns the
     /// outcome (allocated circuits are established in the system).
     pub fn cycle(&mut self) -> Option<ScheduleOutcome> {
-        let free_now: Vec<usize> =
-            (0..self.free.len()).filter(|&r| self.free[r]).collect();
+        let free_now: Vec<usize> = (0..self.free.len()).filter(|&r| self.free[r]).collect();
         if self.pending.is_empty() || free_now.is_empty() {
             return None;
         }
@@ -85,7 +84,11 @@ impl<'n> DistributedSystem<'n> {
             requests: self
                 .pending
                 .iter()
-                .map(|&p| ScheduleRequest { processor: p, priority: 1, resource_type: 0 })
+                .map(|&p| ScheduleRequest {
+                    processor: p,
+                    priority: 1,
+                    resource_type: 0,
+                })
                 .collect(),
             free: free_now
                 .iter()
@@ -102,7 +105,10 @@ impl<'n> DistributedSystem<'n> {
         self.cycles += 1;
         self.iterations += report.iterations;
         for a in &report.outcome.assignments {
-            let c = self.circuits.establish(&a.path).expect("engine paths are free");
+            let c = self
+                .circuits
+                .establish(&a.path)
+                .expect("engine paths are free");
             self.free[a.resource] = false;
             self.live[a.processor] = Some((c, a.resource));
             self.pending.retain(|&p| p != a.processor);

@@ -44,7 +44,10 @@ pub struct Bipartite {
 impl Bipartite {
     /// Graph with `n_left` left and `n_right` right vertices, no edges.
     pub fn new(n_left: usize, n_right: usize) -> Self {
-        Bipartite { adj: vec![Vec::new(); n_left], n_right }
+        Bipartite {
+            adj: vec![Vec::new(); n_left],
+            n_right,
+        }
     }
 
     /// Add an edge `(l, r)`.
@@ -137,7 +140,12 @@ impl Bipartite {
                 }
             }
         }
-        Matching { pair_left, pair_right, size, phases }
+        Matching {
+            pair_left,
+            pair_right,
+            size,
+            phases,
+        }
     }
 }
 
@@ -153,8 +161,12 @@ mod tests {
         let mut f = FlowNetwork::new();
         let s = f.add_node("s");
         let t = f.add_node("t");
-        let lefts: Vec<_> = (0..g.n_left()).map(|i| f.add_node(format!("l{i}"))).collect();
-        let rights: Vec<_> = (0..g.n_right()).map(|i| f.add_node(format!("r{i}"))).collect();
+        let lefts: Vec<_> = (0..g.n_left())
+            .map(|i| f.add_node(format!("l{i}")))
+            .collect();
+        let rights: Vec<_> = (0..g.n_right())
+            .map(|i| f.add_node(format!("r{i}")))
+            .collect();
         for &l in &lefts {
             f.add_arc(s, l, 1, 0);
         }
@@ -259,6 +271,10 @@ mod tests {
         }
         let m = g.hopcroft_karp();
         assert_eq!(m.size, n);
-        assert!(m.phases as f64 <= (n as f64).sqrt() + 2.0, "phases {}", m.phases);
+        assert!(
+            m.phases as f64 <= (n as f64).sqrt() + 2.0,
+            "phases {}",
+            m.phases
+        );
     }
 }

@@ -46,9 +46,12 @@ pub fn min_cut(g: &FlowNetwork, s: NodeId) -> Cut {
             capacity += a.cap;
         }
     }
-    let source_side =
-        g.nodes().filter(|n| reachable[n.index()]).collect();
-    Cut { source_side, arcs, capacity }
+    let source_side = g.nodes().filter(|n| reachable[n.index()]).collect();
+    Cut {
+        source_side,
+        arcs,
+        capacity,
+    }
 }
 
 /// Certify that the current flow in `g` is a legal maximum `s`→`t` flow:

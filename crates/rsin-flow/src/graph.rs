@@ -109,8 +109,20 @@ impl FlowNetwork {
         assert!(cap >= 0, "negative capacity");
         assert!(from.index() < self.names.len() && to.index() < self.names.len());
         let id = ArcId(self.arcs.len() as u32);
-        self.arcs.push(Arc { from, to, cap, flow: 0, cost });
-        self.arcs.push(Arc { from: to, to: from, cap: 0, flow: 0, cost: -cost });
+        self.arcs.push(Arc {
+            from,
+            to,
+            cap,
+            flow: 0,
+            cost,
+        });
+        self.arcs.push(Arc {
+            from: to,
+            to: from,
+            cap: 0,
+            flow: 0,
+            cost: -cost,
+        });
         self.adj[from.index()].push(id);
         self.adj[to.index()].push(id.twin());
         id
@@ -133,7 +145,10 @@ impl FlowNetwork {
 
     /// Find a node by exact name (linear scan; intended for tests/examples).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Arc data.
@@ -179,6 +194,36 @@ impl FlowNetwork {
         for a in &mut self.arcs {
             a.flow = 0;
         }
+    }
+
+    /// Return the network to its just-built state: zero flow on every arc,
+    /// nodes/arcs/capacities/costs untouched. This is the entry point of the
+    /// reuse protocol — reset, retune capacities with [`Self::set_cap`] /
+    /// [`Self::set_cost`], re-solve — that lets successive snapshots share
+    /// one transformation graph instead of rebuilding it per solve.
+    pub fn reset(&mut self) {
+        self.clear_flow();
+    }
+
+    /// Replace the capacity of a forward arc. The residual twin keeps
+    /// capacity 0; any flow must have been cleared first (capacities may
+    /// shrink below the current flow otherwise).
+    pub fn set_cap(&mut self, a: ArcId, cap: Flow) {
+        assert!(a.is_forward(), "set_cap addresses forward arcs only");
+        assert!(cap >= 0, "negative capacity");
+        debug_assert!(
+            self.arcs[a.index()].flow <= cap,
+            "set_cap below current flow; call reset() first"
+        );
+        self.arcs[a.index()].cap = cap;
+    }
+
+    /// Replace the per-unit cost of a forward arc; the twin gets `-cost` so
+    /// cancellation stays consistent.
+    pub fn set_cost(&mut self, a: ArcId, cost: Cost) {
+        assert!(a.is_forward(), "set_cost addresses forward arcs only");
+        self.arcs[a.index()].cost = cost;
+        self.arcs[a.index() ^ 1].cost = -cost;
     }
 
     /// Net flow out of a node (positive at the source, negative at the sink,
@@ -269,7 +314,11 @@ impl FlowNetwork {
                 a.to.0,
                 a.flow,
                 a.cap,
-                if a.cost != 0 { format!(" @{}", a.cost) } else { String::new() },
+                if a.cost != 0 {
+                    format!(" @{}", a.cost)
+                } else {
+                    String::new()
+                },
                 style
             );
         }
@@ -350,6 +399,34 @@ mod tests {
         g.clear_flow();
         assert_eq!(g.flow_value(s), 0);
         assert_eq!(g.check_legal_flow(s, t).unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_then_retune_supports_resolve() {
+        let (mut g, s, t) = diamond();
+        let sa = g.out_arcs(s)[0];
+        g.push(sa, 1);
+        g.reset();
+        assert_eq!(g.flow_value(s), 0);
+        // Close one branch, widen the other, and reprice it.
+        let sb = g.out_arcs(s)[1];
+        g.set_cap(sa, 0);
+        g.set_cap(sb, 3);
+        g.set_cost(sb, 7);
+        assert_eq!(g.arc(sa).cap, 0);
+        assert_eq!(g.arc(sb).cap, 3);
+        assert_eq!(g.arc(sb).cost, 7);
+        assert_eq!(g.arc(sb.twin()).cost, -7);
+        assert_eq!(g.arc(sb.twin()).cap, 0, "twin capacity stays zero");
+        assert_eq!(g.check_legal_flow(s, t).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward arcs only")]
+    fn set_cap_rejects_residual_twin() {
+        let (mut g, s, _) = diamond();
+        let sa = g.out_arcs(s)[0];
+        g.set_cap(sa.twin(), 2);
     }
 
     #[test]

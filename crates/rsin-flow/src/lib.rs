@@ -53,12 +53,14 @@ pub mod max_flow;
 pub mod min_cost;
 pub mod multicommodity;
 pub mod path;
+pub mod scratch;
 pub mod stats;
 pub mod transshipment;
 
 pub use graph::{ArcId, FlowNetwork, NodeId};
 pub use max_flow::{Algorithm, MaxFlowResult};
 pub use min_cost::MinCostResult;
+pub use scratch::SolveScratch;
 
 /// Capacity / flow quantity. The paper's networks are unit-capacity, but
 /// transformations may introduce larger capacities (e.g. the bypass arc of

@@ -17,6 +17,7 @@
 
 use super::MaxFlowResult;
 use crate::graph::{ArcId, FlowNetwork, NodeId};
+use crate::scratch::{SolveScratch, UNLEVELLED};
 use crate::stats::OpStats;
 use crate::Flow;
 use std::collections::VecDeque;
@@ -74,7 +75,11 @@ impl LayeredNetwork {
             }
         }
         let reaches_sink = level[t.index()].is_some();
-        LayeredNetwork { level, layers, reaches_sink }
+        LayeredNetwork {
+            level,
+            layers,
+            reaches_sink,
+        }
     }
 
     /// Layer index of a node, if it appears in the layered network.
@@ -112,30 +117,90 @@ impl LayeredNetwork {
     }
 }
 
-/// Find a *maximal* flow in the layered network by DFS with current-arc
-/// pointers, pushing it into `g`. Returns the value advanced.
-fn blocking_flow(
-    g: &mut FlowNetwork,
-    ln: &LayeredNetwork,
+/// BFS levelling into `scratch.level` — the same traversal, sink-layer
+/// cutoff, and operation counts as [`LayeredNetwork::build`], but writing a
+/// flat `u32` array (sentinel [`UNLEVELLED`]) instead of allocating layers.
+/// Returns `true` when the sink was levelled.
+fn level_residual(
+    g: &FlowNetwork,
     s: NodeId,
     t: NodeId,
+    scratch: &mut SolveScratch,
+    stats: &mut OpStats,
+) -> bool {
+    stats.phases += 1;
+    let n = g.num_nodes();
+    let SolveScratch { level, queue, .. } = scratch;
+    level[..n].fill(UNLEVELLED);
+    level[s.index()] = 0;
+    queue.clear();
+    queue.push_back(s);
+    // `UNLEVELLED` doubles as "sink not seen yet": no reachable node's level
+    // can compare >= to it, so the cutoff below only bites once t is found.
+    let mut sink_level = if s == t { 0 } else { UNLEVELLED };
+    while let Some(u) = queue.pop_front() {
+        stats.node_visits += 1;
+        let lu = level[u.index()];
+        // Do not expand nodes at or beyond the sink layer.
+        if lu >= sink_level {
+            continue;
+        }
+        for &a in g.out_arcs(u) {
+            stats.arc_scans += 1;
+            let arc = g.arc(a);
+            if arc.residual() > 0 && level[arc.to.index()] == UNLEVELLED {
+                let lv = lu + 1;
+                level[arc.to.index()] = lv;
+                if arc.to == t {
+                    sink_level = lv;
+                }
+                queue.push_back(arc.to);
+            }
+        }
+    }
+    level[t.index()] != UNLEVELLED
+}
+
+/// Find a *maximal* flow in the layered network by DFS with current-arc
+/// pointers, pushing it into `g`. Returns the value advanced. Reads the
+/// levels written by [`level_residual`] and reuses the DFS buffers in
+/// `scratch`.
+fn blocking_flow(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut SolveScratch,
     stats: &mut OpStats,
 ) -> Flow {
     let n = g.num_nodes();
+    let SolveScratch {
+        level,
+        next_arc,
+        path,
+        ..
+    } = scratch;
     // Current-arc pointer per node: arcs before it are exhausted.
-    let mut next_arc = vec![0usize; n];
+    next_arc[..n].fill(0);
     let mut total = 0;
-    // DFS stack of (node, arc taken to reach it).
-    let mut path: Vec<ArcId> = Vec::new();
+    // DFS stack of arcs taken from the source to the current node.
+    path.clear();
+    // A layered-network ("useful") arc: positive residual, pointing to the
+    // next layer — exactly `LayeredNetwork::contains_arc`.
+    let admissible = |g: &FlowNetwork, a: ArcId| {
+        let arc = g.arc(a);
+        arc.residual() > 0
+            && level[arc.from.index()] != UNLEVELLED
+            && level[arc.to.index()] == level[arc.from.index()] + 1
+    };
     let mut u = s;
     loop {
         if u == t {
             // Found an s-t path in the layered network; push bottleneck.
             let mut bottleneck = Flow::MAX;
-            for &a in &path {
+            for &a in path.iter() {
                 bottleneck = bottleneck.min(g.residual(a));
             }
-            for &a in &path {
+            for &a in path.iter() {
                 g.push(a, bottleneck);
             }
             total += bottleneck;
@@ -149,7 +214,11 @@ fn blocking_flow(
                 }
             }
             path.truncate(retreat_to);
-            u = if let Some(&a) = path.last() { g.arc(a).to } else { s };
+            u = if let Some(&a) = path.last() {
+                g.arc(a).to
+            } else {
+                s
+            };
             continue;
         }
         // Advance over the next admissible arc out of u.
@@ -158,7 +227,7 @@ fn blocking_flow(
         while next_arc[u.index()] < arcs.len() {
             let a = arcs[next_arc[u.index()]];
             stats.arc_scans += 1;
-            if ln.contains_arc(g, a) {
+            if admissible(g, a) {
                 path.push(a);
                 u = g.arc(a).to;
                 advanced = true;
@@ -185,17 +254,28 @@ fn blocking_flow(
 
 /// Compute a maximum `s`→`t` flow with Dinic's algorithm.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    solve_with(g, s, t, &mut SolveScratch::new())
+}
+
+/// [`solve`] with caller-provided scratch buffers: identical results and
+/// [`OpStats`], allocation-free after the first call on a given node count.
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut SolveScratch,
+) -> MaxFlowResult {
     let mut stats = OpStats::new();
     let mut value = 0;
     if s == t {
         return MaxFlowResult { value, stats };
     }
+    scratch.ensure_nodes(g.num_nodes());
     loop {
-        let ln = LayeredNetwork::build(g, s, t, &mut stats);
-        if !ln.reaches_sink() {
+        if !level_residual(g, s, t, scratch, &mut stats) {
             break;
         }
-        value += blocking_flow(g, &ln, s, t, &mut stats);
+        value += blocking_flow(g, s, t, scratch, &mut stats);
     }
     MaxFlowResult { value, stats }
 }
@@ -358,9 +438,14 @@ mod tests {
             g.add_arc(r, t, 1, 0);
         }
         // Initial flow: p1 -> 4 -> 7 -> r4 and p4 -> 5 -> 6 -> r1.
-        for &(arc, path_head) in
-            &[(a_p1_4, s), (a_4_7, p1), (a_7_r4, n7), (a_p4_5, s), (a_5_6, n5), (a_6_r1, n6)]
-        {
+        for &(arc, path_head) in &[
+            (a_p1_4, s),
+            (a_4_7, p1),
+            (a_7_r4, n7),
+            (a_p4_5, s),
+            (a_5_6, n5),
+            (a_6_r1, n6),
+        ] {
             let _ = path_head;
             g.push(arc, 1);
         }
@@ -380,7 +465,10 @@ mod tests {
         let mut st = OpStats::new();
         let ln = LayeredNetwork::build(&g, s, t, &mut st);
         assert!(ln.reaches_sink());
-        assert!(ln.contains_arc(&g, a_5_6.twin()), "cancellation arc must be useful");
+        assert!(
+            ln.contains_arc(&g, a_5_6.twin()),
+            "cancellation arc must be useful"
+        );
         let _ = a_5_7;
 
         // Augment: all three resources allocated.

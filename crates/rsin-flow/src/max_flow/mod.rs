@@ -30,6 +30,7 @@ pub mod scaling;
 pub use dinic::LayeredNetwork;
 
 use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::Flow;
 
@@ -79,6 +80,22 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, algo: Algorithm) -> MaxF
         Algorithm::Dinic => dinic::solve(g, s, t),
         Algorithm::PushRelabel => push_relabel::solve(g, s, t),
         Algorithm::CapacityScaling => scaling::solve(g, s, t),
+    }
+}
+
+/// [`solve`] reusing caller-provided scratch buffers. Dinic runs fully
+/// allocation-free; the other algorithms have no scratch-aware variant yet
+/// and fall back to [`solve`] (same results either way).
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    algo: Algorithm,
+    scratch: &mut SolveScratch,
+) -> MaxFlowResult {
+    match algo {
+        Algorithm::Dinic => dinic::solve_with(g, s, t, scratch),
+        _ => solve(g, s, t, algo),
     }
 }
 

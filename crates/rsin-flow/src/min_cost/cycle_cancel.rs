@@ -68,7 +68,11 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
     let mut stats = OpStats::new();
     if s == t || target <= 0 {
         g.clear_flow();
-        return MinCostResult { flow: 0, cost: 0, stats };
+        return MinCostResult {
+            flow: 0,
+            cost: 0,
+            stats,
+        };
     }
     // Phase A: any flow of value min(target, maxflow). Use Dinic, then
     // reduce to the target by cancelling along paths if we overshot.
@@ -106,7 +110,11 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
         }
         stats.augmentations += 1;
     }
-    MinCostResult { flow: value, cost: g.flow_cost(), stats }
+    MinCostResult {
+        flow: value,
+        cost: g.flow_cost(),
+        stats,
+    }
 }
 
 #[cfg(test)]

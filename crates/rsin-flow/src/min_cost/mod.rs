@@ -23,6 +23,7 @@ pub mod out_of_kilter;
 pub mod ssp;
 
 use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::{Cost, Flow};
 
@@ -69,6 +70,23 @@ pub fn solve(
         Algorithm::SuccessiveShortestPaths => ssp::solve(g, s, t, target),
         Algorithm::OutOfKilter => out_of_kilter::solve_on_network(g, s, t, target),
         Algorithm::CycleCanceling => cycle_cancel::solve(g, s, t, target),
+    }
+}
+
+/// [`solve`] reusing caller-provided scratch buffers. Successive shortest
+/// paths runs allocation-free; the other algorithms have no scratch-aware
+/// variant yet and fall back to [`solve`] (same results either way).
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    algo: Algorithm,
+    scratch: &mut SolveScratch,
+) -> MinCostResult {
+    match algo {
+        Algorithm::SuccessiveShortestPaths => ssp::solve_with(g, s, t, target, scratch),
+        _ => solve(g, s, t, target, algo),
     }
 }
 
@@ -155,7 +173,10 @@ mod tests {
                 let r = solve(&mut g, s, t, target, algo);
                 costs.push((r.flow, r.cost));
             }
-            assert!(costs.windows(2).all(|w| w[0] == w[1]), "target {target}: {costs:?}");
+            assert!(
+                costs.windows(2).all(|w| w[0] == w[1]),
+                "target {target}: {costs:?}"
+            );
         }
     }
 

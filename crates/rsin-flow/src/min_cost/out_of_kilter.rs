@@ -77,7 +77,11 @@ pub struct Infeasible;
 impl KilterNetwork {
     /// A network over `num_nodes` nodes with no arcs.
     pub fn new(num_nodes: usize) -> Self {
-        KilterNetwork { num_nodes, arcs: Vec::new(), pot: vec![0; num_nodes] }
+        KilterNetwork {
+            num_nodes,
+            arcs: Vec::new(),
+            pot: vec![0; num_nodes],
+        }
     }
 
     /// Add an arc with bounds `[lower, upper]` and unit cost `cost`; initial
@@ -85,7 +89,14 @@ impl KilterNetwork {
     pub fn add_arc(&mut self, from: usize, to: usize, lower: Flow, upper: Flow, cost: Cost) {
         assert!(lower <= upper, "lower > upper");
         assert!(from < self.num_nodes && to < self.num_nodes);
-        self.arcs.push(KilterArc { from, to, lower, upper, cost, flow: 0 });
+        self.arcs.push(KilterArc {
+            from,
+            to,
+            lower,
+            upper,
+            cost,
+            flow: 0,
+        });
     }
 
     /// Current arcs (with final flows after [`KilterNetwork::solve`]).
@@ -142,8 +153,11 @@ impl KilterNetwork {
                 (false, arc.flow - arc.upper)
             };
             // Increasing f(e) needs a path head->tail; decreasing, tail->head.
-            let (start, goal) =
-                if increase { (self.arcs[e].to, self.arcs[e].from) } else { (self.arcs[e].from, self.arcs[e].to) };
+            let (start, goal) = if increase {
+                (self.arcs[e].to, self.arcs[e].from)
+            } else {
+                (self.arcs[e].from, self.arcs[e].to)
+            };
 
             match self.label(start, goal, e, stats) {
                 LabelOutcome::Path { parent } => {
@@ -275,16 +289,15 @@ enum LabelOutcome {
 /// Min-cost-flow adapter: compute the minimum-cost flow of value
 /// `min(target, max-flow)` on `g` using the out-of-kilter method, writing
 /// the optimal flow back into `g`.
-pub fn solve_on_network(
-    g: &mut FlowNetwork,
-    s: NodeId,
-    t: NodeId,
-    target: Flow,
-) -> MinCostResult {
+pub fn solve_on_network(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCostResult {
     let mut stats = OpStats::new();
     if s == t || target <= 0 {
         g.clear_flow();
-        return MinCostResult { flow: 0, cost: 0, stats };
+        return MinCostResult {
+            flow: 0,
+            cost: 0,
+            stats,
+        };
     }
     // Phase A: the achievable value.
     let mut probe = g.clone();
@@ -295,12 +308,16 @@ pub fn solve_on_network(
 
     // Phase B: min-cost circulation with return arc bounded [F*, F*].
     let mut kn = KilterNetwork::new(g.num_nodes());
-    let arcs: Vec<_> = g.forward_arcs().map(|(id, a)| (id, a.from, a.to, a.cap, a.cost)).collect();
+    let arcs: Vec<_> = g
+        .forward_arcs()
+        .map(|(id, a)| (id, a.from, a.to, a.cap, a.cost))
+        .collect();
     for &(_, from, to, cap, cost) in &arcs {
         kn.add_arc(from.index(), to.index(), 0, cap, cost);
     }
     kn.add_arc(t.index(), s.index(), fstar, fstar, 0);
-    kn.solve(&mut stats).expect("F* <= max-flow, so the circulation is feasible");
+    kn.solve(&mut stats)
+        .expect("F* <= max-flow, so the circulation is feasible");
 
     // Write flows back.
     g.clear_flow();
@@ -310,7 +327,11 @@ pub fn solve_on_network(
             g.push(id, f);
         }
     }
-    MinCostResult { flow: fstar, cost: g.flow_cost(), stats }
+    MinCostResult {
+        flow: fstar,
+        cost: g.flow_cost(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -319,12 +340,19 @@ mod tests {
 
     #[test]
     fn kilter_number_cases() {
-        let arc = KilterArc { from: 0, to: 1, lower: 1, upper: 3, cost: 2, flow: 0 };
+        let arc = KilterArc {
+            from: 0,
+            to: 1,
+            lower: 1,
+            upper: 3,
+            cost: 2,
+            flow: 0,
+        };
         // pot zero: rc = 2 > 0, in kilter iff f = lower = 1; f=0 -> k=1.
         assert_eq!(arc.kilter_number(&[0, 0]), 1);
         // pot makes rc = 0: k = violation of bounds only.
         assert_eq!(arc.kilter_number(&[0, 2]), 1); // f=0 < lower=1
-        // pot makes rc < 0: want f = upper.
+                                                   // pot makes rc < 0: want f = upper.
         assert_eq!(arc.kilter_number(&[0, 5]), 3);
     }
 

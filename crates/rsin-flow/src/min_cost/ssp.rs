@@ -6,27 +6,51 @@
 //! which Transformation 2 never produces but the API permits).
 
 use super::MinCostResult;
-use crate::graph::{ArcId, FlowNetwork, NodeId};
+use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::{Cost, Flow};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 const INF: Cost = Cost::MAX / 4;
 
 /// Compute a minimum-cost flow of value `min(target, max-flow)`.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCostResult {
+    solve_with(g, s, t, target, &mut SolveScratch::new())
+}
+
+/// [`solve`] with caller-provided scratch buffers: identical results,
+/// allocation-free after the first call on a given node count.
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    scratch: &mut SolveScratch,
+) -> MinCostResult {
     let n = g.num_nodes();
     let mut stats = OpStats::new();
     let mut flow = 0;
     if s == t || target <= 0 {
-        return MinCostResult { flow: 0, cost: 0, stats };
+        return MinCostResult {
+            flow: 0,
+            cost: 0,
+            stats,
+        };
     }
+    scratch.ensure_nodes(n);
+    let SolveScratch {
+        pot,
+        dist,
+        parent,
+        heap,
+        ..
+    } = scratch;
 
     // Initial potentials via Bellman-Ford when negative costs exist.
-    let mut pot: Vec<Cost> = vec![0; n];
+    pot[..n].fill(0);
     if g.forward_arcs().any(|(_, a)| a.cost < 0) {
-        let mut dist = vec![INF; n];
+        dist[..n].fill(INF);
         dist[s.index()] = 0;
         for _ in 0..n {
             let mut changed = false;
@@ -51,10 +75,10 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
 
     while flow < target {
         // Dijkstra over residual arcs with reduced costs.
-        let mut dist: Vec<Cost> = vec![INF; n];
-        let mut parent: Vec<Option<ArcId>> = vec![None; n];
+        dist[..n].fill(INF);
+        parent[..n].fill(None);
         dist[s.index()] = 0;
-        let mut heap = BinaryHeap::new();
+        heap.clear();
         heap.push(Reverse((0, s.0)));
         while let Some(Reverse((d, u))) = heap.pop() {
             let u = NodeId(u);
@@ -84,7 +108,11 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
         // Update potentials (unreached nodes get the sink distance so their
         // future reduced costs stay nonnegative).
         for v in 0..n {
-            pot[v] += if dist[v] < INF { dist[v] } else { dist[t.index()] };
+            pot[v] += if dist[v] < INF {
+                dist[v]
+            } else {
+                dist[t.index()]
+            };
         }
         // Augment along the shortest path.
         let mut bottleneck = target - flow;
@@ -103,7 +131,11 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
         flow += bottleneck;
         stats.augmentations += 1;
     }
-    MinCostResult { flow, cost: g.flow_cost(), stats }
+    MinCostResult {
+        flow,
+        cost: g.flow_cost(),
+        stats,
+    }
 }
 
 #[cfg(test)]

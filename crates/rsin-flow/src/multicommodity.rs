@@ -26,6 +26,41 @@ pub enum Objective {
     FixedDemand(Flow),
 }
 
+/// Why a multicommodity solve failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiCommodityError {
+    /// [`min_cost`] was given a commodity without a fixed demand; the
+    /// minimum-cost formulation needs every `F₀^i` pinned (use [`max_flow`]
+    /// for throughput objectives).
+    NonFixedDemand {
+        /// Index of the offending commodity.
+        commodity: usize,
+    },
+    /// The underlying LP failed (typically [`LpError::Infeasible`] when the
+    /// demands exceed what the network can carry).
+    Lp(LpError),
+}
+
+impl std::fmt::Display for MultiCommodityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiCommodityError::NonFixedDemand { commodity } => write!(
+                f,
+                "min_cost requires FixedDemand commodities, but commodity {commodity} maximizes"
+            ),
+            MultiCommodityError::Lp(e) => write!(f, "multicommodity LP failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiCommodityError {}
+
+impl From<LpError> for MultiCommodityError {
+    fn from(e: LpError) -> Self {
+        MultiCommodityError::Lp(e)
+    }
+}
+
 /// One commodity: a source/sink pair with an objective and optional
 /// per-arc costs overriding the network's arc costs.
 #[derive(Debug, Clone)]
@@ -76,7 +111,10 @@ fn build_base(
     commodities: &[Commodity],
     costed: bool,
 ) -> Vec<Vec<VarId>> {
-    let arcs: Vec<_> = g.forward_arcs().map(|(id, a)| (id, a.from, a.to, a.cap, a.cost)).collect();
+    let arcs: Vec<_> = g
+        .forward_arcs()
+        .map(|(id, a)| (id, a.from, a.to, a.cap, a.cost))
+        .collect();
     let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(commodities.len());
     for (i, com) in commodities.iter().enumerate() {
         let mut row = Vec::with_capacity(arcs.len());
@@ -132,11 +170,7 @@ fn build_base(
     vars
 }
 
-fn net_out_terms(
-    g: &FlowNetwork,
-    vars: &[VarId],
-    node: NodeId,
-) -> Vec<(VarId, f64)> {
+fn net_out_terms(g: &FlowNetwork, vars: &[VarId], node: NodeId) -> Vec<(VarId, f64)> {
     let mut terms = Vec::new();
     for (k, (_, a)) in g.forward_arcs().enumerate() {
         if a.from == node {
@@ -173,7 +207,13 @@ fn extract(
         values.push(val);
     }
     let integral = sol.is_integral(1e-6);
-    MultiSolution { flows, values, objective: sol.objective, integral, pivots: sol.pivots }
+    MultiSolution {
+        flows,
+        values,
+        objective: sol.objective,
+        integral,
+        pivots: sol.pivots,
+    }
 }
 
 /// The paper's *Multicommodity Maximum Flow Problem*: maximize `Σᵢ Fⁱ`
@@ -199,14 +239,18 @@ pub fn max_flow(g: &FlowNetwork, commodities: &[Commodity]) -> Result<MultiSolut
 /// The paper's *Multicommodity Minimum Cost Flow Problem*: circulate the
 /// fixed demands `F₀^i` at minimum total cost `Σᵢ Σₑ wⁱ(e) fⁱ(e)`.
 ///
-/// Commodities with [`Objective::Maximize`] are rejected here; use
-/// [`max_flow`] for throughput objectives.
-pub fn min_cost(g: &FlowNetwork, commodities: &[Commodity]) -> Result<MultiSolution, LpError> {
+/// Commodities with [`Objective::Maximize`] are rejected here with
+/// [`MultiCommodityError::NonFixedDemand`]; use [`max_flow`] for throughput
+/// objectives.
+pub fn min_cost(
+    g: &FlowNetwork,
+    commodities: &[Commodity],
+) -> Result<MultiSolution, MultiCommodityError> {
     let mut p = Problem::new(Sense::Minimize);
     let vars = build_base(&mut p, g, commodities, true);
     for (i, com) in commodities.iter().enumerate() {
         let Objective::FixedDemand(demand) = com.objective else {
-            panic!("min_cost requires FixedDemand commodities");
+            return Err(MultiCommodityError::NonFixedDemand { commodity: i });
         };
         let terms = net_out_terms(g, &vars[i], com.source);
         p.add_constraint(terms, Cmp::Eq, demand as f64);
@@ -229,11 +273,19 @@ pub fn sequential_max_flow(g: &FlowNetwork, commodities: &[Commodity]) -> Vec<(F
         for n in shared.nodes() {
             sub.add_node(shared.name(n).to_string());
         }
-        let arcs: Vec<_> = shared.forward_arcs().map(|(id, a)| (id, a.clone())).collect();
+        let arcs: Vec<_> = shared
+            .forward_arcs()
+            .map(|(id, a)| (id, a.clone()))
+            .collect();
         for (_, a) in &arcs {
             sub.add_arc(a.from, a.to, a.residual(), a.cost);
         }
-        let r = crate::max_flow::solve(&mut sub, com.source, com.sink, crate::max_flow::Algorithm::Dinic);
+        let r = crate::max_flow::solve(
+            &mut sub,
+            com.source,
+            com.sink,
+            crate::max_flow::Algorithm::Dinic,
+        );
         // Commit this commodity's flow to the shared network.
         let mut per_arc = Vec::with_capacity(arcs.len());
         for (k, (id, _)) in arcs.iter().enumerate() {
@@ -267,8 +319,18 @@ mod tests {
         g.add_arc(n, t1, 1, 0);
         g.add_arc(n, t2, 1, 0);
         let c = vec![
-            Commodity { source: s1, sink: t1, objective: Objective::Maximize, costs: None },
-            Commodity { source: s2, sink: t2, objective: Objective::Maximize, costs: None },
+            Commodity {
+                source: s1,
+                sink: t1,
+                objective: Objective::Maximize,
+                costs: None,
+            },
+            Commodity {
+                source: s2,
+                sink: t2,
+                objective: Objective::Maximize,
+                costs: None,
+            },
         ];
         (g, c)
     }
@@ -277,7 +339,11 @@ mod tests {
     fn joint_capacity_limits_total() {
         let (g, c) = shared_bottleneck();
         let sol = max_flow(&g, &c).unwrap();
-        assert!((sol.objective - 1.0).abs() < 1e-6, "total {}", sol.objective);
+        assert!(
+            (sol.objective - 1.0).abs() < 1e-6,
+            "total {}",
+            sol.objective
+        );
         assert!((sol.values[0] + sol.values[1] - 1.0).abs() < 1e-6);
     }
 
@@ -291,8 +357,18 @@ mod tests {
         g.add_arc(s1, t1, 2, 0);
         g.add_arc(s2, t2, 3, 0);
         let c = vec![
-            Commodity { source: s1, sink: t1, objective: Objective::Maximize, costs: None },
-            Commodity { source: s2, sink: t2, objective: Objective::Maximize, costs: None },
+            Commodity {
+                source: s1,
+                sink: t1,
+                objective: Objective::Maximize,
+                costs: None,
+            },
+            Commodity {
+                source: s2,
+                sink: t2,
+                objective: Objective::Maximize,
+                costs: None,
+            },
         ];
         let sol = max_flow(&g, &c).unwrap();
         assert!((sol.values[0] - 2.0).abs() < 1e-6);
@@ -339,6 +415,32 @@ mod tests {
     }
 
     #[test]
+    fn min_cost_rejects_maximize_commodities_with_typed_error() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        g.add_arc(s, t, 1, 1);
+        let c = vec![
+            Commodity {
+                source: s,
+                sink: t,
+                objective: Objective::FixedDemand(1),
+                costs: None,
+            },
+            Commodity {
+                source: s,
+                sink: t,
+                objective: Objective::Maximize,
+                costs: None,
+            },
+        ];
+        assert_eq!(
+            min_cost(&g, &c).unwrap_err(),
+            MultiCommodityError::NonFixedDemand { commodity: 1 }
+        );
+    }
+
+    #[test]
     fn per_commodity_cost_overrides() {
         // One arc, two commodities with different costs for it; the cheap
         // commodity should carry the demand... both have demand 0 and 1.
@@ -382,7 +484,12 @@ mod tests {
         let s = g.add_node("s");
         let t = g.add_node("t");
         let a = g.add_arc(s, t, 2, 0);
-        let c = vec![Commodity { source: s, sink: t, objective: Objective::Maximize, costs: None }];
+        let c = vec![Commodity {
+            source: s,
+            sink: t,
+            objective: Objective::Maximize,
+            costs: None,
+        }];
         let sol = max_flow(&g, &c).unwrap();
         assert!(sol.integral);
         assert_eq!(sol.int_flow(0, a), 2);

@@ -165,8 +165,10 @@ mod tests {
         assert_eq!(r.value, 2);
         let paths = decompose_unit_flow(&g, s, t, None);
         assert_eq!(paths.len(), 2);
-        let node_sets: Vec<Vec<_>> =
-            paths.iter().map(|p| p.nodes(&g).iter().map(|n| g.name(*n).to_string()).collect()).collect();
+        let node_sets: Vec<Vec<_>> = paths
+            .iter()
+            .map(|p| p.nodes(&g).iter().map(|n| g.name(*n).to_string()).collect())
+            .collect();
         assert!(node_sets.contains(&vec!["s".into(), "a".into(), "b".into(), "t".into()]));
         assert!(node_sets.contains(&vec!["s".into(), "c".into(), "d".into(), "t".into()]));
     }

@@ -52,15 +52,38 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = OpStats { node_visits: 1, arc_scans: 2, augmentations: 3, phases: 4 };
-        let b = OpStats { node_visits: 10, arc_scans: 20, augmentations: 30, phases: 40 };
+        let mut a = OpStats {
+            node_visits: 1,
+            arc_scans: 2,
+            augmentations: 3,
+            phases: 4,
+        };
+        let b = OpStats {
+            node_visits: 10,
+            arc_scans: 20,
+            augmentations: 30,
+            phases: 40,
+        };
         a.merge(&b);
-        assert_eq!(a, OpStats { node_visits: 11, arc_scans: 22, augmentations: 33, phases: 44 });
+        assert_eq!(
+            a,
+            OpStats {
+                node_visits: 11,
+                arc_scans: 22,
+                augmentations: 33,
+                phases: 44
+            }
+        );
     }
 
     #[test]
     fn instruction_estimate_is_positive_weighted_sum() {
-        let s = OpStats { node_visits: 1, arc_scans: 1, augmentations: 1, phases: 1 };
+        let s = OpStats {
+            node_visits: 1,
+            arc_scans: 1,
+            augmentations: 1,
+            phases: 1,
+        };
         assert_eq!(s.estimated_instructions(), 8 + 6 + 20 + 50);
     }
 }

@@ -91,8 +91,7 @@ impl Transshipment {
         let mut g = FlowNetwork::with_capacity(self.names.len() + 2, self.arcs.len() + 4);
         let s = g.add_node("super-source");
         let t = g.add_node("super-sink");
-        let nodes: Vec<NodeId> =
-            self.names.iter().map(|n| g.add_node(n.clone())).collect();
+        let nodes: Vec<NodeId> = self.names.iter().map(|n| g.add_node(n.clone())).collect();
         let mut arc_ids: Vec<ArcId> = Vec::with_capacity(self.arcs.len());
         for &(from, to, cap, cost) in &self.arcs {
             arc_ids.push(g.add_arc(nodes[from], nodes[to], cap, cost));
@@ -110,7 +109,11 @@ impl Transshipment {
             return Err(TransshipmentError::Infeasible);
         }
         let flows = arc_ids.iter().map(|&a| g.arc(a).flow).collect();
-        Ok(TransshipmentResult { flows, cost: r.cost, stats: r.stats })
+        Ok(TransshipmentResult {
+            flows,
+            cost: r.cost,
+            stats: r.stats,
+        })
     }
 }
 
@@ -156,7 +159,10 @@ mod tests {
         let mut t = Transshipment::new();
         t.add_node("a", 1);
         t.add_node("b", -2);
-        assert_eq!(t.solve(Algorithm::SuccessiveShortestPaths), Err(TransshipmentError::Unbalanced));
+        assert_eq!(
+            t.solve(Algorithm::SuccessiveShortestPaths),
+            Err(TransshipmentError::Unbalanced)
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub struct Problem {
 impl Problem {
     /// Create an empty problem with the given optimization direction.
     pub fn new(sense: Sense) -> Self {
-        Problem { sense, vars: Vec::new(), constraints: Vec::new() }
+        Problem {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Optimization direction of this problem.
@@ -95,7 +99,12 @@ impl Problem {
         objective: f64,
     ) -> VarId {
         let id = VarId(self.vars.len());
-        self.vars.push(Variable { name: name.into(), lower, upper, objective });
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective,
+        });
         id
     }
 
@@ -132,7 +141,11 @@ impl Problem {
                 return Err(LpError::NotANumber);
             }
             if v.lower > v.upper {
-                return Err(LpError::InvalidBounds { var: i, lower: v.lower, upper: v.upper });
+                return Err(LpError::InvalidBounds {
+                    var: i,
+                    lower: v.lower,
+                    upper: v.upper,
+                });
             }
         }
         for c in &self.constraints {

@@ -186,7 +186,14 @@ pub fn solve_standard_revised(
 
     // Phase 1: minimize the sum of artificials.
     let phase1_cost = |j: usize| if j >= n { 1.0 } else { 0.0 };
-    run_phase(&mut basis, &mut binv, &mut xb, &banned, &phase1_cost, &mut pivots)?;
+    run_phase(
+        &mut basis,
+        &mut binv,
+        &mut xb,
+        &banned,
+        &phase1_cost,
+        &mut pivots,
+    )?;
     let art_sum: f64 = basis
         .iter()
         .zip(xb.iter())
@@ -230,7 +237,14 @@ pub fn solve_standard_revised(
 
     // Phase 2: true objective.
     let phase2_cost = |j: usize| if j < n { c[j] } else { 0.0 };
-    run_phase(&mut basis, &mut binv, &mut xb, &banned, &phase2_cost, &mut pivots)?;
+    run_phase(
+        &mut basis,
+        &mut binv,
+        &mut xb,
+        &banned,
+        &phase2_cost,
+        &mut pivots,
+    )?;
 
     let mut x = vec![0.0; n];
     for (i, &j) in basis.iter().enumerate() {
@@ -242,7 +256,12 @@ pub fn solve_standard_revised(
     // Duals from the final multipliers.
     let cb: Vec<f64> = basis.iter().map(|&j| phase2_cost(j)).collect();
     let duals = binv.left_mul(&cb);
-    Ok(TableauResult { x, objective, duals, pivots })
+    Ok(TableauResult {
+        x,
+        objective,
+        duals,
+        pivots,
+    })
 }
 
 #[cfg(test)]
@@ -269,11 +288,7 @@ mod tests {
 
     #[test]
     fn agrees_on_simple_equalities() {
-        cross_check(
-            &[vec![1.0, 1.0], vec![1.0, -1.0]],
-            &[2.0, 0.0],
-            &[1.0, 1.0],
-        );
+        cross_check(&[vec![1.0, 1.0], vec![1.0, -1.0]], &[2.0, 0.0], &[1.0, 1.0]);
     }
 
     #[test]

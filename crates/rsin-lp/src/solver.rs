@@ -91,7 +91,13 @@ pub fn solve_problem_with(p: &Problem, method: Method) -> Result<Solution, LpErr
             y
         })
         .collect();
-    Ok(Solution { values, objective, duals, status: SolveStatus::Optimal, pivots: r.pivots })
+    Ok(Solution {
+        values,
+        objective,
+        duals,
+        status: SolveStatus::Optimal,
+        pivots: r.pivots,
+    })
 }
 
 #[cfg(test)]

@@ -80,7 +80,10 @@ pub fn standardize(p: &Problem) -> StandardForm {
             let col = c.len();
             c.push(obj);
             obj_offset += obj * v.lower;
-            var_map.push(VarMap::Shifted { col, lower: v.lower });
+            var_map.push(VarMap::Shifted {
+                col,
+                lower: v.lower,
+            });
             if v.upper.is_finite() {
                 range_rows.push((col, v.upper - v.lower));
             }
@@ -88,7 +91,10 @@ pub fn standardize(p: &Problem) -> StandardForm {
             let col = c.len();
             c.push(-obj);
             obj_offset += obj * v.upper;
-            var_map.push(VarMap::Flipped { col, upper: v.upper });
+            var_map.push(VarMap::Flipped {
+                col,
+                upper: v.upper,
+            });
         } else {
             let pos = c.len();
             c.push(obj);
@@ -167,7 +173,16 @@ pub fn standardize(p: &Problem) -> StandardForm {
         }
     }
 
-    StandardForm { a, b, c, obj_offset, var_map, cols, negated, row_flipped }
+    StandardForm {
+        a,
+        b,
+        c,
+        obj_offset,
+        var_map,
+        cols,
+        negated,
+        row_flipped,
+    }
 }
 
 #[cfg(test)]

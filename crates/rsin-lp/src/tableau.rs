@@ -73,7 +73,15 @@ impl Tableau {
         tab.push(zrow);
 
         let basis = (n..n + m).collect();
-        Tableau { m, n, total_cols, tab, basis, pivots: 0, banned: vec![false; total_cols] }
+        Tableau {
+            m,
+            n,
+            total_cols,
+            tab,
+            basis,
+            pivots: 0,
+            banned: vec![false; total_cols],
+        }
     }
 
     /// Current objective-row value (negated accumulated objective).
@@ -183,7 +191,11 @@ impl Tableau {
         let mut zrow = vec![0.0; self.total_cols + 1];
         zrow[..self.n].copy_from_slice(c);
         for i in 0..self.m {
-            let cb = if self.basis[i] < self.n { c[self.basis[i]] } else { 0.0 };
+            let cb = if self.basis[i] < self.n {
+                c[self.basis[i]]
+            } else {
+                0.0
+            };
             if cb == 0.0 {
                 continue;
             }
@@ -226,11 +238,7 @@ impl Tableau {
 }
 
 /// Solve `min c'x, Ax = b, x >= 0` (with `b >= 0`) by two-phase simplex.
-pub fn solve_standard(
-    a: &[Vec<f64>],
-    b: &[f64],
-    c: &[f64],
-) -> Result<TableauResult, LpError> {
+pub fn solve_standard(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> Result<TableauResult, LpError> {
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { c.len() };
     // Bland's rule terminates finitely; the bound below is a generous backstop.
@@ -240,7 +248,12 @@ pub fn solve_standard(
     t.phase2(c, max_iters)?;
     let x = t.solution();
     let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
-    Ok(TableauResult { x, objective, duals: t.duals(), pivots: t.pivots() })
+    Ok(TableauResult {
+        x,
+        objective,
+        duals: t.duals(),
+        pivots: t.pivots(),
+    })
 }
 
 #[cfg(test)]
@@ -288,7 +301,11 @@ mod tests {
         let b = vec![0.0, 0.0, 1.0];
         let c = vec![-10.0, 57.0, 9.0, 24.0, 0.0, 0.0, 0.0];
         let r = solve_standard(&a, &b, &c).unwrap();
-        assert!((r.objective - (-1.0)).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective - (-1.0)).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
     }
 
     #[test]

@@ -88,10 +88,7 @@ mod tests {
         // classic observation favouring delta networks of larger radix).
         let via_2x2 = patel_acceptance(1.0, 2, 4);
         let via_4x4 = patel_acceptance(1.0, 4, 2);
-        assert!(
-            via_4x4 > via_2x2,
-            "4x4: {via_4x4}, 2x2: {via_2x2}"
-        );
+        assert!(via_4x4 > via_2x2, "4x4: {via_4x4}, 2x2: {via_2x2}");
         // Known values: 0.4498… vs 0.5275…
         assert!((via_2x2 - 0.4499).abs() < 1e-3);
         assert!((via_4x4 - 0.5275).abs() < 1e-3);

@@ -11,7 +11,7 @@
 use crate::metrics::{Sample, Summary};
 use crate::workload::{random_snapshot, trial_rng};
 use rsin_core::model::ScheduleProblem;
-use rsin_core::scheduler::Scheduler;
+use rsin_core::scheduler::{ScheduleScratch, Scheduler};
 use rsin_topology::Network;
 
 /// Parameters of a blocking experiment.
@@ -40,31 +40,102 @@ pub struct BlockingStats {
     pub trials_with_blocking: u64,
 }
 
-/// Run the experiment for one scheduler on one topology.
+/// What one trial contributes to the aggregate, kept per-trial so trials can
+/// be farmed out to worker threads and reduced afterwards in trial order.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrialResult {
+    blocking: f64,
+    allocated: f64,
+}
+
+/// One Monte-Carlo trial. A pure function of `(net, scheduler, cfg, trial)`:
+/// the RNG stream is derived from `(seed, trial)` alone and the scratch only
+/// caches topology-dependent structures, so the result is independent of
+/// which worker runs the trial and of whatever the scratch solved before.
+fn run_trial(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &BlockingConfig,
+    trial: u64,
+    scratch: &mut ScheduleScratch,
+) -> TrialResult {
+    let mut rng = trial_rng(cfg.seed, trial);
+    let snap = random_snapshot(
+        net,
+        cfg.requests,
+        cfg.resources,
+        cfg.occupied_circuits,
+        &mut rng,
+    );
+    let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+    let denom = snap.requesting.len().min(snap.free.len());
+    let out = scheduler.schedule_reusing(&problem, scratch);
+    debug_assert!(
+        rsin_core::mapping::verify(&out.assignments, &problem).is_ok(),
+        "scheduler produced an invalid mapping"
+    );
+    TrialResult {
+        blocking: out.blocking_fraction(denom),
+        allocated: out.allocated() as f64,
+    }
+}
+
+/// Run the experiment for one scheduler on one topology (single-threaded;
+/// see [`run_blocking_threads`] for the parallel variant — both produce
+/// bit-identical statistics).
 pub fn run_blocking(
     net: &Network,
     scheduler: &dyn Scheduler,
     cfg: &BlockingConfig,
 ) -> BlockingStats {
+    run_blocking_threads(net, scheduler, cfg, 1)
+}
+
+/// [`run_blocking`] with the trials split across `threads` scoped workers.
+///
+/// Determinism contract: every trial seeds its own RNG stream from
+/// `(cfg.seed, trial)` and writes its result into a slot indexed by trial
+/// number; the Welford reduction then runs sequentially in trial order.
+/// Because the reduction — not the trial execution order — fixes the
+/// floating-point evaluation order, the returned [`BlockingStats`] is
+/// bit-identical for any thread count, including 1.
+pub fn run_blocking_threads(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &BlockingConfig,
+    threads: usize,
+) -> BlockingStats {
+    let threads = threads.max(1);
+    let mut results = vec![TrialResult::default(); cfg.trials as usize];
+    if threads == 1 || results.len() <= 1 {
+        let mut scratch = ScheduleScratch::new();
+        for (trial, slot) in results.iter_mut().enumerate() {
+            *slot = run_trial(net, scheduler, cfg, trial as u64, &mut scratch);
+        }
+    } else {
+        let chunk = results.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, slots) in results.chunks_mut(chunk).enumerate() {
+                let base = (ci * chunk) as u64;
+                s.spawn(move || {
+                    let mut scratch = ScheduleScratch::new();
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        *slot = run_trial(net, scheduler, cfg, base + i as u64, &mut scratch);
+                    }
+                });
+            }
+        });
+    }
+    // Sequential reduction in trial order: Welford accumulation is not
+    // associative, so folding per-worker partials would make the statistics
+    // depend on the partition. Folding the per-trial records here does not.
     let mut blocking = Sample::new();
     let mut allocated = Sample::new();
     let mut trials_with_blocking = 0;
-    for trial in 0..cfg.trials {
-        let mut rng = trial_rng(cfg.seed, trial);
-        let snap =
-            random_snapshot(net, cfg.requests, cfg.resources, cfg.occupied_circuits, &mut rng);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
-        let denom = snap.requesting.len().min(snap.free.len());
-        let out = scheduler.schedule(&problem);
-        debug_assert!(
-            rsin_core::mapping::verify(&out.assignments, &problem).is_ok(),
-            "scheduler produced an invalid mapping"
-        );
-        let b = out.blocking_fraction(denom);
-        blocking.push(b);
-        allocated.push(out.allocated() as f64);
-        if b > 0.0 {
+    for r in &results {
+        blocking.push(r.blocking);
+        allocated.push(r.allocated);
+        if r.blocking > 0.0 {
             trials_with_blocking += 1;
         }
     }
@@ -82,7 +153,22 @@ pub fn compare_schedulers(
     schedulers: &[&dyn Scheduler],
     cfg: &BlockingConfig,
 ) -> Vec<(&'static str, BlockingStats)> {
-    schedulers.iter().map(|s| (s.name(), run_blocking(net, *s, cfg))).collect()
+    compare_schedulers_threads(net, schedulers, cfg, 1)
+}
+
+/// [`compare_schedulers`] with each scheduler's trials fanned out over
+/// `threads` workers (schedulers run one after another so rows stay in
+/// input order; the statistics are thread-count-invariant either way).
+pub fn compare_schedulers_threads(
+    net: &Network,
+    schedulers: &[&dyn Scheduler],
+    cfg: &BlockingConfig,
+    threads: usize,
+) -> Vec<(&'static str, BlockingStats)> {
+    schedulers
+        .iter()
+        .map(|s| (s.name(), run_blocking_threads(net, *s, cfg, threads)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -102,11 +188,7 @@ mod tests {
             seed: 11,
         };
         let opt = run_blocking(&net, &MaxFlowScheduler::default(), &cfg);
-        let heu = run_blocking(
-            &net,
-            &GreedyScheduler::new(RequestOrder::Shuffled(5)),
-            &cfg,
-        );
+        let heu = run_blocking(&net, &GreedyScheduler::new(RequestOrder::Shuffled(5)), &cfg);
         assert!(
             opt.blocking.mean <= heu.blocking.mean + 1e-12,
             "optimal {} vs heuristic {}",
@@ -141,10 +223,57 @@ mod tests {
             occupied_circuits: 0,
             seed: 17,
         };
-        let loaded = BlockingConfig { occupied_circuits: 3, ..base };
+        let loaded = BlockingConfig {
+            occupied_circuits: 3,
+            ..base
+        };
         let free = run_blocking(&net, &MaxFlowScheduler::default(), &base);
         let busy = run_blocking(&net, &MaxFlowScheduler::default(), &loaded);
         assert!(busy.blocking.mean >= free.blocking.mean);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_statistics() {
+        // The determinism contract: identical BlockingStats — bit for bit —
+        // for 1, 2, and 8 workers, for an optimal and a heuristic scheduler.
+        let net = omega(8).unwrap();
+        let cfg = BlockingConfig {
+            trials: 97, // deliberately not a multiple of the thread counts
+            requests: 5,
+            resources: 5,
+            occupied_circuits: 2,
+            seed: 23,
+        };
+        let schedulers: [&dyn rsin_core::scheduler::Scheduler; 2] =
+            [&MaxFlowScheduler::default(), &GreedyScheduler::default()];
+        for s in schedulers {
+            let one = run_blocking_threads(&net, s, &cfg, 1);
+            for threads in [2, 3, 8] {
+                let many = run_blocking_threads(&net, s, &cfg, threads);
+                assert_eq!(one.blocking.mean.to_bits(), many.blocking.mean.to_bits());
+                assert_eq!(one.blocking.ci95.to_bits(), many.blocking.ci95.to_bits());
+                assert_eq!(one.allocated.mean.to_bits(), many.allocated.mean.to_bits());
+                assert_eq!(one.allocated.ci95.to_bits(), many.allocated.ci95.to_bits());
+                assert_eq!(one.blocking.n, many.blocking.n);
+                assert_eq!(one.trials_with_blocking, many.trials_with_blocking);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let net = omega(8).unwrap();
+        let cfg = BlockingConfig {
+            trials: 3,
+            requests: 4,
+            resources: 4,
+            occupied_circuits: 0,
+            seed: 29,
+        };
+        let a = run_blocking_threads(&net, &MaxFlowScheduler::default(), &cfg, 16);
+        let b = run_blocking(&net, &MaxFlowScheduler::default(), &cfg);
+        assert_eq!(a.blocking.mean.to_bits(), b.blocking.mean.to_bits());
+        assert_eq!(a.blocking.n, 3);
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { instruction_ns: 1000.0, clock_ns: 50.0 }
+        CostModel {
+            instruction_ns: 1000.0,
+            clock_ns: 50.0,
+        }
     }
 }
 

@@ -40,11 +40,11 @@
 pub mod analytic;
 pub mod blocking;
 pub mod cost;
-pub mod packet;
 pub mod metrics;
 pub mod monitor;
+pub mod packet;
 pub mod system;
 pub mod workload;
 
-pub use blocking::{run_blocking, BlockingConfig, BlockingStats};
-pub use system::{DynamicConfig, DynamicStats, SystemSim};
+pub use blocking::{run_blocking, run_blocking_threads, BlockingConfig, BlockingStats};
+pub use system::{run_sweep, DynamicConfig, DynamicStats, SystemSim};

@@ -14,7 +14,13 @@ pub struct Sample {
 impl Sample {
     /// Empty sample.
     pub fn new() -> Self {
-        Sample { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Sample {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -96,7 +102,11 @@ pub struct Summary {
 
 impl From<&Sample> for Summary {
     fn from(s: &Sample) -> Self {
-        Summary { mean: s.mean(), ci95: s.ci95_half_width(), n: s.count() }
+        Summary {
+            mean: s.mean(),
+            ci95: s.ci95_half_width(),
+            n: s.count(),
+        }
     }
 }
 

@@ -141,8 +141,7 @@ impl<'n> Monitor<'n> {
     /// `None` if there was nothing to do (no pending requests or no free
     /// resources — the idle states of Fig. 10).
     pub fn cycle(&mut self, scheduler: &dyn Scheduler) -> Option<CycleOutcome> {
-        let free_now: Vec<usize> =
-            (0..self.free.len()).filter(|&r| self.free[r]).collect();
+        let free_now: Vec<usize> = (0..self.free.len()).filter(|&r| self.free[r]).collect();
         if self.pending.is_empty() || free_now.is_empty() {
             return None;
         }
@@ -178,7 +177,10 @@ impl<'n> Monitor<'n> {
         drop(problem);
         // Commit: establish circuits, claim resources, drop served requests.
         for a in &outcome.assignments {
-            let c = self.circuits.establish(&a.path).expect("scheduler paths are free");
+            let c = self
+                .circuits
+                .establish(&a.path)
+                .expect("scheduler paths are free");
             self.free[a.resource] = false;
             self.live[a.processor] = Some((c, a.resource));
             self.pending.retain(|r| r.processor != a.processor);
@@ -192,7 +194,10 @@ impl<'n> Monitor<'n> {
         for r in self.deferred_release.drain(..) {
             self.free[r] = true;
         }
-        Some(CycleOutcome { outcome, latency_us })
+        Some(CycleOutcome {
+            outcome,
+            latency_us,
+        })
     }
 }
 
@@ -203,7 +208,11 @@ mod tests {
     use rsin_topology::builders::omega;
 
     fn req(p: usize) -> ScheduleRequest {
-        ScheduleRequest { processor: p, priority: 1, resource_type: 0 }
+        ScheduleRequest {
+            processor: p,
+            priority: 1,
+            resource_type: 0,
+        }
     }
 
     #[test]
@@ -282,10 +291,17 @@ mod tests {
         m.set_policy(BatchingPolicy::WaitForRequests(3));
         m.submit(req(0));
         m.submit(req(1));
-        assert!(m.cycle(&MaxFlowScheduler::default()).is_none(), "below threshold");
+        assert!(
+            m.cycle(&MaxFlowScheduler::default()).is_none(),
+            "below threshold"
+        );
         m.submit(req(2));
         let c = m.cycle(&MaxFlowScheduler::default()).unwrap();
-        assert_eq!(c.outcome.allocated(), 3, "one batched cycle serves all three");
+        assert_eq!(
+            c.outcome.allocated(),
+            3,
+            "one batched cycle serves all three"
+        );
         assert_eq!(m.cycles, 1);
     }
 
@@ -300,7 +316,10 @@ mod tests {
         m.cycle(&MaxFlowScheduler::default()).unwrap();
         m.set_policy(BatchingPolicy::WaitForResources(2));
         m.submit(req(7));
-        assert!(m.cycle(&MaxFlowScheduler::default()).is_none(), "only 1 resource free");
+        assert!(
+            m.cycle(&MaxFlowScheduler::default()).is_none(),
+            "only 1 resource free"
+        );
         // A release brings the pool to the threshold.
         let freed = 0; // resource allocated to p1 in the first cycle? find one:
         let _ = freed;

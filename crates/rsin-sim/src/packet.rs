@@ -80,7 +80,10 @@ pub fn compare_once(cfg: &SwitchingConfig, rng: &mut StdRng) -> SwitchingOutcome
         }
         delivery_last = delivery_last.max(t);
     }
-    SwitchingOutcome { circuit_delivery, packet_delivery: delivery_last }
+    SwitchingOutcome {
+        circuit_delivery,
+        packet_delivery: delivery_last,
+    }
 }
 
 /// Mean delivery times over `trials` tasks.
@@ -101,7 +104,12 @@ mod tests {
     use crate::workload::trial_rng;
 
     fn cfg(task_len: u64, background: f64, block: f64) -> SwitchingConfig {
-        SwitchingConfig { task_len, stages: 3, background, circuit_block_prob: block }
+        SwitchingConfig {
+            task_len,
+            stages: 3,
+            background,
+            circuit_block_prob: block,
+        }
     }
 
     #[test]
@@ -128,7 +136,10 @@ mod tests {
         let (c_blocked, _) = compare_mean(&cfg(20, 0.0, 0.5), 400, &mut rng);
         assert!(c_blocked > c_free);
         // Geometric(0.5) wait ≈ 1 extra slot on average.
-        assert!((c_blocked - c_free - 1.0).abs() < 0.3, "{c_blocked} vs {c_free}");
+        assert!(
+            (c_blocked - c_free - 1.0).abs() < 0.3,
+            "{c_blocked} vs {c_free}"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::workload::{exponential, trial_rng};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
-use rsin_core::scheduler::Scheduler;
+use rsin_core::scheduler::{ScheduleScratch, Scheduler};
 use rsin_topology::{CircuitId, CircuitState, Network};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -82,9 +82,19 @@ pub struct DynamicStats {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    Arrival { processor: usize },
-    TransmissionDone { processor: usize, resource: usize, circuit: CircuitId, arrived: f64 },
-    ServiceDone { resource: usize, arrived: f64 },
+    Arrival {
+        processor: usize,
+    },
+    TransmissionDone {
+        processor: usize,
+        resource: usize,
+        circuit: CircuitId,
+        arrived: f64,
+    },
+    ServiceDone {
+        resource: usize,
+        arrived: f64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -138,7 +148,11 @@ impl<'n> SystemSim<'n> {
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
             *seq += 1;
-            heap.push(Event { time, seq: *seq, kind });
+            heap.push(Event {
+                time,
+                seq: *seq,
+                kind,
+            });
         };
         for p in 0..np {
             let t = exponential(&mut rng, cfg.arrival_rate);
@@ -146,6 +160,10 @@ impl<'n> SystemSim<'n> {
         }
 
         let mut cs = CircuitState::new(self.net);
+        // One scratch for the whole run: every scheduling cycle reuses the
+        // same transformation graph and solver buffers (the topology never
+        // changes mid-run).
+        let mut scratch = ScheduleScratch::new();
         // Each queued task is (arrival time, resource type).
         let mut queue: Vec<VecDeque<(f64, usize)>> = vec![VecDeque::new(); np];
         let mut transmitting = vec![false; np];
@@ -167,18 +185,26 @@ impl<'n> SystemSim<'n> {
             if now > cfg.warmup {
                 let dt = now - last_t;
                 busy_integral += dt * busy.iter().filter(|b| **b).count() as f64;
-                queue_integral +=
-                    dt * queue.iter().map(|q| q.len()).sum::<usize>() as f64;
+                queue_integral += dt * queue.iter().map(|q| q.len()).sum::<usize>() as f64;
                 last_t = now;
             }
             match ev.kind {
                 EventKind::Arrival { processor } => {
-                    let ty = if cfg.types > 1 { rng.random_range(0..cfg.types) } else { 0 };
+                    let ty = if cfg.types > 1 {
+                        rng.random_range(0..cfg.types)
+                    } else {
+                        0
+                    };
                     queue[processor].push_back((now, ty));
                     let next = now + exponential(&mut rng, cfg.arrival_rate);
                     push(&mut heap, &mut seq, next, EventKind::Arrival { processor });
                 }
-                EventKind::TransmissionDone { processor, resource, circuit, arrived } => {
+                EventKind::TransmissionDone {
+                    processor,
+                    resource,
+                    circuit,
+                    arrived,
+                } => {
                     cs.release(circuit).expect("live circuit");
                     transmitting[processor] = false;
                     let done = now + exponential(&mut rng, 1.0 / cfg.mean_service);
@@ -219,8 +245,12 @@ impl<'n> SystemSim<'n> {
             }
             let denom_requests = requests.len();
             let denom_free = free.len();
-            let problem = ScheduleProblem { circuits: &cs, requests, free };
-            let out = scheduler.schedule(&problem);
+            let problem = ScheduleProblem {
+                circuits: &cs,
+                requests,
+                free,
+            };
+            let out = scheduler.schedule_reusing(&problem, &mut scratch);
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
             drop(problem);
             cycles += 1;
@@ -260,6 +290,45 @@ impl<'n> SystemSim<'n> {
     }
 }
 
+/// Run one dynamic simulation per configuration, fanning the runs out over
+/// `threads` scoped workers.
+///
+/// Each run is fully determined by its own `DynamicConfig` (seeded RNG, own
+/// event heap, own circuit state), so results land in input order and are
+/// bit-identical for any thread count. This is the batch path for load
+/// sweeps (e.g. utilization vs arrival rate curves), where the runs are
+/// embarrassingly parallel but each one reuses its scheduling scratch
+/// across thousands of cycles.
+pub fn run_sweep(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    configs: &[DynamicConfig],
+    threads: usize,
+) -> Vec<DynamicStats> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<DynamicStats>> = vec![None; configs.len()];
+    if threads == 1 || configs.len() <= 1 {
+        for (slot, cfg) in results.iter_mut().zip(configs) {
+            *slot = Some(SystemSim::new(net, *cfg).run(scheduler));
+        }
+    } else {
+        let chunk = configs.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (slots, cfgs) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+                s.spawn(move || {
+                    for (slot, cfg) in slots.iter_mut().zip(cfgs) {
+                        *slot = Some(SystemSim::new(net, *cfg).run(scheduler));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every config simulated"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,8 +353,14 @@ mod tests {
     #[test]
     fn heavier_load_raises_utilization() {
         let net = omega(8).unwrap();
-        let light = DynamicConfig { arrival_rate: 0.05, ..DynamicConfig::default() };
-        let heavy = DynamicConfig { arrival_rate: 0.5, ..DynamicConfig::default() };
+        let light = DynamicConfig {
+            arrival_rate: 0.05,
+            ..DynamicConfig::default()
+        };
+        let heavy = DynamicConfig {
+            arrival_rate: 0.5,
+            ..DynamicConfig::default()
+        };
         let sim = SystemSim::new(&net, light);
         let u_light = sim.run(&MaxFlowScheduler::default()).utilization;
         let sim = SystemSim::new(&net, heavy);
@@ -352,8 +427,46 @@ mod tests {
         let typed_cfg = DynamicConfig { types: 4, ..base };
         let typed = SystemSim::new(&net, typed_cfg)
             .run(&rsin_core::scheduler::MultiCommodityScheduler::default());
-        assert!(typed.mean_response >= homo.mean_response * 0.8,
-            "typed {} vs homo {}", typed.mean_response, homo.mean_response);
+        assert!(
+            typed.mean_response >= homo.mean_response * 0.8,
+            "typed {} vs homo {}",
+            typed.mean_response,
+            homo.mean_response
+        );
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs_for_any_thread_count() {
+        let net = omega(8).unwrap();
+        let configs: Vec<DynamicConfig> = [0.05, 0.2, 0.4, 0.6, 0.8]
+            .iter()
+            .map(|&rate| DynamicConfig {
+                arrival_rate: rate,
+                sim_time: 150.0,
+                warmup: 20.0,
+                ..DynamicConfig::default()
+            })
+            .collect();
+        let scheduler = MaxFlowScheduler::default();
+        let serial = run_sweep(&net, &scheduler, &configs, 1);
+        for threads in [2, 4, 8] {
+            let parallel = run_sweep(&net, &scheduler, &configs, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.completed, b.completed, "threads={threads}");
+                assert_eq!(a.cycles, b.cycles, "threads={threads}");
+                assert_eq!(
+                    a.mean_response.to_bits(),
+                    b.mean_response.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    a.utilization.to_bits(),
+                    b.utilization.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

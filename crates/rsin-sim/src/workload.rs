@@ -62,7 +62,11 @@ pub fn random_snapshot<'n>(
     ress.truncate(resources.min(ress.len()));
     procs.sort_unstable();
     ress.sort_unstable();
-    Snapshot { circuits: cs, requesting: procs, free: ress }
+    Snapshot {
+        circuits: cs,
+        requesting: procs,
+        free: ress,
+    }
 }
 
 /// Exponential variate with the given rate (`λ`), via inverse transform —
@@ -75,12 +79,16 @@ pub fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
 
 /// Random priorities/preferences in `1..=levels` for a slice of ids.
 pub fn random_levels(ids: &[usize], levels: u32, rng: &mut StdRng) -> Vec<(usize, u32)> {
-    ids.iter().map(|&i| (i, rng.random_range(1..=levels))).collect()
+    ids.iter()
+        .map(|&i| (i, rng.random_range(1..=levels)))
+        .collect()
 }
 
 /// Assign each id a uniformly random resource type in `0..types`.
 pub fn random_types(ids: &[usize], types: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
-    ids.iter().map(|&i| (i, rng.random_range(0..types))).collect()
+    ids.iter()
+        .map(|&i| (i, rng.random_range(0..types)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -100,7 +100,14 @@ pub fn analyze(net: &Network, perm_samples: usize, seed: u64) -> NetworkReport {
         crosspoints,
         control_bits,
         path_length: (shortest, longest),
-        path_multiplicity: (if multi_min == usize::MAX { 0 } else { multi_min }, multi_max),
+        path_multiplicity: (
+            if multi_min == usize::MAX {
+                0
+            } else {
+                multi_min
+            },
+            multi_max,
+        ),
         admissibility,
         class,
     }

@@ -90,7 +90,9 @@ pub fn omega_dilated(n: usize, d: usize) -> Result<Network, NetworkError> {
         return Err(NetworkError::BadParameter("dilation must be >= 1".into()));
     }
     if bits < 2 {
-        return Err(NetworkError::BadParameter("dilated omega needs >= 2 stages".into()));
+        return Err(NetworkError::BadParameter(
+            "dilated omega needs >= 2 stages".into(),
+        ));
     }
     let stages = bits as usize;
     let boxes_per_stage = n / 2;
@@ -162,7 +164,8 @@ pub fn baseline(n: usize) -> Result<Network, NetworkError> {
     let blocks: Vec<Box<dyn Fn(usize) -> usize>> = (1..bits as usize)
         .map(|s| {
             let bb = bits - s as u32 + 1;
-            Box::new(move |x: usize| perm::block_inverse_shuffle(x, bb)) as Box<dyn Fn(usize) -> usize>
+            Box::new(move |x: usize| perm::block_inverse_shuffle(x, bb))
+                as Box<dyn Fn(usize) -> usize>
         })
         .collect();
     let mut wiring: Vec<&dyn Fn(usize) -> usize> = vec![&identity];
@@ -178,7 +181,9 @@ pub fn baseline(n: usize) -> Result<Network, NetworkError> {
 fn banyan_by_bits(name: &str, n: usize, bit_order: &[u32]) -> Result<Network, NetworkError> {
     let bits = require_power_of_two(n)?;
     if bit_order.len() != bits as usize || bit_order.iter().any(|&k| k >= bits) {
-        return Err(NetworkError::BadParameter("bit order must list each bit once".into()));
+        return Err(NetworkError::BadParameter(
+            "bit order must list each bit once".into(),
+        ));
     }
     // wiring[s]: previous physical line -> logical line -> this stage's slot.
     let order = bit_order.to_vec();
@@ -240,7 +245,9 @@ pub fn benes(n: usize) -> Result<Network, NetworkError> {
 /// A single `n × m` crossbar switchbox (strictly nonblocking).
 pub fn crossbar(n: usize, m: usize) -> Result<Network, NetworkError> {
     if n == 0 || m == 0 {
-        return Err(NetworkError::BadParameter("crossbar needs n, m >= 1".into()));
+        return Err(NetworkError::BadParameter(
+            "crossbar needs n, m >= 1".into(),
+        ));
     }
     let mut b = NetworkBuilder::new(format!("crossbar-{n}x{m}"), n, m);
     let bx = b.add_box(0, n, m);
@@ -288,7 +295,9 @@ pub fn clos(m: usize, n: usize, r: usize) -> Result<Network, NetworkError> {
 /// shuffle wiring (for `a = 2` this coincides with the Omega network).
 pub fn delta(a: usize, digits: u32) -> Result<Network, NetworkError> {
     if a < 2 || digits == 0 {
-        return Err(NetworkError::BadParameter("delta needs a >= 2, digits >= 1".into()));
+        return Err(NetworkError::BadParameter(
+            "delta needs a >= 2, digits >= 1".into(),
+        ));
     }
     let n = a.pow(digits);
     let boxes_per_stage = n / a;
@@ -339,7 +348,11 @@ pub fn data_manipulator(n: usize) -> Result<Network, NetworkError> {
 /// [`data_manipulator`].
 fn pm2i(n: usize, msb_first: bool) -> Result<Network, NetworkError> {
     let bits = require_power_of_two(n)? as usize;
-    let name = if msb_first { format!("adm-{n}") } else { format!("gamma-{n}") };
+    let name = if msb_first {
+        format!("adm-{n}")
+    } else {
+        format!("gamma-{n}")
+    };
     let mut b = NetworkBuilder::new(name, n, n);
     // Column 0 boxes are 1×3 (fed by one processor); middle columns 3×3;
     // the final column of boxes is 3×1 feeding the resources.
@@ -353,7 +366,11 @@ fn pm2i(n: usize, msb_first: bool) -> Result<Network, NetworkError> {
         b.link_proc_to_box(p, bx, 0);
     }
     for i in 0..bits {
-        let d = if msb_first { 1usize << (bits - 1 - i) } else { 1usize << i };
+        let d = if msb_first {
+            1usize << (bits - 1 - i)
+        } else {
+            1usize << i
+        };
         let skip_minus = 2 * d == n || n == d; // ±d coincide (mod n)
         for j in 0..n {
             let src = cols[i][j];
@@ -565,7 +582,11 @@ mod tests {
         // ADM has multiple paths for most pairs.
         let cs = CircuitState::new(&net);
         let paths = crate::routing::enumerate_paths(&cs, 0, 3);
-        assert!(paths.len() > 1, "ADM should offer redundant paths, got {}", paths.len());
+        assert!(
+            paths.len() > 1,
+            "ADM should offer redundant paths, got {}",
+            paths.len()
+        );
         // MSB-first ordering makes it a different network from gamma with
         // the same element counts.
         let g = gamma(8).unwrap();
@@ -606,7 +627,11 @@ mod tests {
             k
         };
         assert!(reach(&cd) >= reach(&cp));
-        assert_eq!(reach(&cd), 49, "dilated omega keeps all 7x7 pairs reachable");
+        assert_eq!(
+            reach(&cd),
+            49,
+            "dilated omega keeps all 7x7 pairs reachable"
+        );
     }
 
     #[test]

@@ -281,7 +281,10 @@ mod tests {
         assert_eq!(cs.occupied_count(), 3);
         assert_eq!(cs.circuit_endpoints(c), Some((0, 0)));
         // Same path now blocked.
-        assert!(matches!(cs.establish(&path), Err(CircuitError::LinkOccupied(_))));
+        assert!(matches!(
+            cs.establish(&path),
+            Err(CircuitError::LinkOccupied(_))
+        ));
         cs.release(c).unwrap();
         assert_eq!(cs.occupied_count(), 0);
         // Double release rejected.

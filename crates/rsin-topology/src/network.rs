@@ -158,7 +158,10 @@ impl Network {
 
     /// All links with their ids.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
-        self.links.iter().enumerate().map(|(i, l)| (LinkId(i as u32), l))
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
     }
 
     /// The single outgoing link of processor `p`, if wired.
@@ -201,7 +204,9 @@ impl Network {
 
     /// Boxes grouped by stage.
     pub fn boxes_in_stage(&self, stage: usize) -> Vec<usize> {
-        (0..self.boxes.len()).filter(|&b| self.boxes[b].stage == stage).collect()
+        (0..self.boxes.len())
+            .filter(|&b| self.boxes[b].stage == stage)
+            .collect()
     }
 
     /// Graphviz DOT rendering: processors on the left, switchboxes ranked
@@ -274,7 +279,11 @@ impl NetworkBuilder {
 
     /// Add an `inputs × outputs` switchbox at `stage`; returns its index.
     pub fn add_box(&mut self, stage: usize, inputs: usize, outputs: usize) -> usize {
-        self.boxes.push(BoxSpec { stage, inputs, outputs });
+        self.boxes.push(BoxSpec {
+            stage,
+            inputs,
+            outputs,
+        });
         self.boxes.len() - 1
     }
 
@@ -318,7 +327,12 @@ impl NetworkBuilder {
         });
     }
 
-    fn check_endpoint(&self, n: NodeRef, port: usize, output_side: bool) -> Result<(), NetworkError> {
+    fn check_endpoint(
+        &self,
+        n: NodeRef,
+        port: usize,
+        output_side: bool,
+    ) -> Result<(), NetworkError> {
         let bad = |msg: String| Err(NetworkError::BadEndpoint(msg));
         match n {
             NodeRef::Processor(p) => {
@@ -347,7 +361,11 @@ impl NetworkBuilder {
                 let Some(spec) = self.boxes.get(b) else {
                     return bad(format!("box {b} out of range"));
                 };
-                let limit = if output_side { spec.outputs } else { spec.inputs };
+                let limit = if output_side {
+                    spec.outputs
+                } else {
+                    spec.inputs
+                };
                 if port >= limit {
                     return bad(format!("box {b} port {port} out of range"));
                 }

@@ -170,7 +170,10 @@ mod tests {
     fn block_perfect_shuffle_inverts_block_inverse() {
         for bits in 1..4u32 {
             for x in 0..16usize {
-                assert_eq!(block_perfect_shuffle(block_inverse_shuffle(x, bits), bits), x);
+                assert_eq!(
+                    block_perfect_shuffle(block_inverse_shuffle(x, bits), bits),
+                    x
+                );
             }
         }
     }
@@ -183,7 +186,7 @@ mod tests {
         // Base 3, 2 digits: x = 3a+b -> 3b+a.
         assert_eq!(ary_shuffle(5, 3, 2), 7); // 12_3 -> 21_3
         assert_eq!(ary_shuffle(8, 3, 2), 8); // 22_3 fixed
-        // It is a permutation.
+                                             // It is a permutation.
         let image: std::collections::HashSet<_> = (0..27).map(|x| ary_shuffle(x, 3, 3)).collect();
         assert_eq!(image.len(), 27);
     }

@@ -56,7 +56,11 @@ pub fn enumerate_paths(cs: &CircuitState, p: usize, r: usize) -> Vec<Vec<LinkId>
 pub fn path_count_matrix(cs: &CircuitState) -> Vec<Vec<usize>> {
     let net = cs.network();
     (0..net.num_processors())
-        .map(|p| (0..net.num_resources()).map(|r| enumerate_paths(cs, p, r).len()).collect())
+        .map(|p| {
+            (0..net.num_resources())
+                .map(|r| enumerate_paths(cs, p, r).len())
+                .collect()
+        })
         .collect()
 }
 
@@ -75,7 +79,11 @@ pub fn path_count_matrix(cs: &CircuitState) -> Vec<Vec<usize>> {
 /// ```
 pub fn route_permutation(cs: &CircuitState, perm: &[usize]) -> Option<Vec<Vec<LinkId>>> {
     let net = cs.network();
-    assert_eq!(perm.len(), net.num_processors(), "perm must cover all processors");
+    assert_eq!(
+        perm.len(),
+        net.num_processors(),
+        "perm must cover all processors"
+    );
     let mut scratch = cs.clone();
 
     fn go(
@@ -179,8 +187,14 @@ mod tests {
         let net = omega(8).unwrap();
         let cs = CircuitState::new(&net);
         let frac = permutation_admissibility(&cs, 60, 7);
-        assert!(frac < 1.0, "omega must reject some sampled permutation ({frac})");
-        assert!(frac > 0.0, "omega must route some sampled permutation ({frac})");
+        assert!(
+            frac < 1.0,
+            "omega must reject some sampled permutation ({frac})"
+        );
+        assert!(
+            frac > 0.0,
+            "omega must route some sampled permutation ({frac})"
+        );
     }
 
     #[test]

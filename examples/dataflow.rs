@@ -23,8 +23,18 @@ fn main() {
     println!("cell blocks emit instruction packets; processing units execute them.\n");
 
     let schedulers: Vec<(&str, &dyn Scheduler)> = vec![
-        ("optimal (max-flow RSIN)", &MaxFlowScheduler { algorithm: rsin_flow::Algorithm::Dinic }),
-        ("greedy routing", &GreedyScheduler { order: RequestOrder::Shuffled(11) }),
+        (
+            "optimal (max-flow RSIN)",
+            &MaxFlowScheduler {
+                algorithm: rsin_flow::Algorithm::Dinic,
+            },
+        ),
+        (
+            "greedy routing",
+            &GreedyScheduler {
+                order: RequestOrder::Shuffled(11),
+            },
+        ),
     ];
 
     println!(

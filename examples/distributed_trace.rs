@@ -31,7 +31,10 @@ fn main() {
         "\n{} iterations of (request tokens -> resource tokens -> registration),",
         report.iterations
     );
-    println!("{} clock periods total — gate delays, not instructions.\n", report.clocks);
+    println!(
+        "{} clock periods total — gate delays, not instructions.\n",
+        report.clocks
+    );
     println!("final bonded circuits:");
     print_outcome(&net, &report.outcome);
     println!(

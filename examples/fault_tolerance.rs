@@ -40,7 +40,10 @@ fn main() {
     let problem = ScheduleProblem::homogeneous(&degraded, &requesting, &free);
     let out = MaxFlowScheduler::default().schedule(&problem);
     let hw = TokenEngine::run(&problem);
-    println!("degraded network: {} of 5 allocated (rerouted)", out.allocated());
+    println!(
+        "degraded network: {} of 5 allocated (rerouted)",
+        out.allocated()
+    );
     print_outcome(&net, &out);
     assert_eq!(
         hw.outcome.assignments.len(),

@@ -12,12 +12,12 @@
 //! cargo run -p rsin-examples --bin load_balancing
 //! ```
 
+use rand::Rng;
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{MaxFlowScheduler, Scheduler};
 use rsin_sim::workload::trial_rng;
 use rsin_topology::builders::benes;
 use rsin_topology::CircuitState;
-use rand::Rng;
 
 fn main() {
     // A Benes network gives alternate paths, useful under heavy rebalancing.

@@ -73,11 +73,19 @@ fn main() {
 
     println!("\npending tasks:");
     for &(p, ty, pri) in &tasks {
-        println!("  p{:<2} wants a {:<11} unit (priority {pri})", p + 1, type_name(ty));
+        println!(
+            "  p{:<2} wants a {:<11} unit (priority {pri})",
+            p + 1,
+            type_name(ty)
+        );
     }
     println!("\nfree units:");
     for &(r, ty, pref) in &pool {
-        println!("  r{:<2} is a {:<11} unit (preference {pref})", r + 1, type_name(ty));
+        println!(
+            "  r{:<2} is a {:<11} unit (preference {pref})",
+            r + 1,
+            type_name(ty)
+        );
     }
 
     let out = MultiCommodityScheduler::with_priorities().schedule(&problem);
@@ -90,8 +98,16 @@ fn main() {
     );
     print_outcome(&net, &out);
     for a in &out.assignments {
-        let ty = problem.requests.iter().find(|r| r.processor == a.processor).unwrap();
-        let unit = problem.free.iter().find(|f| f.resource == a.resource).unwrap();
+        let ty = problem
+            .requests
+            .iter()
+            .find(|r| r.processor == a.processor)
+            .unwrap();
+        let unit = problem
+            .free
+            .iter()
+            .find(|f| f.resource == a.resource)
+            .unwrap();
         assert_eq!(ty.resource_type, unit.resource_type, "types always match");
     }
     println!("\nevery task landed on a unit of its own type; high-priority interactive");

@@ -26,12 +26,14 @@ fn main() {
     circuits.connect(3, 3).unwrap(); // p4 -> r4
 
     // 3. A scheduling cycle: five processors request, five resources free.
-    let problem =
-        ScheduleProblem::homogeneous(&circuits, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
+    let problem = ScheduleProblem::homogeneous(&circuits, &[0, 2, 4, 6, 7], &[0, 2, 4, 6, 7]);
 
     // 4. The optimal request->resource mapping (Transformation 1 + max flow).
     let optimal = MaxFlowScheduler::default().schedule(&problem);
-    println!("\noptimal mapping ({} of 5 allocated):", optimal.allocated());
+    println!(
+        "\noptimal mapping ({} of 5 allocated):",
+        optimal.allocated()
+    );
     print_outcome(&net, &optimal);
 
     // 5. Compare with greedy heuristic routing.

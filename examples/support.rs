@@ -18,8 +18,11 @@ pub fn print_outcome(net: &Network, outcome: &ScheduleOutcome) {
         );
     }
     if !outcome.blocked.is_empty() {
-        let blocked: Vec<String> =
-            outcome.blocked.iter().map(|p| format!("p{}", p + 1)).collect();
+        let blocked: Vec<String> = outcome
+            .blocked
+            .iter()
+            .map(|p| format!("p{}", p + 1))
+            .collect();
         println!("  blocked: {}", blocked.join(", "));
     }
 }

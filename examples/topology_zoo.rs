@@ -45,8 +45,14 @@ fn main() {
     let r = analyze(&net, 30, 1);
     println!("  crosspoints        : {}", r.crosspoints);
     println!("  control state      : {:.0} bits", r.control_bits);
-    println!("  path length        : {}..{} links", r.path_length.0, r.path_length.1);
-    println!("  paths per pair     : {}..{}", r.path_multiplicity.0, r.path_multiplicity.1);
+    println!(
+        "  path length        : {}..{} links",
+        r.path_length.0, r.path_length.1
+    );
+    println!(
+        "  paths per pair     : {}..{}",
+        r.path_multiplicity.0, r.path_multiplicity.1
+    );
     println!("  perm admissibility : {:.0}%", 100.0 * r.admissibility);
     println!("  blocking class     : {:?}", r.class);
     println!("\n(run with --dot for a Graphviz rendering)");

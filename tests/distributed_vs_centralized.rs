@@ -8,16 +8,15 @@ use rsin_core::scheduler::{MaxFlowScheduler, Scheduler};
 use rsin_distrib::TokenEngine;
 use rsin_integration::snapshot;
 use rsin_topology::builders::{
-    baseline, benes, clos, data_manipulator, delta, gamma, generalized_cube, indirect_cube,
-    omega, omega_dilated,
+    baseline, benes, clos, data_manipulator, delta, gamma, generalized_cube, indirect_cube, omega,
+    omega_dilated,
 };
 use rsin_topology::{CircuitState, LinkId, Network};
 
 fn hammer(net: &Network, seed: u64, trials: u64, k: usize, occupied: usize) {
     for trial in 0..trials {
         let snap = snapshot(net, seed, trial, k, occupied);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let hw = TokenEngine::run(&problem);
         let sw = MaxFlowScheduler::default().schedule(&problem);
         assert_eq!(
@@ -50,7 +49,11 @@ fn equivalence_on_8x8_topologies() {
 
 #[test]
 fn equivalence_on_16x16_loaded() {
-    for net in [omega(16).unwrap(), generalized_cube(16).unwrap(), benes(16).unwrap()] {
+    for net in [
+        omega(16).unwrap(),
+        generalized_cube(16).unwrap(),
+        benes(16).unwrap(),
+    ] {
         hammer(&net, 2, 40, 10, 3);
     }
 }
@@ -89,14 +92,22 @@ fn equivalence_under_faults() {
         let mut cs = CircuitState::new(&net);
         // Deterministic fault pattern per trial.
         for k in 0..(trial % 5) {
-            cs.fail_link(LinkId(((trial * 13 + k * 29) % net.num_links() as u64) as u32));
+            cs.fail_link(LinkId(
+                ((trial * 13 + k * 29) % net.num_links() as u64) as u32,
+            ));
         }
         let req: Vec<usize> = (0..8).filter(|i| (trial >> (i % 6)) & 1 == 0).collect();
-        let free: Vec<usize> = (0..8).filter(|i| (trial >> ((i + 2) % 6)) & 1 == 1).collect();
+        let free: Vec<usize> = (0..8)
+            .filter(|i| (trial >> ((i + 2) % 6)) & 1 == 1)
+            .collect();
         let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
         let hw = TokenEngine::run(&problem);
         let sw = MaxFlowScheduler::default().schedule(&problem);
-        assert_eq!(hw.outcome.assignments.len(), sw.allocated(), "trial {trial}");
+        assert_eq!(
+            hw.outcome.assignments.len(),
+            sw.allocated(),
+            "trial {trial}"
+        );
         verify(&hw.outcome.assignments, &problem).unwrap();
     }
 }
@@ -118,7 +129,10 @@ fn regression_cancelled_cancellation_instance() {
     let sw = MaxFlowScheduler::default().schedule(&problem);
     assert_eq!(hw.outcome.assignments.len(), sw.allocated());
     verify(&hw.outcome.assignments, &problem).unwrap();
-    assert!(hw.iterations >= 3, "the instance needs at least three Dinic iterations");
+    assert!(
+        hw.iterations >= 3,
+        "the instance needs at least three Dinic iterations"
+    );
 }
 
 #[test]
@@ -134,8 +148,7 @@ fn first_layered_network_matches_dinic_layer_by_layer() {
     for trial in 0..20u64 {
         let net = omega(8).unwrap();
         let snap = snapshot(&net, 77, trial, 5, 1);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let hw = TokenEngine::run(&problem);
         // Software layered network on the zero-flow transformed graph.
         let t = homogeneous::transform(&problem);
@@ -183,8 +196,7 @@ fn clocks_grow_sublinearly_with_size() {
     for n in [8usize, 16, 32] {
         let net = omega(n).unwrap();
         let snap = snapshot(&net, 9, 0, n / 2, 0);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let hw = TokenEngine::run(&problem);
         let sw = MaxFlowScheduler::default().schedule(&problem);
         assert!(

@@ -72,8 +72,7 @@ fn optimal_dominates_greedy_on_allocation_count() {
     let net = omega(8).unwrap();
     for trial in 0..60 {
         let snap = snapshot(&net, 7, trial, 5, 1);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let opt = MaxFlowScheduler::default().schedule(&problem).allocated();
         let heu = GreedyScheduler::default().schedule(&problem).allocated();
         assert!(opt >= heu, "trial {trial}: optimal {opt} < greedy {heu}");
@@ -95,17 +94,28 @@ fn dynamic_simulation_full_stack() {
     let stats = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
     assert!(stats.completed > 200);
     assert!(stats.utilization > 0.1 && stats.utilization <= 1.0);
-    assert!(stats.mean_response >= 0.8 * 0.5, "response at least ~service time scale");
+    assert!(
+        stats.mean_response >= 0.8 * 0.5,
+        "response at least ~service time scale"
+    );
     // On a rearrangeable Benes with optimal scheduling, per-cycle blocking
     // should be negligible.
-    assert!(stats.mean_blocking < 0.05, "blocking {}", stats.mean_blocking);
+    assert!(
+        stats.mean_blocking < 0.05,
+        "blocking {}",
+        stats.mean_blocking
+    );
 }
 
 #[test]
 fn distributed_engine_in_dynamic_loop() {
     // The token engine can drive the dynamic simulation end to end.
     let net = omega(8).unwrap();
-    let cfg = DynamicConfig { sim_time: 200.0, warmup: 20.0, ..DynamicConfig::default() };
+    let cfg = DynamicConfig {
+        sim_time: 200.0,
+        warmup: 20.0,
+        ..DynamicConfig::default()
+    };
     let stats = SystemSim::new(&net, cfg).run(&DistributedScheduler);
     let reference = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
     // Both are optimal per cycle with the same arrival stream; identical

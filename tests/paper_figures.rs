@@ -3,9 +3,7 @@
 
 use rsin_core::mapping::verify;
 use rsin_core::model::ScheduleProblem;
-use rsin_core::scheduler::{
-    AddressMappedScheduler, MaxFlowScheduler, MinCostScheduler, Scheduler,
-};
+use rsin_core::scheduler::{AddressMappedScheduler, MaxFlowScheduler, MinCostScheduler, Scheduler};
 use rsin_distrib::TokenEngine;
 use rsin_flow::max_flow::{solve as max_flow_solve, Algorithm};
 use rsin_flow::FlowNetwork;
@@ -33,7 +31,10 @@ fn fig2_optimal_allocates_all_five() {
             placed += 1;
         }
     }
-    assert!(placed < 5, "the fixed mapping must lose at least one allocation");
+    assert!(
+        placed < 5,
+        "the fixed mapping must lose at least one allocation"
+    );
 }
 
 /// Figs. 3–4: augmenting through a cancellation reallocates resources.
@@ -95,7 +96,10 @@ fn fig10_bus_vectors() {
     assert_eq!(report.outcome.assignments.len(), 5);
     let vectors: Vec<&str> = report.trace.iter().map(|t| t.vector.as_str()).collect();
     for expected in ["111000x", "111001x", "110100x", "110110x"] {
-        assert!(vectors.contains(&expected), "missing {expected} in {vectors:?}");
+        assert!(
+            vectors.contains(&expected),
+            "missing {expected} in {vectors:?}"
+        );
     }
 }
 
@@ -128,7 +132,11 @@ fn headline_blocking_numbers() {
     // Omega: the paper's "< 5 percent" claim.
     let om = omega(8).unwrap();
     let o = run_blocking(&om, &MaxFlowScheduler::default(), &cfg);
-    assert!(o.blocking.mean < 0.05, "omega optimal blocking {}", o.blocking.mean);
+    assert!(
+        o.blocking.mean < 0.05,
+        "omega optimal blocking {}",
+        o.blocking.mean
+    );
 }
 
 /// "If extra stages are provided … finding an optimal mapping becomes less
@@ -146,7 +154,9 @@ fn extra_stages_shrink_the_gap() {
     };
     let gap = |extra: usize| {
         let net = omega_extra_stage(8, extra).unwrap();
-        let o = run_blocking(&net, &MaxFlowScheduler::default(), &cfg).blocking.mean;
+        let o = run_blocking(&net, &MaxFlowScheduler::default(), &cfg)
+            .blocking
+            .mean;
         let h = run_blocking(&net, &GreedyScheduler::new(RequestOrder::Shuffled(2)), &cfg)
             .blocking
             .mean;
@@ -154,6 +164,9 @@ fn extra_stages_shrink_the_gap() {
     };
     let g0 = gap(0);
     let g2 = gap(2);
-    assert!(g2 < g0, "gap with 2 extra stages ({g2}) < gap with none ({g0})");
+    assert!(
+        g2 < g0,
+        "gap with 2 extra stages ({g2}) < gap with none ({g0})"
+    );
     assert!(g2 < 0.02, "gap nearly vanishes: {g2}");
 }

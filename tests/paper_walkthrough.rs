@@ -4,8 +4,7 @@
 use rsin_core::mapping::verify;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{
-    AddressMappedScheduler, MaxFlowScheduler, MinCostScheduler, MultiCommodityScheduler,
-    Scheduler,
+    AddressMappedScheduler, MaxFlowScheduler, MinCostScheduler, MultiCommodityScheduler, Scheduler,
 };
 use rsin_distrib::{DistributedSystem, TokenEngine};
 use rsin_sim::blocking::{run_blocking, BlockingConfig};
@@ -57,7 +56,11 @@ fn the_paper_in_one_test() {
         &[(0, 2), (2, 8), (4, 4), (6, 6), (7, 1)],
     );
     let with_cost = MinCostScheduler::default().schedule(&priced);
-    assert_eq!(with_cost.allocated(), 5, "priority scheduling keeps cardinality");
+    assert_eq!(
+        with_cost.allocated(),
+        5,
+        "priority scheduling keeps cardinality"
+    );
     verify(&with_cost.assignments, &priced).unwrap();
 
     // ------------------------------------------------------------------
@@ -67,20 +70,44 @@ fn the_paper_in_one_test() {
     let hetero = ScheduleProblem {
         circuits: &fabric,
         requests: vec![
-            ScheduleRequest { processor: 0, priority: 1, resource_type: 0 },
-            ScheduleRequest { processor: 4, priority: 1, resource_type: 1 },
+            ScheduleRequest {
+                processor: 0,
+                priority: 1,
+                resource_type: 0,
+            },
+            ScheduleRequest {
+                processor: 4,
+                priority: 1,
+                resource_type: 1,
+            },
         ],
         free: vec![
-            FreeResource { resource: 2, preference: 1, resource_type: 1 },
-            FreeResource { resource: 6, preference: 1, resource_type: 0 },
+            FreeResource {
+                resource: 2,
+                preference: 1,
+                resource_type: 1,
+            },
+            FreeResource {
+                resource: 6,
+                preference: 1,
+                resource_type: 0,
+            },
         ],
     };
     let multi = MultiCommodityScheduler::default().schedule(&hetero);
     assert_eq!(multi.allocated(), 2);
     verify(&multi.assignments, &hetero).unwrap();
     for a in &multi.assignments {
-        let ty_req = hetero.requests.iter().find(|r| r.processor == a.processor).unwrap();
-        let ty_res = hetero.free.iter().find(|f| f.resource == a.resource).unwrap();
+        let ty_req = hetero
+            .requests
+            .iter()
+            .find(|r| r.processor == a.processor)
+            .unwrap();
+        let ty_res = hetero
+            .free
+            .iter()
+            .find(|f| f.resource == a.resource)
+            .unwrap();
         assert_eq!(ty_req.resource_type, ty_res.resource_type);
     }
 
@@ -122,7 +149,11 @@ fn the_paper_in_one_test() {
     };
     let opt = run_blocking(&cube, &MaxFlowScheduler::default(), &cfg);
     let conv = run_blocking(&cube, &AddressMappedScheduler::new(1986), &cfg);
-    assert!(opt.blocking.mean < 0.05, "optimal ≈2%: got {}", opt.blocking.mean);
+    assert!(
+        opt.blocking.mean < 0.05,
+        "optimal ≈2%: got {}",
+        opt.blocking.mean
+    );
     assert!(
         conv.blocking.mean > 3.0 * opt.blocking.mean,
         "conventional ≈20%: got {} vs {}",

@@ -22,10 +22,7 @@ use rsin_topology::CircuitState;
 /// Strategy: a random digraph as (nodes, arc list with caps and costs).
 fn arb_flow_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64, i64)>)> {
     (3usize..10).prop_flat_map(|n| {
-        let arcs = proptest::collection::vec(
-            (0..n, 0..n, 1i64..8, 0i64..6),
-            1..30,
-        );
+        let arcs = proptest::collection::vec((0..n, 0..n, 1i64..8, 0i64..6), 1..30);
         (Just(n), arcs)
     })
 }

@@ -14,7 +14,11 @@ use rsin_topology::builders::{baseline, generalized_cube, omega};
 
 #[test]
 fn max_flow_matches_exhaustive_cardinality() {
-    let nets = [omega(8).unwrap(), baseline(8).unwrap(), generalized_cube(8).unwrap()];
+    let nets = [
+        omega(8).unwrap(),
+        baseline(8).unwrap(),
+        generalized_cube(8).unwrap(),
+    ];
     for net in &nets {
         for trial in 0..25 {
             let snap = snapshot(net, 21, trial, 4, 1);
@@ -85,8 +89,7 @@ fn priority_scheduling_never_sacrifices_cardinality() {
         let snap = snapshot(&net, 25, trial, 5, 1);
         let mut rng = trial_rng(4000, trial);
         let priced = problem_with_attrs(&snap, 10, 1, &mut rng);
-        let plain =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let plain = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let with_cost = MinCostScheduler::default().schedule(&priced);
         let without = MaxFlowScheduler::default().schedule(&plain);
         assert_eq!(with_cost.allocated(), without.allocated(), "trial {trial}");
@@ -99,12 +102,14 @@ fn all_max_flow_algorithms_identical_outcome_counts() {
     let net = baseline(8).unwrap();
     for trial in 0..30 {
         let snap = snapshot(&net, 26, trial, 6, 2);
-        let problem =
-            ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
         let counts: Vec<usize> = Algorithm::ALL
             .iter()
             .map(|&a| MaxFlowScheduler::new(a).schedule(&problem).allocated())
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "trial {trial}: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "trial {trial}: {counts:?}"
+        );
     }
 }

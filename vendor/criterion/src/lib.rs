@@ -1,0 +1,239 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build container cannot reach a crate registry, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is plain wall-clock sampling (no outlier analysis, plots,
+//! or saved baselines): each benchmark is calibrated with one timed call,
+//! then measured over `sample_size` samples within a fixed time budget and
+//! reported as mean ns/iter on stdout. Under `cargo test` (which runs
+//! `harness = false` bench targets with `--test`) every routine executes
+//! exactly once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one routine; handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, calibrating the per-sample iteration count so the
+    /// whole benchmark fits a fixed budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: one timed call decides the batch size.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(300);
+        let per_sample = (budget.as_nanos() / self.sample_size.max(1) as u128)
+            .checked_div(once.as_nanos())
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += per_sample;
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark driver; one per bench binary.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs `harness = false` bench targets under `cargo test`
+        // with `--test`; honour it by executing each routine once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+fn run_one(name: &str, test_mode: bool, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else if b.iters > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("bench {name:<50} {ns:>14.1} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {name:<50} (no measurement: Bencher::iter never called)");
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(name, self.test_mode, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, self.criterion.test_mode, samples, |b| f(b, input));
+        self
+    }
+
+    /// Run one benchmark without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, self.criterion.test_mode, samples, |b| f(b));
+        self
+    }
+
+    /// Close the group (report-flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from `fn(&mut Criterion)` items.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups; ignores harness CLI arguments.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 5,
+        };
+        c.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "test mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn group_applies_sample_size() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 5,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
