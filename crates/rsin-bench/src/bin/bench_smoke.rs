@@ -1,0 +1,234 @@
+//! BENCH_SMOKE — self-timed hot-path regression gate for CI.
+//!
+//! The criterion shim prints human output only, so CI gates on this
+//! dedicated binary instead: it wall-clock-times the `hot_path` bench's
+//! workloads (the threaded blocking batch at 1/2/4/8 workers plus the
+//! reset-per-trial scheduling rows) with min-of-N repetitions and writes a
+//! JSON report.
+//!
+//! Usage: `bench_smoke <out.json> [baseline.json]`
+//!
+//! Raw seconds are not comparable across machines, so every row also
+//! carries a *normalized* time: row seconds divided by the seconds of a
+//! fixed single-core integer calibration loop measured in the same process.
+//! When a baseline file is given, the gate fails (exit 1) if any row's
+//! normalized time regresses more than 25 % over the baseline's — slow CI
+//! hardware cancels out of the ratio, real hot-path regressions do not.
+//!
+//! The determinism contract is asserted on the way: every thread count must
+//! produce bit-identical blocking statistics.
+
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler};
+use rsin_sim::blocking::{run_blocking_threads, BlockingConfig};
+use rsin_sim::workload::{random_snapshot, trial_rng};
+use rsin_topology::builders::omega;
+use rsin_topology::Network;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_ROWS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+const BATCH_TRIALS: u64 = 64;
+const REGRESSION_LIMIT: f64 = 1.25;
+
+struct Row {
+    name: String,
+    secs: f64,
+    normalized: f64,
+}
+
+/// Fixed single-core integer workload whose wall time anchors the
+/// normalization (xorshift64*, enough iterations to dominate timer noise).
+fn calibration_secs() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            acc = acc.wrapping_add(x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        }
+        black_box(acc);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Min-of-reps wall time of a workload.
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The `hot_path` bench's reset-per-trial batch: schedule a fixed snapshot
+/// stream through a reused scratch.
+fn reset_batch(net: &Network, scheduler: &dyn Scheduler, scratch: &mut ScheduleScratch) -> usize {
+    let mut total = 0;
+    for trial in 0..BATCH_TRIALS {
+        let mut rng = trial_rng(41, trial);
+        let snap = random_snapshot(net, 8, 8, 2, &mut rng);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        total += scheduler.schedule_reusing(&problem, scratch).allocated();
+    }
+    total
+}
+
+fn emit_json(path: &str, calib: f64, rows: &[Row]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"hot_path_smoke\",\n");
+    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"calibration_secs\": {calib:.6},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs\": {:.6}, \"normalized\": {:.6}}}{}\n",
+            r.name,
+            r.secs,
+            r.normalized,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+/// Extract `(name, normalized)` pairs from a report produced by
+/// [`emit_json`] (fixed format, no general JSON parser needed).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some((_, rest)) = rest.split_once("\"normalized\": ") else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            rows.push((name.to_string(), v));
+        }
+    }
+    rows
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hot_path.json".into());
+    let baseline_path = std::env::args().nth(2);
+
+    let net = omega(16).unwrap();
+    let cfg = BlockingConfig {
+        trials: 1024,
+        requests: 8,
+        resources: 8,
+        occupied_circuits: 2,
+        seed: 41,
+    };
+    let max_flow = MaxFlowScheduler::default();
+    let min_cost = MinCostScheduler::default();
+
+    println!("bench_smoke: calibrating...");
+    let calib = calibration_secs();
+    println!("  calibration loop: {calib:.4}s");
+
+    // Determinism contract across the thread rows, checked before timing.
+    let reference = run_blocking_threads(&net, &max_flow, &cfg, 1);
+    for &t in &THREAD_ROWS[1..] {
+        let r = run_blocking_threads(&net, &max_flow, &cfg, t);
+        assert_eq!(
+            reference.blocking.mean.to_bits(),
+            r.blocking.mean.to_bits(),
+            "thread count {t} changed the statistics"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for &t in &THREAD_ROWS {
+        let secs = time_min(|| {
+            black_box(run_blocking_threads(&net, &max_flow, &cfg, t).blocking.mean);
+        });
+        println!("  blocking_threads_{t}: {secs:.4}s");
+        rows.push(Row {
+            name: format!("blocking_threads_{t}"),
+            secs,
+            normalized: secs / calib,
+        });
+    }
+    for (name, s) in [
+        ("reset_per_trial_max_flow", &max_flow as &dyn Scheduler),
+        ("reset_per_trial_min_cost", &min_cost as &dyn Scheduler),
+    ] {
+        let mut scratch = ScheduleScratch::new();
+        let secs = time_min(|| {
+            black_box(reset_batch(&net, s, &mut scratch));
+        });
+        println!("  {name}: {secs:.4}s");
+        rows.push(Row {
+            name: name.to_string(),
+            secs,
+            normalized: secs / calib,
+        });
+    }
+
+    if let Err(e) = emit_json(&out_path, calib, &rows) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("report written to {out_path}");
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("error: baseline {baseline_path} has no rows");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for row in &rows {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| *n == row.name) else {
+            println!("  {}: no baseline row, skipping", row.name);
+            continue;
+        };
+        let ratio = row.normalized / base;
+        let verdict = if ratio > REGRESSION_LIMIT {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {}: normalized {:.4} vs baseline {:.4} (x{:.2}) {}",
+            row.name, row.normalized, base, ratio, verdict
+        );
+    }
+    if failed {
+        eprintln!("bench_smoke: normalized regression over {REGRESSION_LIMIT}x detected");
+        std::process::exit(1);
+    }
+    println!("bench_smoke: within {REGRESSION_LIMIT}x of baseline");
+}

@@ -1,74 +1,235 @@
-//! FAULTS — graceful degradation under link/switchbox failures.
+//! FAULTS — graceful degradation under a live fail/repair process.
 //!
-//! Section IV: a distributed implementation is preferred over the monitor
-//! "for reasons such as fault tolerance and modularity". This experiment
-//! injects random link faults (and whole dead switchboxes) and measures
-//! how allocation degrades: the flow-based optimum automatically reroutes
-//! around faults (they are just absent arcs in the transformed network),
-//! and the token engine remains exactly equivalent to it on the surviving
-//! topology.
+//! Section IV prefers the distributed implementation "for reasons such as
+//! fault tolerance and modularity". This experiment quantifies that claim
+//! dynamically: each trial runs the full Section II system model while a
+//! seed-derived [`FaultPlan`] fails and repairs links mid-run. The reusable
+//! transformation absorbs every toggle as an incremental capacity patch
+//! (never a rebuild — asserted below), blocked requests are retried over
+//! alternate paths before being shed, and the report compares allocations
+//! against the fault-free baseline of the *same* arrival stream.
+//!
+//! Usage: `faults [trials] [threads] [json-path]`
+//!
+//! Trials follow the `(seed, trial)` RNG-stream convention shared with the
+//! `blocking` and `dynamic` experiments, so every number is bit-identical
+//! for any thread count. Besides the table, a JSON report is written to
+//! `json-path` (default `faults_report.json`).
 
-use rand::Rng;
-use rsin_bench::{emit_table, network_by_name, pct};
-use rsin_core::model::ScheduleProblem;
-use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
-use rsin_distrib::TokenEngine;
-use rsin_sim::metrics::Sample;
-use rsin_sim::workload::trial_rng;
-use rsin_topology::{CircuitState, LinkId};
+use rsin_bench::{emit_table, network_by_name};
+use rsin_core::scheduler::{
+    AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler,
+};
+use rsin_sim::system::{run_faulted_trials, DynamicConfig, FaultedStats};
+use rsin_topology::FaultPlanConfig;
+
+const SEED: u64 = 42;
+const SIM_TIME: f64 = 400.0;
+const WARMUP: f64 = 40.0;
+const MEAN_REPAIR: f64 = 25.0;
+const RATES: [f64; 5] = [0.0, 0.001, 0.002, 0.005, 0.01];
+const NETWORKS: [&str; 2] = ["omega-8", "baseline-8"];
+
+struct Row {
+    network: &'static str,
+    scheduler: &'static str,
+    rate: f64,
+    survival: f64,
+    completed: u64,
+    baseline_completed: u64,
+    shed: u64,
+    recovered: u64,
+    failures: u64,
+    repairs: u64,
+    mean_recovery: f64,
+    recoveries_observed: u64,
+    transform_rebuilds: u64,
+}
+
+fn aggregate(
+    network: &'static str,
+    scheduler: &'static str,
+    rate: f64,
+    trials: &[FaultedStats],
+    baseline: &[FaultedStats],
+) -> Row {
+    let completed: u64 = trials.iter().map(|t| t.stats.completed).sum();
+    let baseline_completed: u64 = baseline.iter().map(|t| t.stats.completed).sum();
+    // Weighted recovery mean across trials.
+    let rec_n: u64 = trials.iter().map(|t| t.recoveries_observed).sum();
+    let rec_sum: f64 = trials
+        .iter()
+        .map(|t| t.mean_recovery * t.recoveries_observed as f64)
+        .sum();
+    Row {
+        network,
+        scheduler,
+        rate,
+        survival: if baseline_completed > 0 {
+            completed as f64 / baseline_completed as f64
+        } else {
+            1.0
+        },
+        completed,
+        baseline_completed,
+        shed: trials.iter().map(|t| t.shed_total).sum(),
+        recovered: trials.iter().map(|t| t.recovered_total).sum(),
+        failures: trials.iter().map(|t| t.failures).sum(),
+        repairs: trials.iter().map(|t| t.repairs).sum(),
+        mean_recovery: if rec_n > 0 {
+            rec_sum / rec_n as f64
+        } else {
+            0.0
+        },
+        recoveries_observed: rec_n,
+        transform_rebuilds: trials.iter().map(|t| t.transform_rebuilds).sum(),
+    }
+}
+
+fn json_report(rows: &[Row], trials: usize, threads: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"faults\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"trials\": {trials},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"sim_time\": {SIM_TIME},\n"));
+    s.push_str(&format!("  \"warmup\": {WARMUP},\n"));
+    s.push_str(&format!("  \"mean_repair\": {MEAN_REPAIR},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"network\": \"{}\", \"scheduler\": \"{}\", \"failure_rate\": {}, \
+             \"survival\": {:.6}, \"completed\": {}, \"baseline_completed\": {}, \
+             \"shed\": {}, \"recovered\": {}, \"failures\": {}, \"repairs\": {}, \
+             \"mean_recovery\": {:.6}, \"recoveries_observed\": {}, \
+             \"transform_rebuilds\": {}}}{}\n",
+            r.network,
+            r.scheduler,
+            r.rate,
+            r.survival,
+            r.completed,
+            r.baseline_completed,
+            r.shed,
+            r.recovered,
+            r.failures,
+            r.repairs,
+            r.mean_recovery,
+            r.recoveries_observed,
+            r.transform_rebuilds,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
 
 fn main() {
-    let trials = std::env::args()
+    let trials: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(1500u64);
+        .unwrap_or(6);
+    let threads = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let json_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "faults_report.json".into());
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(17));
-    println!("FAULTS — blocking vs injected faults (benes-8, 5 req / 5 res, {trials} trials)\n");
-    let net = network_by_name("benes-8").unwrap();
+    // Address-mapped binds a resource *before* routing, so dead links under
+    // its blind bindings are exactly what the degraded retry rescues.
+    let addr = AddressMappedScheduler::new(SEED);
+    let schedulers: [(&'static str, &dyn Scheduler); 3] = [
+        ("max-flow", &optimal),
+        ("greedy", &greedy),
+        ("addr-map", &addr),
+    ];
+    let cfg = DynamicConfig {
+        arrival_rate: 0.5,
+        mean_transmission: 0.2,
+        mean_service: 1.0,
+        sim_time: SIM_TIME,
+        warmup: WARMUP,
+        seed: SEED,
+        types: 1,
+    };
+    println!(
+        "FAULTS — dynamic fail/repair sweep ({} trials, horizon {SIM_TIME}, mean repair \
+         {MEAN_REPAIR}, {threads} worker thread(s))\n",
+        trials
+    );
     let mut rows = Vec::new();
-    for faults in 0..=6usize {
-        let mut opt_b = Sample::new();
-        let mut heu_b = Sample::new();
-        let mut equal = true;
-        for trial in 0..trials {
-            let mut rng = trial_rng(7_700 + faults as u64, trial);
-            let mut cs = CircuitState::new(&net);
-            // Fail random interior links.
-            for _ in 0..faults {
-                let l = LinkId(rng.random_range(0..net.num_links() as u32));
-                cs.fail_link(l);
+    for name in NETWORKS {
+        let net = network_by_name(name).unwrap();
+        for (sname, scheduler) in schedulers {
+            // Rate 0 is the fault-free baseline of the same arrival streams.
+            let baseline = run_faulted_trials(
+                &net,
+                scheduler,
+                &cfg,
+                &FaultPlanConfig::links(0.0, MEAN_REPAIR, SIM_TIME),
+                trials,
+                threads,
+            );
+            for rate in RATES {
+                let fcfg = FaultPlanConfig::links(rate, MEAN_REPAIR, SIM_TIME);
+                let stats = run_faulted_trials(&net, scheduler, &cfg, &fcfg, trials, threads);
+                // PR invariant: faults are capacity patches, never rebuilds
+                // — at most one transform build per trial (exactly one for
+                // the flow-based scheduler, zero for the heuristic).
+                let expected = if sname == "max-flow" { 1 } else { 0 };
+                assert!(
+                    stats.iter().all(|t| t.transform_rebuilds == expected),
+                    "{name}/{sname}: fault toggles must not rebuild the transform"
+                );
+                rows.push(aggregate(name, sname, rate, &stats, &baseline));
             }
-            let req: Vec<usize> = (0..8).filter(|_| rng.random_range(0..8) < 5).collect();
-            let free: Vec<usize> = (0..8).filter(|_| rng.random_range(0..8) < 5).collect();
-            let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
-            let denom = req.len().min(free.len());
-            if denom == 0 {
-                continue;
-            }
-            let o = optimal.schedule(&problem);
-            let h = greedy.schedule(&problem);
-            let d = TokenEngine::run(&problem);
-            equal &= d.outcome.assignments.len() == o.allocated();
-            opt_b.push(o.blocking_fraction(denom));
-            heu_b.push(h.blocking_fraction(denom));
         }
-        rows.push(vec![
-            faults.to_string(),
-            pct(opt_b.mean(), opt_b.ci95_half_width()),
-            pct(heu_b.mean(), heu_b.ci95_half_width()),
-            if equal { "yes".into() } else { "NO".into() },
-        ]);
     }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.to_string(),
+                r.scheduler.to_string(),
+                format!("{:.3}", r.rate),
+                format!("{:.3}", r.survival),
+                r.shed.to_string(),
+                r.recovered.to_string(),
+                r.failures.to_string(),
+                format!("{:.2}", r.mean_recovery),
+                r.transform_rebuilds.to_string(),
+            ]
+        })
+        .collect();
     emit_table(
         "faults",
-        &["faulty links", "optimal", "greedy", "token == optimal"],
-        &rows,
+        &[
+            "network",
+            "scheduler",
+            "fail rate",
+            "survival",
+            "shed",
+            "recovered",
+            "failures",
+            "mean recovery",
+            "rebuilds",
+        ],
+        &table,
     );
+    let report = json_report(&rows, trials, threads);
+    if let Err(e) = std::fs::write(&json_path, &report) {
+        eprintln!("warning: could not write {json_path}: {e}");
+    } else {
+        println!("\nJSON report written to {json_path}");
+    }
     println!(
-        "\nshape: the redundant-path Benes degrades gracefully under the optimal\n\
-         scheduler (faults are just missing arcs in the flow network), the greedy\n\
-         heuristic loses more, and the distributed engine stays exactly optimal\n\
-         on every surviving topology — the paper's fault-tolerance argument."
+        "\nshape: survival stays near 1.0 at low failure rates and degrades\n\
+         gracefully as rates rise; the retry pass rescues part of the greedy\n\
+         scheduler's blockages, and every fault toggle is an incremental\n\
+         capacity patch (max-flow rebuilds == trials per row: one initial\n\
+         build per trial, none on faults)."
     );
 }

@@ -50,4 +50,4 @@ pub mod transform;
 
 pub use mapping::{Assignment, MappingError};
 pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
-pub use scheduler::{ScheduleError, ScheduleScratch, Scheduler};
+pub use scheduler::{DegradedOutcome, ScheduleError, ScheduleScratch, Scheduler};

@@ -94,6 +94,95 @@ impl ScheduleScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Total transformation-graph (re)builds across both shapes. A run that
+    /// stays on one topology with one scheduler must observe exactly 1 —
+    /// link faults and repairs are incremental capacity patches, never
+    /// rebuilds.
+    pub fn rebuilds(&self) -> u64 {
+        self.max_flow.rebuilds() + self.min_cost.rebuilds()
+    }
+}
+
+/// Outcome of a degraded-mode scheduling cycle
+/// ([`Scheduler::try_schedule_degraded`]): the merged mapping plus how many
+/// blocked requests the alternate-path retry rescued, and how many were
+/// shed (left unallocated this cycle).
+#[derive(Debug, Clone)]
+pub struct DegradedOutcome {
+    /// The merged outcome: primary assignments plus recovered ones, with
+    /// `blocked` listing only the shed requests.
+    pub outcome: ScheduleOutcome,
+    /// Requests the primary pass blocked but the retry re-routed to an
+    /// alternate free resource.
+    pub recovered: usize,
+    /// Requests still unallocated after the retry.
+    pub shed: usize,
+}
+
+/// Retry every blocked request of `primary` over the residual free links:
+/// the primary assignments are pinned onto a copy of the circuit state, and
+/// each blocked request BFSes to *any* still-untaken, type-compatible free
+/// resource. Recovered requests join the assignments; the rest are shed.
+fn retry_blocked(
+    problem: &ScheduleProblem,
+    primary: ScheduleOutcome,
+) -> Result<DegradedOutcome, ScheduleError> {
+    if primary.blocked.is_empty() {
+        return Ok(DegradedOutcome {
+            recovered: 0,
+            shed: 0,
+            outcome: primary,
+        });
+    }
+    let mut cs = problem.circuits.clone();
+    let mut taken = vec![false; problem.free.len()];
+    for a in &primary.assignments {
+        if let Some(k) = problem.free.iter().position(|f| f.resource == a.resource) {
+            taken[k] = true;
+        }
+        cs.establish(&a.path)?;
+    }
+    let estimated_instructions = primary.estimated_instructions;
+    let mut assignments = primary.assignments;
+    let mut recovered = 0;
+    for &p in &primary.blocked {
+        let Some(req) = problem.requests.iter().find(|r| r.processor == p) else {
+            continue;
+        };
+        let candidates: Vec<usize> = problem
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(k, f)| !taken[*k] && f.resource_type == req.resource_type)
+            .map(|(_, f)| f.resource)
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        if let Some((resource, path)) = cs.find_path_to_any(p, &candidates) {
+            cs.establish(&path)?;
+            let k = problem
+                .free
+                .iter()
+                .position(|f| f.resource == resource)
+                .unwrap();
+            taken[k] = true;
+            assignments.push(Assignment {
+                processor: p,
+                resource,
+                path,
+            });
+            recovered += 1;
+        }
+    }
+    let outcome = finish_outcome(problem, assignments, estimated_instructions);
+    let shed = outcome.blocked.len();
+    Ok(DegradedOutcome {
+        outcome,
+        recovered,
+        shed,
+    })
 }
 
 /// A scheduling discipline: map pending requests to free resources for one
@@ -131,6 +220,25 @@ pub trait Scheduler: Sync {
     ) -> Result<ScheduleOutcome, ScheduleError> {
         let _ = scratch;
         self.try_schedule(problem)
+    }
+
+    /// Degraded-mode scheduling for faulted networks: run the primary
+    /// discipline, then retry each blocked request over an alternate path
+    /// to any still-untaken type-compatible free resource before shedding
+    /// it. The typed [`DegradedOutcome`] separates recovered from shed
+    /// requests.
+    ///
+    /// For the optimal flow-based schedulers the primary mapping is already
+    /// maximum, so `recovered` is 0 by construction; the retry matters for
+    /// the heuristic disciplines (notably address-mapped binding, whose
+    /// blind bindings fail precisely when links die under them).
+    fn try_schedule_degraded(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<DegradedOutcome, ScheduleError> {
+        let primary = self.try_schedule_reusing(problem, scratch)?;
+        retry_blocked(problem, primary)
     }
 
     /// Panicking wrapper over [`Self::try_schedule_reusing`], mirroring
@@ -226,6 +334,63 @@ mod tests {
                 s.name()
             );
         }
+    }
+
+    #[test]
+    fn degraded_retry_recovers_address_mapped_blockage() {
+        use rsin_topology::NodeRef;
+        // Kill r1's input links: an address-mapped binding to r1 fails
+        // routing, but the retry re-routes the request to r0.
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        for l in net.in_links(NodeRef::Resource(1)) {
+            cs.fail_link(l);
+        }
+        let problem = ScheduleProblem::homogeneous(&cs, &[0], &[0, 1]);
+        let mut scratch = ScheduleScratch::new();
+        let mut recovered_somewhere = false;
+        for seed in 0..32 {
+            let s = AddressMappedScheduler::new(seed);
+            let primary = s.try_schedule(&problem).unwrap();
+            let degraded = s.try_schedule_degraded(&problem, &mut scratch).unwrap();
+            // The retry never loses allocations and fully accounts for
+            // every request.
+            assert!(degraded.outcome.allocated() >= primary.allocated());
+            assert_eq!(
+                degraded.outcome.allocated() + degraded.shed,
+                problem.requests.len()
+            );
+            verify(&degraded.outcome.assignments, &problem).unwrap();
+            if !primary.blocked.is_empty() {
+                assert_eq!(degraded.recovered, 1, "seed {seed}: retry must rescue p0");
+                assert_eq!(degraded.shed, 0);
+                recovered_somewhere = true;
+            }
+        }
+        assert!(
+            recovered_somewhere,
+            "some seed must bind the dead resource and need the retry"
+        );
+    }
+
+    #[test]
+    fn degraded_on_optimal_scheduler_recovers_nothing() {
+        // Max-flow is already maximum: blocked requests are truly
+        // unroutable, so the retry recovers zero and sheds them all.
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let l = net.processor_link(2).unwrap();
+        cs.fail_link(l); // p2 cannot reach anything
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4], &[0, 2, 4]);
+        let mut scratch = ScheduleScratch::new();
+        let degraded = MaxFlowScheduler::default()
+            .try_schedule_degraded(&problem, &mut scratch)
+            .unwrap();
+        assert_eq!(degraded.outcome.allocated(), 2);
+        assert_eq!(degraded.recovered, 0);
+        assert_eq!(degraded.shed, 1);
+        assert_eq!(degraded.outcome.blocked, vec![2]);
+        assert_eq!(cs.faulty_count(), 1, "degraded pass must not mutate state");
     }
 
     #[test]

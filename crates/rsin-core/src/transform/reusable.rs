@@ -23,16 +23,23 @@
 use super::{mirror_network, Transformed};
 use crate::model::ScheduleProblem;
 use rsin_flow::{ArcId, Flow, FlowNetwork};
-use rsin_topology::{Network, NodeRef};
+use rsin_topology::{LinkId, Network, NodeRef};
 
 /// A lazily built, capacity-toggled superset transformation graph.
 ///
 /// Holds either shape: Transformation 1 (plain max-flow) or Transformation 2
 /// (priced, with bypass node) — chosen by which `configure_*` method is
-/// called. Reconfiguring between shapes or topologies triggers a rebuild.
+/// called. Reconfiguring between shapes or topologies triggers a rebuild —
+/// and *only* those do: link availability changes (circuits coming and
+/// going, faults injected and repaired) are applied as incremental capacity
+/// patches against the last-configured state, never as rebuilds. The
+/// [`rebuilds`](Self::rebuilds) counter exposes that guarantee to tests:
+/// a whole fault-injection run on one topology must report exactly 1.
 #[derive(Debug, Default)]
 pub struct ReusableTransform {
     inner: Option<Inner>,
+    /// How many times the superset graph has been (re)built.
+    rebuild_count: u64,
 }
 
 #[derive(Debug)]
@@ -45,6 +52,13 @@ struct Inner {
     bypass_arcs: Vec<ArcId>,
     /// The `(u, t)` arc absorbing unallocated requests (priced shape only).
     bypass_sink_arc: Option<ArcId>,
+    /// Last-configured availability per topology link (all `true` at
+    /// build: the superset mirrors every link at unit capacity).
+    /// [`configure`] diffs against this and patches only the arcs whose
+    /// availability flipped.
+    ///
+    /// [`configure`]: ReusableTransform::configure
+    link_avail: Vec<bool>,
 }
 
 /// FNV-1a over the network's element counts and link endpoints: cheap,
@@ -136,6 +150,7 @@ fn build(net: &Network, priced: bool, fp: u64) -> Inner {
         fingerprint: fp,
         bypass_arcs,
         bypass_sink_arc,
+        link_avail: vec![true; net.num_links()],
     }
 }
 
@@ -143,6 +158,42 @@ impl ReusableTransform {
     /// Empty holder; the graph is built on first `configure_*` call.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How many times the superset graph has been (re)built. A simulation
+    /// that stays on one topology and one shape must observe this stay at 1
+    /// no matter how many snapshots, faults, or repairs it processes.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuild_count
+    }
+
+    /// Patch a single topology link's availability in place — O(1), no
+    /// fingerprint check, no rebuild. Returns `true` if the arc's capacity
+    /// actually changed.
+    ///
+    /// This is the fault-toggle fast path for callers that solve on the
+    /// [`Transformed`] directly between `configure_*` calls: flow must be
+    /// cleared first ([`FlowNetwork::reset`]) since the patch may shrink
+    /// capacity under a live flow. The diff state stays consistent, so a
+    /// later `configure_*` will not redo (or undo) the patch unless the
+    /// snapshot disagrees. No-op if nothing has been built yet.
+    pub fn patch_link(&mut self, lid: LinkId, available: bool) -> bool {
+        let Some(inner) = self.inner.as_mut() else {
+            return false;
+        };
+        if inner.link_avail[lid.index()] == available {
+            return false;
+        }
+        let a = inner.t.link_arc[lid.index()].expect("superset mirrors every link");
+        inner.t.flow.set_cap(a, Flow::from(available));
+        inner.link_avail[lid.index()] = available;
+        true
+    }
+
+    /// The currently built transform, for solving directly after
+    /// [`patch_link`](Self::patch_link). `None` until the first configure.
+    pub fn transformed_mut(&mut self) -> Option<&mut Transformed> {
+        self.inner.as_mut().map(|i| &mut i.t)
     }
 
     /// Retune the superset for `problem` in the Transformation-1 shape
@@ -167,19 +218,28 @@ impl ReusableTransform {
         };
         if stale {
             self.inner = Some(build(net, priced, fp));
+            self.rebuild_count += 1;
         }
         let Inner {
             t,
             bypass_arcs,
             bypass_sink_arc,
+            link_avail,
             ..
         } = self.inner.as_mut().expect("just built");
         t.flow.reset();
 
-        // Network links: free = unit capacity, occupied = invisible.
+        // Network links: free = unit capacity, occupied/faulty = invisible.
+        // Diffed against the last-configured availability, so a snapshot
+        // that toggles k links (a released circuit, an injected fault, a
+        // repair) patches exactly k arcs.
         for (lid, _) in net.links() {
-            let a = t.link_arc[lid.index()].expect("superset mirrors every link");
-            t.flow.set_cap(a, Flow::from(problem.circuits.is_free(lid)));
+            let avail = problem.circuits.is_free(lid);
+            if link_avail[lid.index()] != avail {
+                let a = t.link_arc[lid.index()].expect("superset mirrors every link");
+                t.flow.set_cap(a, Flow::from(avail));
+                link_avail[lid.index()] = avail;
+            }
         }
 
         // Request arcs: disable all, then enable (and price) the requesters.
@@ -318,6 +378,89 @@ mod tests {
             assert_eq!(assignments.len() as i64, r.value);
             verify(&assignments, &p2).unwrap();
         }
+    }
+
+    #[test]
+    fn fault_toggles_patch_without_rebuild() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let all: Vec<usize> = (0..8).collect();
+        let mut reusable = ReusableTransform::new();
+        // Fail then repair a couple of links between configures; every
+        // snapshot must solve like a fresh build of the same faulted state,
+        // with exactly one graph build over the whole sequence.
+        let toggles = [
+            (3u32, true),
+            (11, true),
+            (3, false),
+            (20, true),
+            (11, false),
+        ];
+        for &(raw, fail) in &toggles {
+            let lid = rsin_topology::LinkId(raw);
+            if fail {
+                cs.fail_link(lid);
+            } else {
+                cs.repair_link(lid);
+            }
+            let problem = ScheduleProblem::homogeneous(&cs, &all, &all);
+            let t = reusable.configure_max_flow(&problem);
+            let got = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+            let mut fresh = homogeneous::transform(&problem);
+            let want = max_flow::solve(
+                &mut fresh.flow,
+                fresh.source,
+                fresh.sink,
+                max_flow::Algorithm::Dinic,
+            );
+            assert_eq!(got.value, want.value);
+        }
+        assert_eq!(reusable.rebuilds(), 1);
+    }
+
+    #[test]
+    fn patch_link_is_equivalent_to_reconfigure() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let all: Vec<usize> = (0..8).collect();
+        let problem = ScheduleProblem::homogeneous(&cs, &all, &all);
+        let mut reusable = ReusableTransform::new();
+        assert!(
+            !reusable.patch_link(rsin_topology::LinkId(0), false),
+            "unbuilt → no-op"
+        );
+        let t = reusable.configure_max_flow(&problem);
+        let healthy = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+        assert_eq!(healthy.value, 8);
+
+        // Kill processor 0's only exit link directly on the transform.
+        let lid = net.processor_link(0).unwrap();
+        let t = reusable.transformed_mut().unwrap();
+        t.flow.reset();
+        assert!(reusable.patch_link(lid, false));
+        assert!(!reusable.patch_link(lid, false), "second patch is a no-op");
+        let t = reusable.transformed_mut().unwrap();
+        let patched = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+
+        // Fresh rebuild of the same faulted topology agrees.
+        cs.fail_link(lid);
+        let faulted = ScheduleProblem::homogeneous(&cs, &all, &all);
+        let mut fresh = homogeneous::transform(&faulted);
+        let want = max_flow::solve(
+            &mut fresh.flow,
+            fresh.source,
+            fresh.sink,
+            max_flow::Algorithm::Dinic,
+        );
+        assert_eq!(patched.value, want.value);
+        assert_eq!(patched.value, 7);
+
+        // A configure with the faulted snapshot agrees with (not undoes)
+        // the patch, still without rebuilding.
+        let t = reusable.configure_max_flow(&faulted);
+        let again = max_flow::solve(&mut t.flow, t.source, t.sink, max_flow::Algorithm::Dinic);
+        assert_eq!(again.value, 7);
+        assert_eq!(reusable.rebuilds(), 1);
     }
 
     #[test]

@@ -110,6 +110,57 @@ proptest! {
         }
     }
 
+    /// Fault/repair toggles are incremental capacity patches: driving one
+    /// scratch through an arbitrary link/box toggle sequence on a fixed
+    /// topology yields the same allocation count and optimal cost as a
+    /// fresh build-transform-solve of each faulted topology — and after the
+    /// initial build, no toggle ever triggers a rebuild.
+    #[test]
+    fn fault_toggles_match_fresh_rebuild(
+        which in 0usize..3,
+        snap in snapshot_strategy(),
+        toggles in proptest::collection::vec(
+            (0u32..1_000_000, any::<bool>(), any::<bool>()),
+            1..10,
+        ),
+    ) {
+        let net = network(which);
+        let mf = MaxFlowScheduler::default();
+        let mc = MinCostScheduler::default();
+        let mut scratch = ScheduleScratch::new();
+        let mut cs = circuit_state(&net, &snap);
+        // Warm the scratch on the fault-free topology.
+        {
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            mf.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            mc.try_schedule_reusing(&problem, &mut scratch).unwrap();
+        }
+        let builds = scratch.rebuilds();
+        prop_assert_eq!(builds, 2); // one per transformation shape
+        for &(raw, is_box, fail) in &toggles {
+            match (is_box, fail) {
+                (false, true) => cs.fail_link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                (false, false) => cs.repair_link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                (true, true) => cs.fail_box(raw as usize % net.num_boxes()),
+                (true, false) => cs.repair_box(raw as usize % net.num_boxes()),
+            }
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            let fresh = mf.try_schedule(&problem).unwrap();
+            let reused = mf.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            let fresh = mc.try_schedule(&problem).unwrap();
+            let reused = mc.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert_eq!(reused.total_cost, fresh.total_cost);
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            prop_assert_eq!(
+                scratch.rebuilds(), builds,
+                "fault toggles must patch capacities, never rebuild"
+            );
+        }
+    }
+
     /// One scratch driven across *different topologies* mid-sequence must
     /// transparently rebuild and still match fresh solves.
     #[test]

@@ -218,6 +218,31 @@ impl FlowNetwork {
         self.arcs[a.index()].cap = cap;
     }
 
+    /// Current capacity of an arc (residual twins report 0).
+    pub fn cap(&self, a: ArcId) -> Flow {
+        self.arcs[a.index()].cap
+    }
+
+    /// Apply a batch of capacity patches, skipping no-ops. Returns how many
+    /// arcs actually changed.
+    ///
+    /// This is the fault-toggle entry point: a link failure or repair in the
+    /// source topology maps to re-capacitating a handful of arcs, and a
+    /// caller holding the arc ids can patch exactly those instead of
+    /// re-deriving every capacity. Same contract as [`Self::set_cap`]: flow
+    /// must have been cleared first (patches may shrink capacity below the
+    /// current flow otherwise).
+    pub fn patch_caps(&mut self, patches: impl IntoIterator<Item = (ArcId, Flow)>) -> usize {
+        let mut changed = 0;
+        for (a, cap) in patches {
+            if self.arcs[a.index()].cap != cap {
+                self.set_cap(a, cap);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// Replace the per-unit cost of a forward arc; the twin gets `-cost` so
     /// cancellation stays consistent.
     pub fn set_cost(&mut self, a: ArcId, cost: Cost) {
@@ -419,6 +444,22 @@ mod tests {
         assert_eq!(g.arc(sb.twin()).cost, -7);
         assert_eq!(g.arc(sb.twin()).cap, 0, "twin capacity stays zero");
         assert_eq!(g.check_legal_flow(s, t).unwrap(), 0);
+    }
+
+    #[test]
+    fn patch_caps_skips_noops_and_counts_changes() {
+        let (mut g, s, _) = diamond();
+        let sa = g.out_arcs(s)[0];
+        let sb = g.out_arcs(s)[1];
+        assert_eq!(g.cap(sa), 1);
+        // One real change (sa: 1 -> 0), one no-op (sb already 1).
+        let changed = g.patch_caps([(sa, 0), (sb, 1)]);
+        assert_eq!(changed, 1);
+        assert_eq!(g.cap(sa), 0);
+        assert_eq!(g.cap(sb), 1);
+        // Repair: toggle back.
+        assert_eq!(g.patch_caps([(sa, 1)]), 1);
+        assert_eq!(g.cap(sa), 1);
     }
 
     #[test]

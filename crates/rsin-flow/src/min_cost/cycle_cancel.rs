@@ -10,19 +10,31 @@
 use super::MinCostResult;
 use crate::graph::{ArcId, FlowNetwork, NodeId};
 use crate::max_flow;
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::{Cost, Flow};
 
 const INF: Cost = Cost::MAX / 4;
 
-/// Find any negative-cost cycle in the residual graph; returns its arcs.
-fn negative_cycle(g: &FlowNetwork, stats: &mut OpStats) -> Option<Vec<ArcId>> {
+/// Find any negative-cost cycle in the residual graph, writing its arcs
+/// into `cycle` (cleared first). Returns whether one was found. Uses the
+/// scratch `dist`/`parent` buffers instead of allocating.
+fn negative_cycle_with(
+    g: &FlowNetwork,
+    stats: &mut OpStats,
+    scratch: &mut SolveScratch,
+    cycle: &mut Vec<ArcId>,
+) -> bool {
+    cycle.clear();
     let n = g.num_nodes();
+    scratch.ensure_nodes(n);
     // Bellman-Ford from a virtual super-source (dist 0 everywhere).
-    let mut dist: Vec<Cost> = vec![0; n];
-    let mut parent: Vec<Option<ArcId>> = vec![None; n];
+    let dist = &mut scratch.dist[..n];
+    let parent = &mut scratch.parent[..n];
+    dist.fill(0);
+    parent.fill(None);
     let mut changed_node = None;
-    for round in 0..n {
+    for _round in 0..n {
         changed_node = None;
         for u in g.nodes() {
             for &a in g.out_arcs(u) {
@@ -38,20 +50,28 @@ fn negative_cycle(g: &FlowNetwork, stats: &mut OpStats) -> Option<Vec<ArcId>> {
                 }
             }
         }
-        changed_node?;
-        let _ = round;
+        if changed_node.is_none() {
+            return false;
+        }
     }
     // A relaxation in round n implies a negative cycle reachable from the
     // changed node; walk parents n times to land inside the cycle.
-    let mut v = changed_node?;
+    let Some(mut v) = changed_node else {
+        return false;
+    };
     for _ in 0..n {
-        v = g.arc(parent[v.index()]?).from;
+        let Some(a) = parent[v.index()] else {
+            return false;
+        };
+        v = g.arc(a).from;
     }
     // Collect the cycle.
-    let mut cycle = Vec::new();
     let start = v;
     loop {
-        let a = parent[v.index()]?;
+        let Some(a) = parent[v.index()] else {
+            cycle.clear();
+            return false;
+        };
         cycle.push(a);
         v = g.arc(a).from;
         if v == start {
@@ -59,12 +79,32 @@ fn negative_cycle(g: &FlowNetwork, stats: &mut OpStats) -> Option<Vec<ArcId>> {
         }
     }
     cycle.reverse();
-    Some(cycle)
+    true
+}
+
+/// Allocating wrapper around [`negative_cycle_with`] (tests only).
+#[cfg(test)]
+fn negative_cycle(g: &FlowNetwork, stats: &mut OpStats) -> Option<Vec<ArcId>> {
+    let mut cycle = Vec::new();
+    negative_cycle_with(g, stats, &mut SolveScratch::new(), &mut cycle).then_some(cycle)
 }
 
 /// Compute a minimum-cost flow of value `min(target, max-flow)` by
 /// max-flow + negative-cycle canceling.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCostResult {
+    solve_with(g, s, t, target, &mut SolveScratch::new())
+}
+
+/// [`solve`] reusing caller-provided scratch buffers: the phase-A max flow
+/// runs through the scratch-aware Dinic, and the Bellman–Ford distance,
+/// parent, and cycle buffers are reused across cancellation rounds.
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    scratch: &mut SolveScratch,
+) -> MinCostResult {
     let mut stats = OpStats::new();
     if s == t || target <= 0 {
         g.clear_flow();
@@ -77,13 +117,16 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
     // Phase A: any flow of value min(target, maxflow). Use Dinic, then
     // reduce to the target by cancelling along paths if we overshot.
     g.clear_flow();
-    let mf = max_flow::solve(g, s, t, max_flow::Algorithm::Dinic);
+    let mf = max_flow::solve_with(g, s, t, max_flow::Algorithm::Dinic, scratch);
     stats.merge(&mf.stats);
     let mut value = mf.value;
+    // `scratch.path` is Dinic's DFS stack; Dinic is done with it here, so
+    // reuse it for the overshoot walk and then as the cycle buffer.
+    let mut path = std::mem::take(&mut scratch.path);
     while value > target {
         // Remove one unit along any s-t flow path (walk positive flow).
         let mut v = s;
-        let mut path = Vec::new();
+        path.clear();
         while v != t {
             let a = *g
                 .out_arcs(v)
@@ -93,23 +136,24 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCost
             path.push(a);
             v = g.arc(a).to;
         }
-        for a in path {
+        for &a in &path {
             g.push(a.twin(), 1);
         }
         value -= 1;
     }
     // Phase B: cancel negative cycles.
-    while let Some(cycle) = negative_cycle(g, &mut stats) {
+    while negative_cycle_with(g, &mut stats, scratch, &mut path) {
         let mut bottleneck = Flow::MAX;
-        for &a in &cycle {
+        for &a in &path {
             bottleneck = bottleneck.min(g.residual(a));
         }
         debug_assert!(bottleneck > 0);
-        for &a in &cycle {
+        for &a in &path {
             g.push(a, bottleneck);
         }
         stats.augmentations += 1;
     }
+    scratch.path = path;
     MinCostResult {
         flow: value,
         cost: g.flow_cost(),

@@ -73,9 +73,12 @@ pub fn solve(
     }
 }
 
-/// [`solve`] reusing caller-provided scratch buffers. Successive shortest
-/// paths runs allocation-free; the other algorithms have no scratch-aware
-/// variant yet and fall back to [`solve`] (same results either way).
+/// [`solve`] reusing caller-provided scratch buffers. All three algorithms
+/// have scratch-aware paths: SSP reuses the potential/Dijkstra buffers,
+/// out-of-kilter keeps its circulation network and labeling buffers in the
+/// scratch (and probes max-flow in place instead of cloning the graph), and
+/// cycle canceling reuses the Bellman–Ford and cycle buffers. Results are
+/// identical to [`solve`] either way.
 pub fn solve_with(
     g: &mut FlowNetwork,
     s: NodeId,
@@ -86,7 +89,8 @@ pub fn solve_with(
 ) -> MinCostResult {
     match algo {
         Algorithm::SuccessiveShortestPaths => ssp::solve_with(g, s, t, target, scratch),
-        _ => solve(g, s, t, target, algo),
+        Algorithm::OutOfKilter => out_of_kilter::solve_on_network_with(g, s, t, target, scratch),
+        Algorithm::CycleCanceling => cycle_cancel::solve_with(g, s, t, target, scratch),
     }
 }
 

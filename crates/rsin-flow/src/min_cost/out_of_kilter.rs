@@ -25,8 +25,9 @@
 //! minimum-cost flow of value `F*`.
 
 use super::MinCostResult;
-use crate::graph::{FlowNetwork, NodeId};
+use crate::graph::{ArcId, FlowNetwork, NodeId};
 use crate::max_flow;
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::{Cost, Flow};
 
@@ -63,11 +64,23 @@ impl KilterArc {
 }
 
 /// A circulation network for the out-of-kilter method.
-#[derive(Debug, Clone)]
+///
+/// Also owns the labeling working buffers, so repeated solves on the same
+/// instance — and, via [`KilterNetwork::reset`], successive instances — run
+/// without per-iteration allocation. A default-constructed network has zero
+/// nodes; [`reset`](Self::reset) re-sizes it for reuse inside
+/// [`SolveScratch`].
+#[derive(Debug, Clone, Default)]
 pub struct KilterNetwork {
     num_nodes: usize,
     arcs: Vec<KilterArc>,
     pot: Vec<Cost>,
+    /// Labeling: node in the reachable set S.
+    in_s: Vec<bool>,
+    /// Labeling: `parent[v] = (arc index, traversed forward?)`.
+    parent: Vec<Option<(usize, bool)>>,
+    /// Labeling: DFS frontier stack.
+    frontier: Vec<usize>,
 }
 
 /// Error: the lower bounds admit no feasible circulation.
@@ -77,11 +90,19 @@ pub struct Infeasible;
 impl KilterNetwork {
     /// A network over `num_nodes` nodes with no arcs.
     pub fn new(num_nodes: usize) -> Self {
-        KilterNetwork {
-            num_nodes,
-            arcs: Vec::new(),
-            pot: vec![0; num_nodes],
-        }
+        let mut kn = KilterNetwork::default();
+        kn.reset(num_nodes);
+        kn
+    }
+
+    /// Clear arcs, potentials and labels and re-size for `num_nodes`,
+    /// keeping every allocation. This is the reuse protocol for scratch
+    /// callers: reset, re-add arcs, solve.
+    pub fn reset(&mut self, num_nodes: usize) {
+        self.num_nodes = num_nodes;
+        self.arcs.clear();
+        self.pot.clear();
+        self.pot.resize(num_nodes, 0);
     }
 
     /// Add an arc with bounds `[lower, upper]` and unit cost `cost`; initial
@@ -160,12 +181,12 @@ impl KilterNetwork {
             };
 
             match self.label(start, goal, e, stats) {
-                LabelOutcome::Path { parent } => {
+                LabelOutcome::Path => {
                     // Trace bottleneck along the labeled path.
                     let mut delta = amount;
                     let mut v = goal;
                     while v != start {
-                        let (arc_idx, forward) = parent[v].unwrap();
+                        let (arc_idx, forward) = self.parent[v].unwrap();
                         let a = &self.arcs[arc_idx];
                         let rc_a = a.cost + self.pot[a.from] - self.pot[a.to];
                         let room = if forward {
@@ -186,7 +207,7 @@ impl KilterNetwork {
                     // Apply: path arcs then e itself.
                     let mut v = goal;
                     while v != start {
-                        let (arc_idx, forward) = parent[v].unwrap();
+                        let (arc_idx, forward) = self.parent[v].unwrap();
                         if forward {
                             self.arcs[arc_idx].flow += delta;
                             v = self.arcs[arc_idx].from;
@@ -202,7 +223,7 @@ impl KilterNetwork {
                     }
                     stats.augmentations += 1;
                 }
-                LabelOutcome::Cut { in_s } => {
+                LabelOutcome::Cut => {
                     // Potential update across (S, V\S). The bound must keep
                     // *every* crossing arc's reduced cost from changing
                     // sign (otherwise an in-kilter arc could leave kilter),
@@ -214,17 +235,17 @@ impl KilterNetwork {
                     let mut delta = INF_COST;
                     for a in &self.arcs {
                         let rc_a = a.cost + self.pot[a.from] - self.pot[a.to];
-                        if in_s[a.from] && !in_s[a.to] && rc_a > 0 {
+                        if self.in_s[a.from] && !self.in_s[a.to] && rc_a > 0 {
                             delta = delta.min(rc_a);
                         }
-                        if !in_s[a.from] && in_s[a.to] && rc_a < 0 {
+                        if !self.in_s[a.from] && self.in_s[a.to] && rc_a < 0 {
                             delta = delta.min(-rc_a);
                         }
                     }
                     if delta >= INF_COST {
                         return Err(Infeasible);
                     }
-                    for (pot, &inside) in self.pot.iter_mut().zip(&in_s) {
+                    for (pot, &inside) in self.pot.iter_mut().zip(&self.in_s) {
                         if !inside {
                             *pot += delta;
                         }
@@ -235,17 +256,26 @@ impl KilterNetwork {
     }
 
     /// Label nodes reachable from `start` in the auxiliary graph (skipping
-    /// the arc being repaired). Returns either a path to `goal` or the cut.
-    fn label(&self, start: usize, goal: usize, skip: usize, stats: &mut OpStats) -> LabelOutcome {
-        let mut in_s = vec![false; self.num_nodes];
-        // parent[v] = (arc index, traversed forward?)
-        let mut parent: Vec<Option<(usize, bool)>> = vec![None; self.num_nodes];
-        in_s[start] = true;
-        let mut frontier = vec![start];
-        while let Some(u) = frontier.pop() {
+    /// the arc being repaired), filling `self.in_s` / `self.parent`.
+    /// Returns whether `goal` was reached (path) or not (cut).
+    fn label(
+        &mut self,
+        start: usize,
+        goal: usize,
+        skip: usize,
+        stats: &mut OpStats,
+    ) -> LabelOutcome {
+        self.in_s.clear();
+        self.in_s.resize(self.num_nodes, false);
+        self.parent.clear();
+        self.parent.resize(self.num_nodes, None);
+        self.in_s[start] = true;
+        self.frontier.clear();
+        self.frontier.push(start);
+        while let Some(u) = self.frontier.pop() {
             stats.node_visits += 1;
             if u == goal {
-                return LabelOutcome::Path { parent };
+                return LabelOutcome::Path;
             }
             for (i, a) in self.arcs.iter().enumerate() {
                 if i == skip {
@@ -254,42 +284,57 @@ impl KilterNetwork {
                 stats.arc_scans += 1;
                 let rc = a.cost + self.pot[a.from] - self.pot[a.to];
                 // Forward traversal p -> q.
-                if a.from == u && !in_s[a.to] {
+                if a.from == u && !self.in_s[a.to] {
                     let ok = (rc > 0 && a.flow < a.lower) || (rc <= 0 && a.flow < a.upper);
                     if ok {
-                        in_s[a.to] = true;
-                        parent[a.to] = Some((i, true));
-                        frontier.push(a.to);
+                        self.in_s[a.to] = true;
+                        self.parent[a.to] = Some((i, true));
+                        self.frontier.push(a.to);
                     }
                 }
                 // Backward traversal q -> p.
-                if a.to == u && !in_s[a.from] {
+                if a.to == u && !self.in_s[a.from] {
                     let ok = (rc < 0 && a.flow > a.upper) || (rc >= 0 && a.flow > a.lower);
                     if ok {
-                        in_s[a.from] = true;
-                        parent[a.from] = Some((i, false));
-                        frontier.push(a.from);
+                        self.in_s[a.from] = true;
+                        self.parent[a.from] = Some((i, false));
+                        self.frontier.push(a.from);
                     }
                 }
             }
         }
-        if in_s[goal] {
-            LabelOutcome::Path { parent }
+        if self.in_s[goal] {
+            LabelOutcome::Path
         } else {
-            LabelOutcome::Cut { in_s }
+            LabelOutcome::Cut
         }
     }
 }
 
 enum LabelOutcome {
-    Path { parent: Vec<Option<(usize, bool)>> },
-    Cut { in_s: Vec<bool> },
+    Path,
+    Cut,
 }
 
 /// Min-cost-flow adapter: compute the minimum-cost flow of value
 /// `min(target, max-flow)` on `g` using the out-of-kilter method, writing
 /// the optimal flow back into `g`.
 pub fn solve_on_network(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow) -> MinCostResult {
+    solve_on_network_with(g, s, t, target, &mut SolveScratch::new())
+}
+
+/// [`solve_on_network`] reusing caller-provided scratch: the phase-A
+/// max-flow probe runs on `g` itself through the scratch-aware Dinic (no
+/// graph clone — `g` is cleared before write-back regardless), and the
+/// kilter network and its labeling buffers live inside the scratch, so a
+/// hot-loop caller allocates nothing after the first solve.
+pub fn solve_on_network_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    scratch: &mut SolveScratch,
+) -> MinCostResult {
     let mut stats = OpStats::new();
     if s == t || target <= 0 {
         g.clear_flow();
@@ -299,32 +344,29 @@ pub fn solve_on_network(g: &mut FlowNetwork, s: NodeId, t: NodeId, target: Flow)
             stats,
         };
     }
-    // Phase A: the achievable value.
-    let mut probe = g.clone();
-    probe.clear_flow();
-    let mf = max_flow::solve(&mut probe, s, t, max_flow::Algorithm::Dinic);
+    // Phase A: the achievable value, probed in place.
+    g.clear_flow();
+    let mf = max_flow::solve_with(g, s, t, max_flow::Algorithm::Dinic, scratch);
     stats.merge(&mf.stats);
     let fstar = target.min(mf.value);
 
     // Phase B: min-cost circulation with return arc bounded [F*, F*].
-    let mut kn = KilterNetwork::new(g.num_nodes());
-    let arcs: Vec<_> = g
-        .forward_arcs()
-        .map(|(id, a)| (id, a.from, a.to, a.cap, a.cost))
-        .collect();
-    for &(_, from, to, cap, cost) in &arcs {
-        kn.add_arc(from.index(), to.index(), 0, cap, cost);
+    let kn = &mut scratch.kilter;
+    kn.reset(g.num_nodes());
+    for (_, a) in g.forward_arcs() {
+        kn.add_arc(a.from.index(), a.to.index(), 0, a.cap, a.cost);
     }
     kn.add_arc(t.index(), s.index(), fstar, fstar, 0);
     kn.solve(&mut stats)
         .expect("F* <= max-flow, so the circulation is feasible");
 
-    // Write flows back.
+    // Write flows back (forward arc i of `g` is kilter arc i, by
+    // construction order).
     g.clear_flow();
-    for (i, &(id, ..)) in arcs.iter().enumerate() {
+    for i in 0..g.num_arcs() {
         let f = kn.arcs()[i].flow;
         if f > 0 {
-            g.push(id, f);
+            g.push(ArcId(2 * i as u32), f);
         }
     }
     MinCostResult {

@@ -32,6 +32,7 @@
 //! [`OpStats`]: crate::stats::OpStats
 
 use crate::graph::{ArcId, NodeId};
+use crate::min_cost::out_of_kilter::KilterNetwork;
 use crate::Cost;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -67,6 +68,9 @@ pub struct SolveScratch {
     pub(crate) parent: Vec<Option<ArcId>>,
     /// SSP: Dijkstra priority queue.
     pub(crate) heap: BinaryHeap<Reverse<(Cost, u32)>>,
+    /// Out-of-kilter: reusable circulation network (arcs, potentials and
+    /// labeling buffers), re-populated per solve via `reset`.
+    pub(crate) kilter: KilterNetwork,
 }
 
 impl SolveScratch {
@@ -160,6 +164,12 @@ mod tests {
             let (mut reused, s2, t2) = ladder();
             let with = min_cost::solve_with(&mut reused, s2, t2, 4, algo, &mut scratch);
             assert_eq!((plain.flow, plain.cost), (with.flow, with.cost), "{algo:?}");
+            assert_eq!(
+                plain.stats.augmentations, with.stats.augmentations,
+                "{algo:?}"
+            );
+            assert_eq!(plain.stats.arc_scans, with.stats.arc_scans, "{algo:?}");
+            assert_eq!(plain.stats.node_visits, with.stats.node_visits, "{algo:?}");
         }
     }
 }

@@ -47,4 +47,7 @@ pub mod system;
 pub mod workload;
 
 pub use blocking::{run_blocking, run_blocking_threads, BlockingConfig, BlockingStats};
-pub use system::{run_sweep, DynamicConfig, DynamicStats, SystemSim};
+pub use system::{
+    fault_plan_seed, run_faulted_trials, run_sweep, DynamicConfig, DynamicStats, FaultedStats,
+    SystemSim,
+};

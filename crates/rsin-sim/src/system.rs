@@ -21,9 +21,21 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{ScheduleScratch, Scheduler};
-use rsin_topology::{CircuitId, CircuitState, Network};
+use rsin_topology::{CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, Network};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Salt separating the fault-plan RNG stream from the arrival/service
+/// stream of the same `(seed, trial)` pair: both follow the `trial_rng`
+/// stream-splitting convention, but a plan must never replay (or perturb)
+/// the simulation's own draws.
+const FAULT_STREAM_SALT: u64 = 0xFA17_57A7_0000_D001;
+
+/// Seed for the [`FaultPlan`] of a `(seed, trial)` pair, mirroring
+/// [`trial_rng`]'s convention with an extra stream salt.
+pub fn fault_plan_seed(seed: u64, trial: u64) -> u64 {
+    (seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ FAULT_STREAM_SALT
+}
 
 /// Parameters of a dynamic simulation.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +92,38 @@ pub struct DynamicStats {
     pub mean_blocking: f64,
 }
 
+/// Survival metrics of a faulted dynamic run, wrapping the ordinary
+/// [`DynamicStats`]. Compare `stats.completed` against a fault-free
+/// baseline run (same config, [`FaultPlan::empty`]) for the "allocations
+/// achieved vs. fault-free" survival ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultedStats {
+    /// The ordinary dynamic statistics (post-warmup, as in [`SystemSim::run`]).
+    pub stats: DynamicStats,
+    /// Circuits established over the whole run (fault plans are
+    /// absolute-time schedules, so fault metrics are not warm-up filtered).
+    pub allocations: u64,
+    /// Requests left unallocated by degraded-mode cycles (summed
+    /// [`DegradedOutcome::shed`](rsin_core::DegradedOutcome)); blocked
+    /// requests stay queued, so this counts deferrals, not losses.
+    pub shed_total: u64,
+    /// Blocked requests rescued by the alternate-path retry.
+    pub recovered_total: u64,
+    /// `Fail` events applied before the horizon.
+    pub failures: u64,
+    /// `Repair` events applied before the horizon.
+    pub repairs: u64,
+    /// Mean time from a repair event to the next scheduling cycle that
+    /// sheds nothing (service fully restored); 0 if never observed.
+    pub mean_recovery: f64,
+    /// How many repair→zero-shed intervals the mean is over.
+    pub recoveries_observed: u64,
+    /// Transformation-graph rebuilds over the whole run. Stays at its
+    /// fault-free value (1 per transformation shape used) because fault
+    /// toggles are incremental capacity patches.
+    pub transform_rebuilds: u64,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     Arrival {
@@ -94,6 +138,10 @@ enum EventKind {
     ServiceDone {
         resource: usize,
         arrived: f64,
+    },
+    /// The `index`-th event of the run's [`FaultPlan`] takes effect.
+    Fault {
+        index: usize,
     },
 }
 
@@ -139,8 +187,40 @@ impl<'n> SystemSim<'n> {
 
     /// Run to the horizon under the given scheduler.
     pub fn run(&self, scheduler: &dyn Scheduler) -> DynamicStats {
+        // Delegating with an empty plan is bit-identical to the fault-free
+        // loop: no fault events enter the heap, no extra RNG draws happen,
+        // and fault-free cycles never take the degraded-retry path.
+        self.run_faulted_trial(scheduler, &FaultPlan::empty(), 0)
+            .stats
+    }
+
+    /// Run to the horizon with the given fault plan injected (trial 0's RNG
+    /// stream). See [`SystemSim::run_faulted_trial`].
+    pub fn run_faulted(&self, scheduler: &dyn Scheduler, plan: &FaultPlan) -> FaultedStats {
+        self.run_faulted_trial(scheduler, plan, 0)
+    }
+
+    /// Run to the horizon under the given scheduler with `plan`'s fault
+    /// events interleaved into the event stream, drawing arrivals and
+    /// service times from the `(cfg.seed, trial)` RNG stream.
+    ///
+    /// Fault events are pushed into the event heap up front and consume no
+    /// simulation randomness, so a run with [`FaultPlan::empty`] reproduces
+    /// [`SystemSim::run`] exactly. While at least one component is faulty,
+    /// scheduling cycles go through
+    /// [`Scheduler::try_schedule_degraded`] — primary discipline, then
+    /// alternate-path retry for blocked requests — and the shed/recovered
+    /// counts feed the survival metrics. The transformation graph is never
+    /// rebuilt on a fault or repair: toggles arrive as incremental capacity
+    /// patches (see `FaultedStats::transform_rebuilds`).
+    pub fn run_faulted_trial(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+    ) -> FaultedStats {
         let cfg = &self.cfg;
-        let mut rng: StdRng = trial_rng(cfg.seed, 0);
+        let mut rng: StdRng = trial_rng(cfg.seed, trial);
         let np = self.net.num_processors();
         let nr = self.net.num_resources();
 
@@ -157,6 +237,9 @@ impl<'n> SystemSim<'n> {
         for p in 0..np {
             let t = exponential(&mut rng, cfg.arrival_rate);
             push(&mut heap, &mut seq, t, EventKind::Arrival { processor: p });
+        }
+        for (index, fe) in plan.events().iter().enumerate() {
+            push(&mut heap, &mut seq, fe.time, EventKind::Fault { index });
         }
 
         let mut cs = CircuitState::new(self.net);
@@ -176,6 +259,15 @@ impl<'n> SystemSim<'n> {
         let mut blocking = Sample::new();
         let mut completed = 0u64;
         let mut cycles = 0u64;
+
+        let mut allocations = 0u64;
+        let mut shed_total = 0u64;
+        let mut recovered_total = 0u64;
+        let mut failures = 0u64;
+        let mut repairs = 0u64;
+        let mut recovery = Sample::new();
+        // Time of the last repair still awaiting a zero-shed cycle.
+        let mut pending_recovery: Option<f64> = None;
 
         while let Some(ev) = heap.pop() {
             if ev.time > cfg.sim_time {
@@ -222,6 +314,18 @@ impl<'n> SystemSim<'n> {
                         completed += 1;
                     }
                 }
+                EventKind::Fault { index } => {
+                    let fe = &plan.events()[index];
+                    fe.apply(&mut cs);
+                    match fe.action {
+                        FaultAction::Fail => failures += 1,
+                        FaultAction::Repair => {
+                            repairs += 1;
+                            // Measure recovery from the *latest* repair.
+                            pending_recovery = Some(now);
+                        }
+                    }
+                }
             }
             // Scheduling cycle whenever requests and resources coexist.
             let requests: Vec<ScheduleRequest> = (0..np)
@@ -250,14 +354,34 @@ impl<'n> SystemSim<'n> {
                 requests,
                 free,
             };
-            let out = scheduler.schedule_reusing(&problem, &mut scratch);
+            // Degraded-mode scheduling only while something is actually
+            // faulty; fault-free cycles take the ordinary path so `run()`
+            // (empty plan) stays bit-identical to the pre-fault simulator.
+            let (out, recovered, shed) = if cs.faulty_count() > 0 {
+                let d = scheduler
+                    .try_schedule_degraded(&problem, &mut scratch)
+                    .unwrap_or_else(|e| {
+                        panic!("{} failed degraded schedule: {e}", scheduler.name())
+                    });
+                (d.outcome, d.recovered as u64, d.shed as u64)
+            } else {
+                (scheduler.schedule_reusing(&problem, &mut scratch), 0, 0)
+            };
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
             drop(problem);
             cycles += 1;
+            shed_total += shed;
+            recovered_total += recovered;
+            if shed == 0 {
+                if let Some(t0) = pending_recovery.take() {
+                    recovery.push(now - t0);
+                }
+            }
             let denom = denom_requests.min(denom_free);
             if now > cfg.warmup && denom > 0 {
                 blocking.push(out.blocking_fraction(denom));
             }
+            allocations += out.assignments.len() as u64;
             for a in &out.assignments {
                 let circuit = cs.establish(&a.path).expect("scheduler paths are free");
                 let (arrived, _ty) = queue[a.processor].pop_front().expect("had a task");
@@ -278,14 +402,24 @@ impl<'n> SystemSim<'n> {
             }
         }
         let horizon = (cfg.sim_time - cfg.warmup).max(f64::MIN_POSITIVE);
-        DynamicStats {
-            utilization: busy_integral / horizon / nr as f64,
-            mean_response: response.mean(),
-            response_ci95: response.ci95_half_width(),
-            completed,
-            mean_queue: queue_integral / horizon,
-            cycles,
-            mean_blocking: blocking.mean(),
+        FaultedStats {
+            stats: DynamicStats {
+                utilization: busy_integral / horizon / nr as f64,
+                mean_response: response.mean(),
+                response_ci95: response.ci95_half_width(),
+                completed,
+                mean_queue: queue_integral / horizon,
+                cycles,
+                mean_blocking: blocking.mean(),
+            },
+            allocations,
+            shed_total,
+            recovered_total,
+            failures,
+            repairs,
+            mean_recovery: recovery.mean(),
+            recoveries_observed: recovery.count(),
+            transform_rebuilds: scratch.rebuilds(),
         }
     }
 }
@@ -326,6 +460,51 @@ pub fn run_sweep(
     results
         .into_iter()
         .map(|r| r.expect("every config simulated"))
+        .collect()
+}
+
+/// Run `trials` independent faulted dynamic simulations, fanning them out
+/// over `threads` scoped workers.
+///
+/// Trial `t` draws its arrivals from the `(cfg.seed, t)` RNG stream and its
+/// fault plan from [`fault_plan_seed`]`(cfg.seed, t)`, so each trial is a
+/// self-contained deterministic unit: results land in trial order and are
+/// bit-identical for any thread count — the same convention as
+/// [`run_sweep`] and the Monte-Carlo blocking experiments.
+pub fn run_faulted_trials(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    trials: usize,
+    threads: usize,
+) -> Vec<FaultedStats> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<FaultedStats>> = vec![None; trials];
+    let run_one = |trial: usize| {
+        let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
+        SystemSim::new(net, *cfg).run_faulted_trial(scheduler, &plan, trial as u64)
+    };
+    if threads == 1 || trials <= 1 {
+        for (t, slot) in results.iter_mut().enumerate() {
+            *slot = Some(run_one(t));
+        }
+    } else {
+        let chunk = trials.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (c, slots) in results.chunks_mut(chunk).enumerate() {
+                let run_one = &run_one;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(run_one(c * chunk + j));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every trial simulated"))
         .collect()
 }
 
@@ -467,6 +646,129 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn empty_plan_reports_fault_free_metrics() {
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig::default();
+        let base = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
+        let faulted = SystemSim::new(&net, cfg)
+            .run_faulted(&MaxFlowScheduler::default(), &FaultPlan::empty());
+        assert_eq!(base.completed, faulted.stats.completed);
+        assert_eq!(base.cycles, faulted.stats.cycles);
+        assert_eq!(
+            base.mean_response.to_bits(),
+            faulted.stats.mean_response.to_bits()
+        );
+        assert_eq!(faulted.failures, 0);
+        assert_eq!(faulted.repairs, 0);
+        assert_eq!(faulted.shed_total, 0);
+        assert_eq!(faulted.recovered_total, 0);
+        assert!(faulted.allocations >= faulted.stats.completed);
+        assert_eq!(
+            faulted.transform_rebuilds, 1,
+            "one topology, one scheduler: exactly one transform build"
+        );
+    }
+
+    #[test]
+    fn mid_run_faults_patch_but_never_rebuild() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.5,
+            sim_time: 600.0,
+            warmup: 50.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig::links(0.002, 30.0, cfg.sim_time);
+        let plan = FaultPlan::generate(&net, &fcfg, fault_plan_seed(cfg.seed, 0));
+        assert!(plan.failure_count() > 0, "plan must inject faults mid-run");
+        let baseline = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
+        let faulted = SystemSim::new(&net, cfg).run_faulted(&MaxFlowScheduler::default(), &plan);
+        assert!(faulted.failures > 0);
+        assert!(faulted.stats.completed > 0);
+        // Survival: the faulted run still completes close to the baseline
+        // count. (Not monotone: losing a link can reshuffle the queueing
+        // dynamics enough to finish a handful *more* tasks, so bound the
+        // ratio from both sides instead of asserting faulted <= baseline.)
+        let survival = faulted.stats.completed as f64 / baseline.completed as f64;
+        assert!(
+            (0.5..=1.1).contains(&survival),
+            "survival {survival}: faulted {} vs baseline {}",
+            faulted.stats.completed,
+            baseline.completed
+        );
+        // The acceptance bar of this subsystem: mid-run link failures are
+        // capacity patches on the reusable transform, never rebuilds.
+        assert_eq!(faulted.transform_rebuilds, 1);
+    }
+
+    #[test]
+    fn faulted_trials_bit_identical_across_thread_counts() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 200.0,
+            warmup: 20.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig::links(0.003, 20.0, cfg.sim_time);
+        let scheduler = MaxFlowScheduler::default();
+        let serial = run_faulted_trials(&net, &scheduler, &cfg, &fcfg, 5, 1);
+        assert_eq!(serial.len(), 5);
+        for threads in [2, 4, 8] {
+            let parallel = run_faulted_trials(&net, &scheduler, &cfg, &fcfg, 5, threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.stats.completed, b.stats.completed, "threads={threads}");
+                assert_eq!(a.allocations, b.allocations, "threads={threads}");
+                assert_eq!(a.shed_total, b.shed_total, "threads={threads}");
+                assert_eq!(a.failures, b.failures, "threads={threads}");
+                assert_eq!(
+                    a.stats.mean_response.to_bits(),
+                    b.stats.mean_response.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    a.mean_recovery.to_bits(),
+                    b.mean_recovery.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+        // Trials must actually differ (independent streams).
+        assert!(
+            serial
+                .windows(2)
+                .any(|w| w[0].stats.completed != w[1].stats.completed),
+            "independent trials should diverge"
+        );
+    }
+
+    #[test]
+    fn repairs_are_followed_by_recovery() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.6,
+            sim_time: 800.0,
+            warmup: 50.0,
+            ..DynamicConfig::default()
+        };
+        // Heavy faulting with quick repairs so recovery intervals occur.
+        let fcfg = FaultPlanConfig::links(0.004, 10.0, cfg.sim_time);
+        let plan = FaultPlan::generate(&net, &fcfg, fault_plan_seed(cfg.seed, 1));
+        let faulted =
+            SystemSim::new(&net, cfg).run_faulted_trial(&MaxFlowScheduler::default(), &plan, 1);
+        assert!(faulted.repairs > 0, "plan must include repairs");
+        assert!(
+            faulted.recoveries_observed > 0,
+            "quick repairs under load must yield measurable recoveries"
+        );
+        assert!(faulted.mean_recovery >= 0.0);
+        assert!(faulted.mean_recovery < cfg.sim_time);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub enum CircuitError {
 pub struct CircuitState<'a> {
     net: &'a Network,
     occupied: Vec<bool>,
-    /// Permanently unusable links (fault injection; the paper cites fault
-    /// tolerance as an advantage of the distributed architecture).
+    /// Links currently out of service (fault injection; the paper cites
+    /// fault tolerance as an advantage of the distributed architecture).
+    /// Toggled by [`fail_link`](Self::fail_link)/[`repair_link`](Self::repair_link).
     faulty: Vec<bool>,
     circuits: Vec<Option<Vec<LinkId>>>,
 }
@@ -63,9 +64,9 @@ impl<'a> CircuitState<'a> {
         !self.occupied[l.index()] && !self.faulty[l.index()]
     }
 
-    /// Mark one link permanently faulty. No circuit may use it until the
-    /// state is rebuilt; live circuits over it are *not* torn down (the
-    /// model is fail-stop for new allocations).
+    /// Mark one link faulty until [`repair_link`](Self::repair_link) is
+    /// called. No new circuit may use it; live circuits over it are *not*
+    /// torn down (the model is fail-stop for new allocations).
     pub fn fail_link(&mut self, l: LinkId) {
         self.faulty[l.index()] = true;
     }
@@ -80,6 +81,33 @@ impl<'a> CircuitState<'a> {
             .chain(self.net.out_links(NodeRef::Box(b)))
         {
             self.faulty[l.index()] = true;
+        }
+    }
+
+    /// Is this link currently marked faulty?
+    pub fn is_faulty(&self, l: LinkId) -> bool {
+        self.faulty[l.index()]
+    }
+
+    /// Return a repaired link to service. Idempotent; a link that was never
+    /// failed stays healthy. Circuits are never resurrected — a repair only
+    /// makes the link eligible for *new* allocations.
+    pub fn repair_link(&mut self, l: LinkId) {
+        self.faulty[l.index()] = false;
+    }
+
+    /// Repair every link touching switchbox `b` (the inverse of
+    /// [`fail_box`](Self::fail_box)). Note this also clears faults that were
+    /// injected on those links individually.
+    pub fn repair_box(&mut self, b: usize) {
+        use crate::network::NodeRef;
+        for l in self
+            .net
+            .in_links(NodeRef::Box(b))
+            .into_iter()
+            .chain(self.net.out_links(NodeRef::Box(b)))
+        {
+            self.faulty[l.index()] = false;
         }
     }
 

@@ -1,0 +1,315 @@
+//! Deterministic, seed-driven fault-injection plans.
+//!
+//! The paper's Section V argues that a distributed MRSIN degrades gracefully
+//! when links or switchboxes fail; the stability literature on Omega-class
+//! MINs (arXiv:1202.1062, arXiv:1202.0612) quantifies exactly how much
+//! routing capacity survives k faults. A [`FaultPlan`] is the reproducible
+//! half of such an experiment: a pre-drawn, time-sorted schedule of
+//! failure/repair events for links and switchboxes, generated from a seed so
+//! that every simulation trial — on any thread count — observes an identical
+//! fault history.
+//!
+//! Plans are *pure data*: generating one consumes only its own RNG stream,
+//! never the simulation's, so injecting a plan into a run cannot perturb
+//! arrival or service draws.
+
+use crate::circuit::CircuitState;
+use crate::network::{LinkId, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Which component an event touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// A single directed link.
+    Link(LinkId),
+    /// A whole switchbox: every link entering or leaving it.
+    Box(usize),
+}
+
+/// Whether the component goes down or comes back up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Component becomes unusable for new circuits (fail-stop).
+    Fail,
+    /// Component returns to service for new circuits.
+    Repair,
+}
+
+/// One timed fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation time at which the event takes effect.
+    pub time: f64,
+    /// The component affected.
+    pub target: FaultTarget,
+    /// Fail or repair.
+    pub action: FaultAction,
+}
+
+impl FaultEvent {
+    /// Apply this event to a circuit state. Fail-stop semantics: live
+    /// circuits are untouched; only future allocations see the change.
+    pub fn apply(&self, cs: &mut CircuitState<'_>) {
+        match (self.target, self.action) {
+            (FaultTarget::Link(l), FaultAction::Fail) => cs.fail_link(l),
+            (FaultTarget::Link(l), FaultAction::Repair) => cs.repair_link(l),
+            (FaultTarget::Box(b), FaultAction::Fail) => cs.fail_box(b),
+            (FaultTarget::Box(b), FaultAction::Repair) => cs.repair_box(b),
+        }
+    }
+}
+
+/// Parameters of the renewal fail/repair process a plan is drawn from.
+///
+/// Each link (and each box) independently alternates between an
+/// exponentially distributed up-time with the given failure rate and, when
+/// `mean_repair > 0`, an exponentially distributed down-time with mean
+/// `mean_repair`. With `mean_repair <= 0` every failure is permanent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Failures per unit time, per link.
+    pub link_failure_rate: f64,
+    /// Failures per unit time, per switchbox.
+    pub box_failure_rate: f64,
+    /// Mean time-to-repair; `<= 0` makes faults permanent.
+    pub mean_repair: f64,
+    /// Events are only generated strictly before this time.
+    pub horizon: f64,
+}
+
+impl FaultPlanConfig {
+    /// A link-only plan configuration with repairs.
+    pub fn links(rate: f64, mean_repair: f64, horizon: f64) -> Self {
+        FaultPlanConfig {
+            link_failure_rate: rate,
+            box_failure_rate: 0.0,
+            mean_repair,
+            horizon,
+        }
+    }
+}
+
+/// A time-sorted schedule of [`FaultEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Exponential draw; matches the inverse-CDF convention used by
+/// `rsin-sim`'s workload generator (separate stream, identical math).
+fn exp_sample<R: RngCore>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+impl FaultPlan {
+    /// An empty plan (the fault-free baseline).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit events; sorts them by time (stably, so
+    /// same-time events keep their given order).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        assert!(
+            events.iter().all(|e| e.time.is_finite() && e.time >= 0.0),
+            "fault event times must be finite and non-negative"
+        );
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        FaultPlan { events }
+    }
+
+    /// Draw a plan for `net` from the renewal process described by `cfg`.
+    ///
+    /// Deterministic: the same `(net, cfg, seed)` triple always yields the
+    /// same plan. Components are visited in a fixed order (links by id,
+    /// then boxes by index), each consuming draws from one shared
+    /// seed-derived stream.
+    pub fn generate(net: &Network, cfg: &FaultPlanConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut renewal = |target: FaultTarget, rate: f64, events: &mut Vec<FaultEvent>| {
+            if rate <= 0.0 {
+                return;
+            }
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, rate);
+                if t >= cfg.horizon {
+                    return;
+                }
+                events.push(FaultEvent {
+                    time: t,
+                    target,
+                    action: FaultAction::Fail,
+                });
+                if cfg.mean_repair <= 0.0 {
+                    return; // permanent fault
+                }
+                t += exp_sample(&mut rng, 1.0 / cfg.mean_repair);
+                if t >= cfg.horizon {
+                    return; // still down at the horizon
+                }
+                events.push(FaultEvent {
+                    time: t,
+                    target,
+                    action: FaultAction::Repair,
+                });
+            }
+        };
+        for l in 0..net.num_links() as u32 {
+            renewal(
+                FaultTarget::Link(LinkId(l)),
+                cfg.link_failure_rate,
+                &mut events,
+            );
+        }
+        for b in 0..net.num_boxes() {
+            renewal(FaultTarget::Box(b), cfg.box_failure_rate, &mut events);
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of `Fail` events.
+    pub fn failure_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.action == FaultAction::Fail)
+            .count()
+    }
+
+    /// Apply every event with `time < until` to `cs`, in order. Returns how
+    /// many events were applied. Useful for static snapshots ("the network
+    /// after its first k faults").
+    pub fn apply_until(&self, until: f64, cs: &mut CircuitState<'_>) -> usize {
+        let mut n = 0;
+        for e in &self.events {
+            if e.time >= until {
+                break;
+            }
+            e.apply(cs);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::omega;
+
+    fn cfg(rate: f64, repair: f64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            link_failure_rate: rate,
+            box_failure_rate: 0.0,
+            mean_repair: repair,
+            horizon: 100.0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let net = omega(8).unwrap();
+        let a = FaultPlan::generate(&net, &cfg(0.01, 5.0), 42);
+        let b = FaultPlan::generate(&net, &cfg(0.01, 5.0), 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&net, &cfg(0.01, 5.0), 43);
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!(!a.is_empty(), "rate 0.01 over 100t on 48 links → events");
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_alternate_per_target() {
+        let net = omega(8).unwrap();
+        let plan = FaultPlan::generate(&net, &cfg(0.02, 3.0), 7);
+        for w in plan.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Per link, the sequence must strictly alternate Fail, Repair, ...
+        for l in 0..net.num_links() as u32 {
+            let mine: Vec<_> = plan
+                .events()
+                .iter()
+                .filter(|e| e.target == FaultTarget::Link(LinkId(l)))
+                .collect();
+            for (i, e) in mine.iter().enumerate() {
+                let want = if i % 2 == 0 {
+                    FaultAction::Fail
+                } else {
+                    FaultAction::Repair
+                };
+                assert_eq!(e.action, want);
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_faults_have_no_repairs() {
+        let net = omega(8).unwrap();
+        let plan = FaultPlan::generate(&net, &cfg(0.05, 0.0), 9);
+        assert!(plan.events().iter().all(|e| e.action == FaultAction::Fail));
+        // At most one failure per link when faults are permanent.
+        assert!(plan.failure_count() <= net.num_links());
+    }
+
+    #[test]
+    fn apply_until_replays_prefix() {
+        let net = omega(8).unwrap();
+        let plan = FaultPlan::generate(&net, &cfg(0.05, 0.0), 11);
+        assert!(plan.len() >= 2, "expected a few permanent faults");
+        let mid = plan.events()[plan.len() / 2].time;
+        let mut cs = CircuitState::new(&net);
+        let applied = plan.apply_until(mid, &mut cs);
+        assert!(applied > 0 && applied < plan.len());
+        assert_eq!(cs.faulty_count(), applied);
+        // Full replay then repair-all via explicit events restores health.
+        let mut cs = CircuitState::new(&net);
+        plan.apply_until(f64::INFINITY, &mut cs);
+        assert_eq!(cs.faulty_count(), plan.len());
+        for e in plan.events() {
+            FaultEvent {
+                time: e.time,
+                target: e.target,
+                action: FaultAction::Repair,
+            }
+            .apply(&mut cs);
+        }
+        assert_eq!(cs.faulty_count(), 0);
+    }
+
+    #[test]
+    fn box_faults_expand_to_links() {
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let e = FaultEvent {
+            time: 1.0,
+            target: FaultTarget::Box(0),
+            action: FaultAction::Fail,
+        };
+        e.apply(&mut cs);
+        assert!(cs.faulty_count() >= 4, "a 2x2 box touches >= 4 links");
+        FaultEvent {
+            action: FaultAction::Repair,
+            ..e
+        }
+        .apply(&mut cs);
+        assert_eq!(cs.faulty_count(), 0);
+    }
+}

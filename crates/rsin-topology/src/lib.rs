@@ -22,6 +22,9 @@
 //! * [`circuit`] — link-occupancy state: establishing and releasing
 //!   circuits, and breadth-first free-path search (the primitive behind the
 //!   heuristic schedulers the paper compares against).
+//! * [`fault`] — deterministic, seed-driven fault-injection plans:
+//!   time-sorted link/switchbox failure and repair events drawn from a
+//!   renewal process, reproducible across threads and trials;
 //! * [`routing`] — path enumeration and exact permutation routing
 //!   (admissibility checks for MINs);
 //! * [`analysis`] — survey metrics per topology (crosspoints, control
@@ -46,11 +49,13 @@
 pub mod analysis;
 pub mod builders;
 pub mod circuit;
+pub mod fault;
 pub mod network;
 pub mod perm;
 pub mod routing;
 pub mod switchbox;
 
 pub use circuit::{CircuitId, CircuitState};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanConfig, FaultTarget};
 pub use network::{LinkId, Network, NetworkBuilder, NetworkError, NodeRef};
 pub use switchbox::Switchbox;
