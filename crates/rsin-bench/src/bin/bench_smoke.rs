@@ -6,7 +6,7 @@
 //! reset-per-trial scheduling rows) with min-of-N repetitions and writes a
 //! JSON report.
 //!
-//! Usage: `bench_smoke <out.json> [baseline.json]`
+//! Usage: `bench_smoke [--telemetry <path>] <out.json> [baseline.json]`
 //!
 //! Raw seconds are not comparable across machines, so every row also
 //! carries a *normalized* time: row seconds divided by the seconds of a
@@ -15,11 +15,23 @@
 //! normalized time regresses more than 25 % over the baseline's — slow CI
 //! hardware cancels out of the ratio, real hot-path regressions do not.
 //!
-//! The determinism contract is asserted on the way: every thread count must
-//! produce bit-identical blocking statistics.
+//! Three more contracts are asserted on the way:
+//!
+//! * determinism — every thread count must produce bit-identical blocking
+//!   statistics;
+//! * zero-overhead-when-off telemetry — the `NoopProbe` observed scheduling
+//!   row must stay within the regression limit of the unobserved row,
+//!   in-process (no baseline needed);
+//! * parallel efficiency — when the baseline carries a
+//!   `min_parallel_speedup` and the machine has ≥ 4 cores, the 4-thread
+//!   blocking row must beat the 1-thread row by at least that factor.
+//!
+//! `--telemetry <path>` additionally runs the observed hot path under a live
+//! `rsin_obs::Telemetry` sink and writes its JSON report.
 
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler};
+use rsin_obs::{NoopProbe, Probe, Telemetry};
 use rsin_sim::blocking::{run_blocking_threads, BlockingConfig};
 use rsin_sim::workload::{random_snapshot, trial_rng};
 use rsin_topology::builders::omega;
@@ -82,6 +94,28 @@ fn reset_batch(net: &Network, scheduler: &dyn Scheduler, scratch: &mut ScheduleS
     total
 }
 
+/// [`reset_batch`] through the observed scheduling entry point — with
+/// `NoopProbe` this times the zero-overhead-when-off claim, with a live
+/// `Telemetry` it produces the exported report.
+fn reset_batch_observed(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    scratch: &mut ScheduleScratch,
+    probe: &dyn Probe,
+) -> usize {
+    let mut total = 0;
+    for trial in 0..BATCH_TRIALS {
+        let mut rng = trial_rng(41, trial);
+        let snap = random_snapshot(net, 8, 8, 2, &mut rng);
+        let problem = ScheduleProblem::homogeneous(&snap.circuits, &snap.requesting, &snap.free);
+        total += scheduler
+            .try_schedule_observed(&problem, scratch, probe)
+            .expect("well-formed snapshot")
+            .allocated();
+    }
+    total
+}
+
 fn emit_json(path: &str, calib: f64, rows: &[Row]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
@@ -127,11 +161,34 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     rows
 }
 
+/// Extract the top-level `min_parallel_speedup` value from a baseline file,
+/// if present (fixed format, like [`parse_baseline`]).
+fn parse_min_speedup(text: &str) -> Option<f64> {
+    let idx = text.find("\"min_parallel_speedup\":")?;
+    let rest = text[idx + "\"min_parallel_speedup\":".len()..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry_path = None;
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --telemetry needs a path");
+            std::process::exit(2);
+        }
+        telemetry_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_hot_path.json".into());
-    let baseline_path = std::env::args().nth(2);
+    let baseline_path = args.get(1).cloned();
 
     let net = omega(16).unwrap();
     let cfg = BlockingConfig {
@@ -187,11 +244,57 @@ fn main() {
         });
     }
 
+    // Zero-overhead-when-off gate: the observed hot path under NoopProbe
+    // must stay within the regression limit of the plain one, measured in
+    // the same process so machine speed cancels exactly.
+    let plain_secs = rows
+        .iter()
+        .find(|r| r.name == "reset_per_trial_max_flow")
+        .expect("plain row timed above")
+        .secs;
+    let observed_secs = {
+        let mut scratch = ScheduleScratch::new();
+        time_min(|| {
+            black_box(reset_batch_observed(
+                &net,
+                &max_flow,
+                &mut scratch,
+                &NoopProbe,
+            ));
+        })
+    };
+    let overhead = observed_secs / plain_secs;
+    println!("  reset_per_trial_max_flow_observed: {observed_secs:.4}s (x{overhead:.3} of plain)");
+    rows.push(Row {
+        name: "reset_per_trial_max_flow_observed".to_string(),
+        secs: observed_secs,
+        normalized: observed_secs / calib,
+    });
+    if overhead > REGRESSION_LIMIT {
+        eprintln!(
+            "bench_smoke: NoopProbe observed path is x{overhead:.3} of the plain path \
+             (limit {REGRESSION_LIMIT}) — telemetry is not zero-overhead-when-off"
+        );
+        std::process::exit(1);
+    }
+
     if let Err(e) = emit_json(&out_path, calib, &rows) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(2);
     }
     println!("report written to {out_path}");
+
+    if let Some(path) = &telemetry_path {
+        let telemetry = Telemetry::new();
+        let mut scratch = ScheduleScratch::new();
+        reset_batch_observed(&net, &max_flow, &mut scratch, &telemetry);
+        reset_batch_observed(&net, &min_cost, &mut scratch, &telemetry);
+        if let Err(e) = std::fs::write(path, telemetry.report().to_json("bench_smoke")) {
+            eprintln!("error: could not write telemetry {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("telemetry written to {path}");
+    }
 
     let Some(baseline_path) = baseline_path else {
         return;
@@ -226,6 +329,34 @@ fn main() {
             row.name, row.normalized, base, ratio, verdict
         );
     }
+    // Parallel-efficiency gate (ROADMAP item): with enough cores, the
+    // 4-thread blocking row must actually outrun the 1-thread row. The
+    // in-process secs ratio is machine-independent; the floor comes from
+    // the baseline file so CI hardware changes tune one number, not code.
+    if let Some(min_speedup) = parse_min_speedup(&text) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 4 {
+            let t1 = rows.iter().find(|r| r.name == "blocking_threads_1");
+            let t4 = rows.iter().find(|r| r.name == "blocking_threads_4");
+            if let (Some(t1), Some(t4)) = (t1, t4) {
+                let speedup = t1.secs / t4.secs;
+                println!(
+                    "  parallel efficiency: 4-thread speedup x{speedup:.2} (floor x{min_speedup})"
+                );
+                if speedup < min_speedup {
+                    eprintln!(
+                        "bench_smoke: 4-thread speedup x{speedup:.2} below floor x{min_speedup}"
+                    );
+                    failed = true;
+                }
+            }
+        } else {
+            println!("  parallel efficiency: skipped ({cores} core(s) available, gate needs >= 4)");
+        }
+    }
+
     if failed {
         eprintln!("bench_smoke: normalized regression over {REGRESSION_LIMIT}x detected");
         std::process::exit(1);

@@ -4,21 +4,38 @@
 //! arrivals, one task per processor at a time, circuit released after
 //! transmission, resource busy until completion), sweeping the offered load
 //! and comparing the optimal scheduler against greedy routing on resource
-//! utilization and response time.
+//! utilization and response time (mean and tail p99).
+//!
+//! Usage: `dynamic [--telemetry <path>] [horizon] [threads]`
+//!
+//! With `--telemetry <path>`, one bounded probed run (omega-8, max-flow,
+//! load 0.5) re-executes after the sweep under a live `rsin_obs::Telemetry`
+//! sink and its JSON snapshot is written to the given path.
 
 use rsin_bench::{emit_table, network_by_name};
 use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
-use rsin_sim::system::{run_sweep, DynamicConfig};
+use rsin_obs::Telemetry;
+use rsin_sim::system::{run_sweep, DynamicConfig, SystemSim};
 
 const LOADS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
 fn main() {
-    let horizon = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry_path = None;
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --telemetry needs a path");
+            std::process::exit(2);
+        }
+        telemetry_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let horizon = args
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(3000.0f64);
-    let threads = std::env::args()
-        .nth(2)
+    let threads = args
+        .get(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let net = network_by_name("omega-8").unwrap();
@@ -52,6 +69,7 @@ fn main() {
                 s.name().to_string(),
                 format!("{:.3}", stats.utilization),
                 format!("{:.3}", stats.mean_response),
+                format!("{:.3}", stats.response_p99),
                 format!("{:.2}", stats.mean_queue),
                 format!("{:.3}", stats.mean_blocking),
                 stats.completed.to_string(),
@@ -65,12 +83,34 @@ fn main() {
             "scheduler",
             "utilization",
             "response",
+            "resp p99",
             "queue",
             "cycle blocking",
             "completed",
         ],
         &rows,
     );
+    if let Some(tpath) = telemetry_path {
+        // One bounded probed run at the middle of the sweep; probes only
+        // observe, so the table above is unaffected.
+        let telemetry = Telemetry::new();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.5,
+            mean_transmission: 0.2,
+            mean_service: 1.0,
+            sim_time: horizon,
+            warmup: horizon * 0.1,
+            seed: 42,
+            types: 1,
+        };
+        let _ = SystemSim::new(&net, cfg).run_probed(&optimal, &telemetry);
+        let json = telemetry.report().to_json("dynamic");
+        if let Err(e) = std::fs::write(&tpath, &json) {
+            eprintln!("warning: could not write {tpath}: {e}");
+        } else {
+            println!("\ntelemetry written to {tpath} (omega-8 / max-flow / load 0.5)");
+        }
+    }
     println!(
         "\nshape: utilization rises with load toward saturation; the optimal \
          scheduler sustains it with equal or lower response time than greedy."

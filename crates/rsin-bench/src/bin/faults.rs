@@ -9,18 +9,28 @@
 //! alternate paths before being shed, and the report compares allocations
 //! against the fault-free baseline of the *same* arrival stream.
 //!
-//! Usage: `faults [trials] [threads] [json-path]`
+//! Usage: `faults [--telemetry <path>] [trials] [threads] [json-path]`
 //!
 //! Trials follow the `(seed, trial)` RNG-stream convention shared with the
 //! `blocking` and `dynamic` experiments, so every number is bit-identical
 //! for any thread count. Besides the table, a JSON report is written to
 //! `json-path` (default `faults_report.json`).
+//!
+//! With `--telemetry <path>`, one bounded probed capture (omega-8,
+//! max-flow, rate 0.005) re-runs after the sweep under a live
+//! `rsin_obs::Telemetry` sink and its JSON report — per-solver phase
+//! counters, cycle-latency histograms, and the fault/repair event trace —
+//! is written to the given path. Probes only observe, so the sweep's
+//! numbers are unaffected.
 
 use rsin_bench::{emit_table, network_by_name};
 use rsin_core::scheduler::{
     AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler,
 };
-use rsin_sim::system::{run_faulted_trials, DynamicConfig, FaultedStats};
+use rsin_obs::Telemetry;
+use rsin_sim::system::{
+    run_faulted_trials, run_faulted_trials_probed, DynamicConfig, FaultedStats,
+};
 use rsin_topology::FaultPlanConfig;
 
 const SEED: u64 = 42;
@@ -125,16 +135,24 @@ fn json_report(rows: &[Row], trials: usize, threads: usize) -> String {
 }
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(6);
-    let threads = std::env::args()
-        .nth(2)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry_path = None;
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        if i + 1 >= args.len() {
+            eprintln!("error: --telemetry needs a path");
+            std::process::exit(2);
+        }
+        telemetry_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let trials: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let threads = args
+        .get(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let json_path = std::env::args()
-        .nth(3)
+    let json_path = args
+        .get(2)
+        .cloned()
         .unwrap_or_else(|| "faults_report.json".into());
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(17));
@@ -224,6 +242,21 @@ fn main() {
         eprintln!("warning: could not write {json_path}: {e}");
     } else {
         println!("\nJSON report written to {json_path}");
+    }
+    if let Some(tpath) = telemetry_path {
+        // One bounded probed capture at a rate that reliably produces both
+        // failures and repairs within the horizon; the sweep above already
+        // ran unprobed, so this re-run only feeds the telemetry sink.
+        let telemetry = Telemetry::new();
+        let net = network_by_name("omega-8").unwrap();
+        let fcfg = FaultPlanConfig::links(0.005, MEAN_REPAIR, SIM_TIME);
+        let _ = run_faulted_trials_probed(&net, &optimal, &cfg, &fcfg, trials, threads, &telemetry);
+        let json = telemetry.report().to_json("faults");
+        if let Err(e) = std::fs::write(&tpath, &json) {
+            eprintln!("warning: could not write {tpath}: {e}");
+        } else {
+            println!("telemetry written to {tpath} (omega-8 / max-flow / rate 0.005)");
+        }
     }
     println!(
         "\nshape: survival stays near 1.0 at low failure rates and degrades\n\

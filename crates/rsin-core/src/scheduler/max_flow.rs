@@ -76,6 +76,31 @@ impl Scheduler for MaxFlowScheduler {
             r.stats.estimated_instructions(),
         ))
     }
+
+    /// Observed cycle that also reports per-solver operation counts through
+    /// [`max_flow::solve_observed`].
+    fn try_schedule_observed(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let span = probe.start();
+        let ScheduleScratch {
+            solve,
+            max_flow: reusable,
+            ..
+        } = scratch;
+        let t = reusable.configure_max_flow(problem);
+        let r =
+            max_flow::solve_observed(&mut t.flow, t.source, t.sink, self.algorithm, solve, probe);
+        let assignments = extract(t)?;
+        debug_assert_eq!(assignments.len() as i64, r.value);
+        let out = finish_outcome(problem, assignments, r.stats.estimated_instructions());
+        probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
+        probe.add(rsin_obs::Counter::Cycles, 1);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

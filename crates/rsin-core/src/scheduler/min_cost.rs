@@ -75,6 +75,37 @@ impl Scheduler for MinCostScheduler {
             r.stats.estimated_instructions(),
         ))
     }
+
+    /// Observed cycle that also reports per-solver operation counts through
+    /// [`min_cost::solve_observed`].
+    fn try_schedule_observed(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let span = probe.start();
+        let ScheduleScratch {
+            solve,
+            min_cost: reusable,
+            ..
+        } = scratch;
+        let (t, f0) = reusable.configure_min_cost(problem);
+        let r = min_cost::solve_observed(
+            &mut t.flow,
+            t.source,
+            t.sink,
+            f0,
+            self.algorithm,
+            solve,
+            probe,
+        );
+        let assignments = extract(t)?;
+        let out = finish_outcome(problem, assignments, r.stats.estimated_instructions());
+        probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
+        probe.add(rsin_obs::Counter::Cycles, 1);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

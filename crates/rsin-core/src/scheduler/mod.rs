@@ -241,6 +241,46 @@ pub trait Scheduler: Sync {
         retry_blocked(problem, primary)
     }
 
+    /// [`Self::try_schedule_reusing`] reporting the cycle to a telemetry
+    /// probe: one [`rsin_obs::Hist::CycleLatencyNs`] span over the whole
+    /// scheduling cycle plus a [`rsin_obs::Counter::Cycles`] tick. The
+    /// flow-based schedulers override this to additionally report per-solver
+    /// operation counts through [`rsin_flow`]'s observed solve entry points.
+    /// Under [`rsin_obs::NoopProbe`] no clock is read and the call reduces
+    /// to [`Self::try_schedule_reusing`].
+    fn try_schedule_observed(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let span = probe.start();
+        let out = self.try_schedule_reusing(problem, scratch)?;
+        probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
+        probe.add(rsin_obs::Counter::Cycles, 1);
+        Ok(out)
+    }
+
+    /// [`Self::try_schedule_degraded`] reporting the cycle to a telemetry
+    /// probe. The primary pass goes through [`Self::try_schedule_observed`]
+    /// (so the recorded cycle latency covers the primary discipline only,
+    /// not the alternate-path retry), then the retry's rescue/shed counts
+    /// land in [`rsin_obs::Counter::Recovered`] / [`rsin_obs::Counter::Shed`]
+    /// and the cycle ticks [`rsin_obs::Counter::DegradedCycles`].
+    fn try_schedule_degraded_observed(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<DegradedOutcome, ScheduleError> {
+        let primary = self.try_schedule_observed(problem, scratch, probe)?;
+        let degraded = retry_blocked(problem, primary)?;
+        probe.add(rsin_obs::Counter::DegradedCycles, 1);
+        probe.add(rsin_obs::Counter::Recovered, degraded.recovered as u64);
+        probe.add(rsin_obs::Counter::Shed, degraded.shed as u64);
+        Ok(degraded)
+    }
+
     /// Panicking wrapper over [`Self::try_schedule_reusing`], mirroring
     /// [`Self::schedule`].
     fn schedule_reusing(

@@ -161,6 +161,44 @@ proptest! {
         }
     }
 
+    /// Probe equivalence: attaching any probe — the no-op ZST or a live
+    /// `Telemetry` sink — to the observed scheduling path never changes the
+    /// outcome. Probes only watch; allocation count, total cost, and mapping
+    /// validity are identical to the plain reusable solve on the same
+    /// scratch-warming sequence.
+    #[test]
+    fn probes_never_change_schedule_outcomes(
+        which in 0usize..3,
+        snaps in proptest::collection::vec(snapshot_strategy(), 1..5),
+    ) {
+        let net = network(which);
+        let telemetry = rsin_obs::Telemetry::new();
+        let mf = MaxFlowScheduler::default();
+        let mc = MinCostScheduler::default();
+        let schedulers: [&dyn Scheduler; 2] = [&mf, &mc];
+        for scheduler in schedulers {
+            let mut plain = ScheduleScratch::new();
+            let mut noop = ScheduleScratch::new();
+            let mut live = ScheduleScratch::new();
+            for snap in &snaps {
+                let cs = circuit_state(&net, snap);
+                let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+                let base = scheduler.try_schedule_reusing(&problem, &mut plain).unwrap();
+                let with_noop = scheduler
+                    .try_schedule_observed(&problem, &mut noop, &rsin_obs::NoopProbe)
+                    .unwrap();
+                let with_live = scheduler
+                    .try_schedule_observed(&problem, &mut live, &telemetry)
+                    .unwrap();
+                for observed in [&with_noop, &with_live] {
+                    prop_assert_eq!(observed.allocated(), base.allocated());
+                    prop_assert_eq!(observed.total_cost, base.total_cost);
+                    prop_assert!(verify(&observed.assignments, &problem).is_ok());
+                }
+            }
+        }
+    }
+
     /// One scratch driven across *different topologies* mid-sequence must
     /// transparently rebuild and still match fresh solves.
     #[test]

@@ -165,6 +165,35 @@ impl<'n> TokenEngine<'n> {
         engine.report(problem)
     }
 
+    /// [`Self::run`] reporting the cycle to a telemetry probe: engine-level
+    /// counters (cycles, clock periods, Dinic iterations), a
+    /// clocks-per-cycle histogram, and per-phase transition counts decoded
+    /// from the status-bus trace — the clock-period accounting behind the
+    /// paper's Section IV-B speedup claim, exported through the same sink as
+    /// the software solvers' instruction counts.
+    pub fn run_probed(
+        problem: &ScheduleProblem<'_, 'n>,
+        probe: &dyn rsin_obs::Probe,
+    ) -> CycleReport {
+        let report = Self::run(problem);
+        probe.add(rsin_obs::Counter::EngineCycles, 1);
+        probe.add(rsin_obs::Counter::EngineClocks, report.clocks);
+        probe.add(rsin_obs::Counter::EngineIterations, report.iterations);
+        probe.record(rsin_obs::Hist::ClocksPerCycle, report.clocks);
+        for entry in &report.trace {
+            let counter = match entry.phase {
+                "request-token-propagation" => rsin_obs::Counter::PhaseRequest,
+                "request-tokens-stopping" => rsin_obs::Counter::PhaseStopping,
+                "resource-token-propagation" => rsin_obs::Counter::PhaseResource,
+                "path-registration" => rsin_obs::Counter::PhaseRegistration,
+                "cycle-start" => rsin_obs::Counter::PhaseCycleStart,
+                _ => continue,
+            };
+            probe.add(counter, 1);
+        }
+        report
+    }
+
     fn bus(&self, phase: &'static str) -> StatusBus {
         let mut bus = StatusBus::new();
         // E1/E2 stay asserted for the whole scheduling cycle: a request is
@@ -581,6 +610,21 @@ impl Scheduler for DistributedScheduler {
 
     fn try_schedule(&self, problem: &ScheduleProblem) -> Result<ScheduleOutcome, ScheduleError> {
         Ok(TokenEngine::run(problem).outcome)
+    }
+
+    /// Observed cycle that exports the engine's clock-period and per-phase
+    /// accounting alongside the generic cycle span.
+    fn try_schedule_observed(
+        &self,
+        problem: &ScheduleProblem,
+        _scratch: &mut rsin_core::scheduler::ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let span = probe.start();
+        let out = TokenEngine::run_probed(problem, probe).outcome;
+        probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
+        probe.add(rsin_obs::Counter::Cycles, 1);
+        Ok(out)
     }
 }
 

@@ -60,6 +60,17 @@ impl Algorithm {
         Algorithm::PushRelabel,
         Algorithm::CapacityScaling,
     ];
+
+    /// The telemetry identity of this algorithm.
+    pub fn solver_id(self) -> rsin_obs::SolverId {
+        match self {
+            Algorithm::FordFulkerson => rsin_obs::SolverId::MaxFlowFordFulkerson,
+            Algorithm::EdmondsKarp => rsin_obs::SolverId::MaxFlowEdmondsKarp,
+            Algorithm::Dinic => rsin_obs::SolverId::MaxFlowDinic,
+            Algorithm::PushRelabel => rsin_obs::SolverId::MaxFlowPushRelabel,
+            Algorithm::CapacityScaling => rsin_obs::SolverId::MaxFlowCapacityScaling,
+        }
+    }
 }
 
 /// Result of a maximum-flow computation.
@@ -97,6 +108,25 @@ pub fn solve_with(
         Algorithm::Dinic => dinic::solve_with(g, s, t, scratch),
         _ => solve(g, s, t, algo),
     }
+}
+
+/// [`solve_with`] reporting the solve to a telemetry probe: one
+/// [`rsin_obs::Hist::SolveLatencyNs`] span plus the run's [`OpStats`] as
+/// pre-aggregated per-solver counts. Under [`rsin_obs::NoopProbe`] the span
+/// never reads the clock and this is [`solve_with`] plus two inlined no-ops.
+pub fn solve_observed(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    algo: Algorithm,
+    scratch: &mut SolveScratch,
+    probe: &dyn rsin_obs::Probe,
+) -> MaxFlowResult {
+    let span = probe.start();
+    let r = solve_with(g, s, t, algo, scratch);
+    probe.finish(span, rsin_obs::Hist::SolveLatencyNs);
+    probe.solver(algo.solver_id(), r.stats.probe_counts());
+    r
 }
 
 #[cfg(test)]

@@ -45,6 +45,15 @@ impl Algorithm {
         Algorithm::OutOfKilter,
         Algorithm::CycleCanceling,
     ];
+
+    /// The telemetry identity of this algorithm.
+    pub fn solver_id(self) -> rsin_obs::SolverId {
+        match self {
+            Algorithm::SuccessiveShortestPaths => rsin_obs::SolverId::MinCostSsp,
+            Algorithm::OutOfKilter => rsin_obs::SolverId::MinCostOutOfKilter,
+            Algorithm::CycleCanceling => rsin_obs::SolverId::MinCostCycleCanceling,
+        }
+    }
 }
 
 /// Result of a minimum-cost flow computation.
@@ -92,6 +101,26 @@ pub fn solve_with(
         Algorithm::OutOfKilter => out_of_kilter::solve_on_network_with(g, s, t, target, scratch),
         Algorithm::CycleCanceling => cycle_cancel::solve_with(g, s, t, target, scratch),
     }
+}
+
+/// [`solve_with`] reporting the solve to a telemetry probe: one
+/// [`rsin_obs::Hist::SolveLatencyNs`] span plus the run's [`OpStats`] as
+/// pre-aggregated per-solver counts. Under [`rsin_obs::NoopProbe`] the span
+/// never reads the clock and this is [`solve_with`] plus two inlined no-ops.
+pub fn solve_observed(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    algo: Algorithm,
+    scratch: &mut SolveScratch,
+    probe: &dyn rsin_obs::Probe,
+) -> MinCostResult {
+    let span = probe.start();
+    let r = solve_with(g, s, t, target, algo, scratch);
+    probe.finish(span, rsin_obs::Hist::SolveLatencyNs);
+    probe.solver(algo.solver_id(), r.stats.probe_counts());
+    r
 }
 
 #[cfg(test)]

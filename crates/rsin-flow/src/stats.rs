@@ -35,6 +35,17 @@ impl OpStats {
         self.phases += other.phases;
     }
 
+    /// The same counters in `rsin-obs` probe form, for per-solver telemetry
+    /// accumulation.
+    pub fn probe_counts(&self) -> rsin_obs::SolveCounts {
+        rsin_obs::SolveCounts {
+            node_visits: self.node_visits,
+            arc_scans: self.arc_scans,
+            augmentations: self.augmentations,
+            phases: self.phases,
+        }
+    }
+
     /// Estimated instruction count under a simple RISC-style model:
     /// a node visit costs ~8 instructions (dequeue, mark, loop setup), an arc
     /// scan ~6 (load, compare, branch), an augmentation ~20 per path

@@ -1,0 +1,234 @@
+//! Log2-bucketed histograms with atomic recording and quantile readout.
+//!
+//! Bucket `i` holds values whose binary magnitude is `i` significant bits:
+//! bucket 0 is exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `[2, 3]`,
+//! bucket `i` is `[2^(i-1), 2^i - 1]`, up to bucket 64 covering the top of
+//! the `u64` range. Quantiles interpolate linearly inside the bucket, so
+//! the reported value is within one octave of the true order statistic —
+//! plenty for latency tails, and the histogram is a fixed 65-slot array
+//! with wait-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (`0` plus one per possible bit length).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value: its bit length (`0` → 0, `1` → 1, `[2,3]` → 2,
+/// ..., `u64::MAX` → 64).
+#[inline]
+pub const fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Smallest value in bucket `i`.
+pub const fn bucket_floor(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Largest value in bucket `i`.
+pub const fn bucket_ceil(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A log2 histogram with relaxed-atomic recording; safe to share across
+/// worker threads without locks.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile computation and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: plain counts, quantile readout.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (mean = sum / count).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0 < q <= 1), linearly interpolated inside the
+    /// containing bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let into = rank - cum; // 1..=c
+                let lo = bucket_floor(i) as f64;
+                let hi = bucket_ceil(i) as f64;
+                let frac = into as f64 / c as f64;
+                return (lo + (hi - lo) * frac) as u64;
+            }
+            cum += c;
+        }
+        bucket_ceil(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn floors_and_ceils_bracket_their_bucket() {
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i, "floor of bucket {i}");
+            assert_eq!(bucket_of(bucket_ceil(i)), i, "ceil of bucket {i}");
+            assert!(bucket_floor(i) <= bucket_ceil(i));
+        }
+        // Buckets tile the range with no gaps.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_ceil(i - 1) + 1, bucket_floor(i));
+        }
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let h = AtomicHistogram::new();
+        for v in [1u64, 2, 3, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 16);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_1_to_100() {
+        let h = AtomicHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log2 buckets bound each quantile within its octave.
+        let p50 = s.p50();
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((64..=127).contains(&p99), "p99 = {p99}");
+        // Quantiles are monotone.
+        assert!(s.p50() <= s.p90());
+        assert!(s.p90() <= s.p99());
+    }
+
+    #[test]
+    fn quantile_of_constant_sample_is_exactish() {
+        let h = AtomicHistogram::new();
+        for _ in 0..1000 {
+            h.record(5);
+        }
+        let s = h.snapshot();
+        // All mass in bucket 3 = [4, 7]: every quantile stays in the octave.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((4..=7).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let s = AtomicHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let h = AtomicHistogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+}

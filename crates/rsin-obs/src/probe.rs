@@ -1,0 +1,369 @@
+//! The [`Probe`] trait: the single instrumentation seam every layer of the
+//! workspace reports through, and the enums naming what can be reported.
+
+use std::time::Instant;
+
+/// Monotonic counters a probe can accumulate. One variant per event class
+/// across the stack: scheduling cycles (`rsin-core`), simulation events
+/// (`rsin-sim`), and the distributed engine's clock/phase accounting
+/// (`rsin-distrib`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Scheduling cycles observed (one per `try_schedule_observed`).
+    Cycles,
+    /// Scheduling cycles that took the degraded (faulty-network) path.
+    DegradedCycles,
+    /// Blocked requests rescued by the degraded-mode alternate-path retry.
+    Recovered,
+    /// Requests still unallocated after the degraded retry.
+    Shed,
+    /// Task arrivals traced by the dynamic simulation.
+    Requests,
+    /// Circuit releases (transmission completions) traced.
+    Releases,
+    /// Fault (`Fail`) events applied to the circuit state.
+    Faults,
+    /// Repair events applied to the circuit state.
+    Repairs,
+    /// Distributed scheduling cycles run by the token engine.
+    EngineCycles,
+    /// Clock periods consumed by the token engine (the paper's cost unit).
+    EngineClocks,
+    /// Dinic iterations (layered networks) the token engine built.
+    EngineIterations,
+    /// Status-bus transitions decoded as request-token propagation.
+    PhaseRequest,
+    /// Status-bus transitions decoded as request-tokens-stopping.
+    PhaseStopping,
+    /// Status-bus transitions decoded as resource-token propagation.
+    PhaseResource,
+    /// Status-bus transitions decoded as path registration.
+    PhaseRegistration,
+    /// Status-bus transitions decoded as cycle-start.
+    PhaseCycleStart,
+}
+
+impl Counter {
+    /// All variants, in report order.
+    pub const ALL: [Counter; 16] = [
+        Counter::Cycles,
+        Counter::DegradedCycles,
+        Counter::Recovered,
+        Counter::Shed,
+        Counter::Requests,
+        Counter::Releases,
+        Counter::Faults,
+        Counter::Repairs,
+        Counter::EngineCycles,
+        Counter::EngineClocks,
+        Counter::EngineIterations,
+        Counter::PhaseRequest,
+        Counter::PhaseStopping,
+        Counter::PhaseResource,
+        Counter::PhaseRegistration,
+        Counter::PhaseCycleStart,
+    ];
+
+    /// Dense array index (== position in [`Counter::ALL`]).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::Cycles => "cycles",
+            Counter::DegradedCycles => "degraded_cycles",
+            Counter::Recovered => "recovered",
+            Counter::Shed => "shed",
+            Counter::Requests => "requests",
+            Counter::Releases => "releases",
+            Counter::Faults => "faults",
+            Counter::Repairs => "repairs",
+            Counter::EngineCycles => "engine_cycles",
+            Counter::EngineClocks => "engine_clocks",
+            Counter::EngineIterations => "engine_iterations",
+            Counter::PhaseRequest => "phase_request",
+            Counter::PhaseStopping => "phase_stopping",
+            Counter::PhaseResource => "phase_resource",
+            Counter::PhaseRegistration => "phase_registration",
+            Counter::PhaseCycleStart => "phase_cycle_start",
+        }
+    }
+}
+
+/// Latency/size histograms a probe can record into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hist {
+    /// Wall-clock nanoseconds of one scheduling cycle (primary discipline).
+    CycleLatencyNs,
+    /// Wall-clock nanoseconds of one flow solve.
+    SolveLatencyNs,
+    /// Total queued tasks at the instant a scheduling cycle starts.
+    QueueDepth,
+    /// Clock periods per distributed scheduling cycle.
+    ClocksPerCycle,
+}
+
+impl Hist {
+    /// All variants, in report order.
+    pub const ALL: [Hist; 4] = [
+        Hist::CycleLatencyNs,
+        Hist::SolveLatencyNs,
+        Hist::QueueDepth,
+        Hist::ClocksPerCycle,
+    ];
+
+    /// Dense array index (== position in [`Hist::ALL`]).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::CycleLatencyNs => "cycle_latency_ns",
+            Hist::SolveLatencyNs => "solve_latency_ns",
+            Hist::QueueDepth => "queue_depth",
+            Hist::ClocksPerCycle => "clocks_per_cycle",
+        }
+    }
+}
+
+/// Which algorithm a [`SolveCounts`] report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverId {
+    /// DFS augmenting paths.
+    MaxFlowFordFulkerson,
+    /// BFS shortest augmenting paths.
+    MaxFlowEdmondsKarp,
+    /// Layered networks + blocking flow.
+    MaxFlowDinic,
+    /// FIFO push-relabel with the gap heuristic.
+    MaxFlowPushRelabel,
+    /// Capacity-scaled augmentation.
+    MaxFlowCapacityScaling,
+    /// Successive shortest paths with potentials.
+    MinCostSsp,
+    /// Fulkerson's out-of-kilter method.
+    MinCostOutOfKilter,
+    /// Klein's negative-cycle canceling.
+    MinCostCycleCanceling,
+    /// The dense two-phase simplex (multicommodity LP).
+    Simplex,
+}
+
+impl SolverId {
+    /// All variants, in report order.
+    pub const ALL: [SolverId; 9] = [
+        SolverId::MaxFlowFordFulkerson,
+        SolverId::MaxFlowEdmondsKarp,
+        SolverId::MaxFlowDinic,
+        SolverId::MaxFlowPushRelabel,
+        SolverId::MaxFlowCapacityScaling,
+        SolverId::MinCostSsp,
+        SolverId::MinCostOutOfKilter,
+        SolverId::MinCostCycleCanceling,
+        SolverId::Simplex,
+    ];
+
+    /// Dense array index (== position in [`SolverId::ALL`]).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SolverId::MaxFlowFordFulkerson => "max_flow_ford_fulkerson",
+            SolverId::MaxFlowEdmondsKarp => "max_flow_edmonds_karp",
+            SolverId::MaxFlowDinic => "max_flow_dinic",
+            SolverId::MaxFlowPushRelabel => "max_flow_push_relabel",
+            SolverId::MaxFlowCapacityScaling => "max_flow_capacity_scaling",
+            SolverId::MinCostSsp => "min_cost_ssp",
+            SolverId::MinCostOutOfKilter => "min_cost_out_of_kilter",
+            SolverId::MinCostCycleCanceling => "min_cost_cycle_canceling",
+            SolverId::Simplex => "simplex",
+        }
+    }
+}
+
+/// Per-solve operation counts, mirroring `rsin_flow::stats::OpStats` —
+/// emitted *once per solve*, already aggregated, so instrumentation never
+/// touches the solver inner loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounts {
+    /// Nodes dequeued/visited during searches.
+    pub node_visits: u64,
+    /// Arcs examined during searches.
+    pub arc_scans: u64,
+    /// Augmenting paths advanced (or simplex pivots).
+    pub augmentations: u64,
+    /// Layered networks built (Dinic phases / SSP iterations).
+    pub phases: u64,
+}
+
+/// Kinds of events traced into the ring buffer by the dynamic simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task arrived at a processor (`a` = processor).
+    Arrival,
+    /// A circuit was released after transmission (`a` = processor,
+    /// `b` = resource).
+    Release,
+    /// A fault-plan `Fail` event applied (`a` = plan event index).
+    Fault,
+    /// A fault-plan `Repair` event applied (`a` = plan event index).
+    Repair,
+    /// A degraded cycle shed requests (`a` = count).
+    Shed,
+    /// A degraded cycle recovered blocked requests (`a` = count).
+    Recovered,
+}
+
+impl EventKind {
+    /// JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::Arrival => "arrival",
+            EventKind::Release => "release",
+            EventKind::Fault => "fault",
+            EventKind::Repair => "repair",
+            EventKind::Shed => "shed",
+            EventKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// An in-flight latency measurement. Disabled probes return an empty span,
+/// so no clock is ever read when telemetry is off.
+#[derive(Debug)]
+#[must_use = "finish the span via Probe::finish to record it"]
+pub struct Span(Option<Instant>);
+
+impl Span {
+    /// A span that records nothing (the no-op default).
+    pub const fn disabled() -> Self {
+        Span(None)
+    }
+
+    /// A span anchored at the current monotonic instant.
+    pub fn started() -> Self {
+        Span(Some(Instant::now()))
+    }
+
+    /// Elapsed nanoseconds since the span started (None when disabled).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0
+            .map(|t0| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// The instrumentation seam. Every method defaults to an inlined no-op, so
+/// a probe that overrides nothing (notably [`NoopProbe`]) costs nothing
+/// beyond one virtual call per *solve or cycle* at the `&dyn Probe` call
+/// sites — and literally nothing where the concrete type is statically
+/// known.
+///
+/// `Sync` is a supertrait so one probe can sink events from concurrent
+/// Monte-Carlo workers (`rsin-sim` shares `&dyn Probe` across threads).
+///
+/// Contract for implementors (see DESIGN.md §8): record only — never
+/// influence control flow, never consume simulation randomness, and use
+/// bounded memory.
+pub trait Probe: Sync {
+    /// Whether this probe records anything. Callers may use this to skip
+    /// *computing* expensive inputs (e.g. a queue-depth sum), never to
+    /// change semantics.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Report one completed solve's aggregated operation counts.
+    #[inline]
+    fn solver(&self, id: SolverId, counts: SolveCounts) {
+        let _ = (id, counts);
+    }
+
+    /// Record a value into a histogram.
+    #[inline]
+    fn record(&self, hist: Hist, value: u64) {
+        let _ = (hist, value);
+    }
+
+    /// Trace a timestamped event into the ring buffer. `time` is simulation
+    /// time; `a`/`b` are kind-specific operands (see [`EventKind`]).
+    #[inline]
+    fn event(&self, time: f64, kind: EventKind, a: u64, b: u64) {
+        let _ = (time, kind, a, b);
+    }
+
+    /// Open a latency span (reads the monotonic clock only when enabled).
+    #[inline]
+    fn start(&self) -> Span {
+        Span::disabled()
+    }
+
+    /// Close a span, recording its elapsed nanoseconds into `hist`.
+    #[inline]
+    fn finish(&self, span: Span, hist: Hist) {
+        let _ = (span, hist);
+    }
+}
+
+/// The default probe: a zero-sized type whose methods are the trait's empty
+/// defaults — the optimizer erases every call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopProbe>(), 0);
+    }
+
+    #[test]
+    fn noop_probe_records_nothing_and_spans_are_disabled() {
+        let p = NoopProbe;
+        assert!(!p.enabled());
+        let span = p.start();
+        assert!(span.elapsed_ns().is_none(), "no clock read when off");
+        p.finish(span, Hist::CycleLatencyNs);
+        p.add(Counter::Cycles, 3);
+        p.record(Hist::QueueDepth, 7);
+        p.event(1.0, EventKind::Arrival, 0, 0);
+        p.solver(SolverId::MaxFlowDinic, SolveCounts::default());
+    }
+
+    #[test]
+    fn enum_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        for (i, s) in SolverId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn started_span_measures_time() {
+        let span = Span::started();
+        let ns = span.elapsed_ns().unwrap();
+        assert!(ns < 10_000_000_000, "sane elapsed reading");
+    }
+}

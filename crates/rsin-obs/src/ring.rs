@@ -1,0 +1,143 @@
+//! Fixed-capacity ring-buffer event trace: keeps the most recent events,
+//! counts what it evicted — bounded memory no matter how long the run.
+
+use crate::probe::EventKind;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First kind-specific operand (see [`EventKind`] docs).
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+/// A bounded event trace. Pushing beyond capacity overwrites the oldest
+/// entry; [`EventRing::to_vec`] returns survivors oldest-first.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index the next overwrite lands on once the buffer is full.
+    next: usize,
+    pushed: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (capacity 0 is clamped
+    /// to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been traced yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Events evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Surviving events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> TraceEvent {
+        TraceEvent {
+            time: t,
+            kind: EventKind::Arrival,
+            a: t as u64,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i as f64));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let v = r.to_vec();
+        assert_eq!(v.len(), 5);
+        assert!(v.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn wraparound_keeps_last_capacity_events() {
+        let mut r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i as f64));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.pushed(), 10);
+        assert_eq!(r.dropped(), 6);
+        let times: Vec<u64> = r.to_vec().iter().map(|e| e.time as u64).collect();
+        assert_eq!(times, vec![6, 7, 8, 9], "survivors oldest-first");
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut r = EventRing::new(3);
+        for i in 0..3 {
+            r.push(ev(i as f64));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(3.0));
+        assert_eq!(r.dropped(), 1);
+        let times: Vec<u64> = r.to_vec().iter().map(|e| e.time as u64).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1.0));
+        r.push(ev(2.0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].time, 2.0);
+    }
+}

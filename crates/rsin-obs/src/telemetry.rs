@@ -1,0 +1,361 @@
+//! The standard live probe: atomic counters, per-solver accumulators,
+//! histograms, and the event ring behind one [`Probe`] implementation,
+//! exportable as a JSON [`TelemetryReport`].
+
+use crate::hist::{AtomicHistogram, HistogramSnapshot};
+use crate::probe::{Counter, EventKind, Hist, Probe, SolveCounts, SolverId, Span};
+use crate::ring::{EventRing, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default event-ring capacity: generous enough that a typical experiment's
+/// full fault/repair history survives alongside the (much chattier)
+/// arrival/release stream.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct SolverAccum {
+    solves: AtomicU64,
+    node_visits: AtomicU64,
+    arc_scans: AtomicU64,
+    augmentations: AtomicU64,
+    phases: AtomicU64,
+}
+
+impl SolverAccum {
+    fn new() -> Self {
+        SolverAccum {
+            solves: AtomicU64::new(0),
+            node_visits: AtomicU64::new(0),
+            arc_scans: AtomicU64::new(0),
+            augmentations: AtomicU64::new(0),
+            phases: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A live telemetry sink. Counter and histogram recording is wait-free
+/// (relaxed atomics); only the event trace takes a mutex, and only callers
+/// that actually trace events pay for it.
+#[derive(Debug)]
+pub struct Telemetry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    solvers: [SolverAccum; SolverId::ALL.len()],
+    hists: [AtomicHistogram; Hist::ALL.len()],
+    ring: Mutex<EventRing>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A sink with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A sink tracing at most `capacity` events (older ones are evicted).
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Telemetry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            solvers: std::array::from_fn(|_| SolverAccum::new()),
+            hists: std::array::from_fn(|_| AtomicHistogram::new()),
+            ring: Mutex::new(EventRing::new(capacity)),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one histogram.
+    pub fn histogram(&self, h: Hist) -> HistogramSnapshot {
+        self.hists[h.index()].snapshot()
+    }
+
+    /// Point-in-time report of everything recorded so far.
+    pub fn report(&self) -> TelemetryReport {
+        let ring = self.ring.lock().expect("telemetry ring poisoned");
+        TelemetryReport {
+            counters: Counter::ALL.map(|c| self.counter(c)),
+            solvers: SolverId::ALL.map(|s| {
+                let a = &self.solvers[s.index()];
+                SolverReport {
+                    solves: a.solves.load(Ordering::Relaxed),
+                    counts: SolveCounts {
+                        node_visits: a.node_visits.load(Ordering::Relaxed),
+                        arc_scans: a.arc_scans.load(Ordering::Relaxed),
+                        augmentations: a.augmentations.load(Ordering::Relaxed),
+                        phases: a.phases.load(Ordering::Relaxed),
+                    },
+                }
+            }),
+            hists: Hist::ALL.map(|h| self.histogram(h)),
+            events: ring.to_vec(),
+            events_dropped: ring.dropped(),
+        }
+    }
+}
+
+impl Probe for Telemetry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn solver(&self, id: SolverId, counts: SolveCounts) {
+        let a = &self.solvers[id.index()];
+        a.solves.fetch_add(1, Ordering::Relaxed);
+        a.node_visits
+            .fetch_add(counts.node_visits, Ordering::Relaxed);
+        a.arc_scans.fetch_add(counts.arc_scans, Ordering::Relaxed);
+        a.augmentations
+            .fetch_add(counts.augmentations, Ordering::Relaxed);
+        a.phases.fetch_add(counts.phases, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record(&self, hist: Hist, value: u64) {
+        self.hists[hist.index()].record(value);
+    }
+
+    fn event(&self, time: f64, kind: EventKind, a: u64, b: u64) {
+        self.ring
+            .lock()
+            .expect("telemetry ring poisoned")
+            .push(TraceEvent { time, kind, a, b });
+    }
+
+    #[inline]
+    fn start(&self) -> Span {
+        Span::started()
+    }
+
+    #[inline]
+    fn finish(&self, span: Span, hist: Hist) {
+        if let Some(ns) = span.elapsed_ns() {
+            self.record(hist, ns);
+        }
+    }
+}
+
+/// Aggregated per-solver statistics in a report.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverReport {
+    /// Solves reported for this algorithm.
+    pub solves: u64,
+    /// Summed operation counts across those solves.
+    pub counts: SolveCounts,
+}
+
+/// A frozen snapshot of a [`Telemetry`] sink, with a hand-rolled JSON
+/// encoder (schema documented in DESIGN.md §8).
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Counter values, indexed like [`Counter::ALL`].
+    pub counters: [u64; Counter::ALL.len()],
+    /// Per-solver accumulations, indexed like [`SolverId::ALL`].
+    pub solvers: [SolverReport; SolverId::ALL.len()],
+    /// Histogram snapshots, indexed like [`Hist::ALL`].
+    pub hists: [HistogramSnapshot; Hist::ALL.len()],
+    /// Surviving trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring by wraparound.
+    pub events_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Encode the report as JSON. `source` names the producing experiment.
+    pub fn to_json(&self, source: &str) -> String {
+        let mut s = String::with_capacity(4096 + 64 * self.events.len());
+        s.push_str("{\n");
+        s.push_str(&format!("  \"source\": \"{source}\",\n"));
+        s.push_str("  \"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", c.name(), self.counters[i]));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"solvers\": [\n");
+        let active: Vec<(SolverId, &SolverReport)> = SolverId::ALL
+            .iter()
+            .zip(&self.solvers)
+            .filter(|(_, r)| r.solves > 0)
+            .map(|(s, r)| (*s, r))
+            .collect();
+        for (i, (id, r)) in active.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"solver\": \"{}\", \"solves\": {}, \"node_visits\": {}, \
+                 \"arc_scans\": {}, \"augmentations\": {}, \"phases\": {}}}{}\n",
+                id.name(),
+                r.solves,
+                r.counts.node_visits,
+                r.counts.arc_scans,
+                r.counts.augmentations,
+                r.counts.phases,
+                if i + 1 < active.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"histograms\": [\n");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            let snap = &self.hists[i];
+            s.push_str(&format!(
+                "    {{\"hist\": \"{}\", \"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                h.name(),
+                snap.count,
+                snap.sum,
+                snap.mean(),
+                snap.p50(),
+                snap.p90(),
+                snap.p99(),
+            ));
+            let mut first = true;
+            for (b, &c) in snap.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&format!("[{b}, {c}]"));
+            }
+            s.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < Hist::ALL.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"events_dropped\": {},\n", self.events_dropped));
+        s.push_str("  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"time\": {:.6}, \"kind\": \"{}\", \"a\": {}, \"b\": {}}}{}\n",
+                e.time,
+                e.kind.name(),
+                e.a,
+                e.b,
+                if i + 1 < self.events.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::new();
+        t.add(Counter::Cycles, 2);
+        t.add(Counter::Cycles, 3);
+        t.add(Counter::Faults, 1);
+        assert_eq!(t.counter(Counter::Cycles), 5);
+        assert_eq!(t.counter(Counter::Faults), 1);
+        assert_eq!(t.counter(Counter::Repairs), 0);
+    }
+
+    #[test]
+    fn solver_counts_accumulate_across_solves() {
+        let t = Telemetry::new();
+        t.solver(
+            SolverId::MaxFlowDinic,
+            SolveCounts {
+                node_visits: 10,
+                arc_scans: 20,
+                augmentations: 3,
+                phases: 2,
+            },
+        );
+        t.solver(
+            SolverId::MaxFlowDinic,
+            SolveCounts {
+                node_visits: 1,
+                arc_scans: 2,
+                augmentations: 1,
+                phases: 1,
+            },
+        );
+        let r = t.report();
+        let dinic = &r.solvers[SolverId::MaxFlowDinic.index()];
+        assert_eq!(dinic.solves, 2);
+        assert_eq!(dinic.counts.node_visits, 11);
+        assert_eq!(dinic.counts.phases, 3);
+    }
+
+    #[test]
+    fn spans_record_into_histograms() {
+        let t = Telemetry::new();
+        let span = t.start();
+        t.finish(span, Hist::CycleLatencyNs);
+        let h = t.histogram(Hist::CycleLatencyNs);
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn events_trace_through_the_ring() {
+        let t = Telemetry::with_ring_capacity(2);
+        t.event(1.0, EventKind::Fault, 0, 0);
+        t.event(2.0, EventKind::Repair, 0, 0);
+        t.event(3.0, EventKind::Arrival, 1, 0);
+        let r = t.report();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events_dropped, 1);
+        assert_eq!(r.events[0].kind, EventKind::Repair);
+    }
+
+    #[test]
+    fn json_contains_expected_keys() {
+        let t = Telemetry::new();
+        t.add(Counter::Cycles, 1);
+        t.solver(SolverId::MinCostSsp, SolveCounts::default());
+        t.record(Hist::QueueDepth, 4);
+        t.event(0.5, EventKind::Fault, 7, 0);
+        let json = t.report().to_json("unit-test");
+        for key in [
+            "\"source\": \"unit-test\"",
+            "\"cycles\": 1",
+            "\"min_cost_ssp\"",
+            "\"queue_depth\"",
+            "\"p99\"",
+            "\"kind\": \"fault\"",
+            "\"events_dropped\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn telemetry_is_shareable_across_threads() {
+        let t = Telemetry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.add(Counter::Requests, 1);
+                        t.record(Hist::QueueDepth, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter(Counter::Requests), 4000);
+        assert_eq!(t.histogram(Hist::QueueDepth).count, 4000);
+    }
+}

@@ -48,6 +48,6 @@ pub mod workload;
 
 pub use blocking::{run_blocking, run_blocking_threads, BlockingConfig, BlockingStats};
 pub use system::{
-    fault_plan_seed, run_faulted_trials, run_sweep, DynamicConfig, DynamicStats, FaultedStats,
-    SystemSim,
+    fault_plan_seed, run_faulted_trials, run_faulted_trials_probed, run_sweep, DynamicConfig,
+    DynamicStats, FaultedStats, SystemSim,
 };

@@ -1,14 +1,30 @@
 //! Sample statistics for simulation outputs.
 
+use rsin_obs::{bucket_ceil, bucket_floor, bucket_of, BUCKETS};
+
+/// Fixed-point scale mapping f64 observations into the log2 buckets:
+/// microsecond resolution for time-like values in simulation units.
+const BUCKET_SCALE: f64 = 1e6;
+
 /// Running mean/variance accumulator (Welford) with a normal-approximation
-/// confidence interval.
-#[derive(Debug, Clone, Copy, Default)]
+/// confidence interval, plus a log2-bucketed histogram (shared bucketing
+/// with `rsin-obs`) for tail quantiles like [`Sample::p99`].
+#[derive(Debug, Clone, Copy)]
 pub struct Sample {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+    /// Observation counts per log2 bucket of `x * BUCKET_SCALE` (negative
+    /// observations clamp to bucket 0).
+    buckets: [u32; BUCKETS],
+}
+
+impl Default for Sample {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Sample {
@@ -20,6 +36,7 @@ impl Sample {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
         }
     }
 
@@ -31,6 +48,12 @@ impl Sample {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        let scaled = if x > 0.0 {
+            (x * BUCKET_SCALE) as u64
+        } else {
+            0
+        };
+        self.buckets[bucket_of(scaled)] += 1;
     }
 
     /// Number of observations.
@@ -87,6 +110,38 @@ impl Sample {
             self.max
         }
     }
+
+    /// The `q`-quantile (0 < q <= 1) from the log2 histogram, linearly
+    /// interpolated inside the containing bucket (so within one octave of
+    /// the true order statistic) and clamped to the observed `[min, max]`.
+    /// Returns 0 for an empty sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.n as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let c = c as u64;
+            if cum + c >= rank {
+                let into = rank - cum; // 1..=c
+                let lo = bucket_floor(i) as f64;
+                let hi = bucket_ceil(i) as f64;
+                let v = (lo + (hi - lo) * (into as f64 / c as f64)) / BUCKET_SCALE;
+                return v.clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// 99th percentile of the observations (log2-histogram estimate).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Convenience summary for printing experiment rows.
@@ -96,6 +151,8 @@ pub struct Summary {
     pub mean: f64,
     /// 95 % confidence half-width.
     pub ci95: f64,
+    /// 99th-percentile observation (log2-histogram estimate).
+    pub p99: f64,
     /// Number of observations.
     pub n: u64,
 }
@@ -105,6 +162,7 @@ impl From<&Sample> for Summary {
         Summary {
             mean: s.mean(),
             ci95: s.ci95_half_width(),
+            p99: s.p99(),
             n: s.count(),
         }
     }
@@ -156,5 +214,49 @@ mod tests {
         let sum = Summary::from(&s);
         assert_eq!(sum.mean, 2.0);
         assert_eq!(sum.n, 2);
+        assert!(sum.p99 > 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_the_tail() {
+        let mut s = Sample::new();
+        // 95 fast observations and 5 slow outliers: rank 99 of 100 falls in
+        // the outlier bucket, so p99 must sit well above the median's octave.
+        for _ in 0..95 {
+            s.push(1.0);
+        }
+        for _ in 0..5 {
+            s.push(1000.0);
+        }
+        let p50 = s.quantile(0.5);
+        let p99 = s.p99();
+        assert!((0.5..=2.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 > 100.0, "p99 = {p99}");
+        assert!(p99 <= 1000.0, "clamped to max, got {p99}");
+        assert!(s.quantile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn quantile_of_empty_and_negative_samples_is_safe() {
+        let s = Sample::new();
+        assert_eq!(s.quantile(0.99), 0.0);
+        let mut s = Sample::new();
+        s.push(-5.0);
+        // Negative observations clamp into bucket 0 and the readout clamps
+        // back to the observed range.
+        assert_eq!(s.quantile(0.99), -5.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut s = Sample::new();
+        for i in 1..=500 {
+            s.push(i as f64 * 0.01);
+        }
+        let qs: Vec<f64> = [0.1, 0.5, 0.9, 0.99]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 }

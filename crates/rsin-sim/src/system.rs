@@ -21,7 +21,10 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{ScheduleScratch, Scheduler};
-use rsin_topology::{CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, Network};
+use rsin_obs::{Counter, NoopProbe, Probe};
+use rsin_topology::{
+    CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, FaultTarget, Network,
+};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -82,6 +85,9 @@ pub struct DynamicStats {
     pub mean_response: f64,
     /// 95 % confidence half-width of the response-time mean.
     pub response_ci95: f64,
+    /// 99th-percentile task response time (log2-histogram estimate; see
+    /// [`Sample::p99`]).
+    pub response_p99: f64,
     /// Tasks completed after warm-up.
     pub completed: u64,
     /// Time-averaged number of queued (unallocated) tasks.
@@ -194,6 +200,13 @@ impl<'n> SystemSim<'n> {
             .stats
     }
 
+    /// [`Self::run`] reporting to a telemetry probe. Probes only observe —
+    /// the statistics are bit-identical to the unobserved run.
+    pub fn run_probed(&self, scheduler: &dyn Scheduler, probe: &dyn Probe) -> DynamicStats {
+        self.run_faulted_trial_probed(scheduler, &FaultPlan::empty(), 0, probe)
+            .stats
+    }
+
     /// Run to the horizon with the given fault plan injected (trial 0's RNG
     /// stream). See [`SystemSim::run_faulted_trial`].
     pub fn run_faulted(&self, scheduler: &dyn Scheduler, plan: &FaultPlan) -> FaultedStats {
@@ -218,6 +231,26 @@ impl<'n> SystemSim<'n> {
         scheduler: &dyn Scheduler,
         plan: &FaultPlan,
         trial: u64,
+    ) -> FaultedStats {
+        self.run_faulted_trial_probed(scheduler, plan, trial, &NoopProbe)
+    }
+
+    /// [`Self::run_faulted_trial`] reporting to a telemetry probe: arrival,
+    /// release, fault, and repair events go into the probe's trace (with
+    /// matching counters), per-cycle queue depths land in
+    /// [`rsin_obs::Hist::QueueDepth`], and every scheduling cycle runs
+    /// through the scheduler's observed entry points
+    /// ([`Scheduler::try_schedule_observed`] /
+    /// [`Scheduler::try_schedule_degraded_observed`]). Probes only observe:
+    /// they consume no simulation randomness and influence no control flow,
+    /// so the returned statistics are bit-identical to the unobserved run
+    /// ([`NoopProbe`] is exactly that run).
+    pub fn run_faulted_trial_probed(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+        probe: &dyn Probe,
     ) -> FaultedStats {
         let cfg = &self.cfg;
         let mut rng: StdRng = trial_rng(cfg.seed, trial);
@@ -282,6 +315,10 @@ impl<'n> SystemSim<'n> {
             }
             match ev.kind {
                 EventKind::Arrival { processor } => {
+                    probe.add(Counter::Requests, 1);
+                    if probe.enabled() {
+                        probe.event(now, rsin_obs::EventKind::Arrival, processor as u64, 0);
+                    }
                     let ty = if cfg.types > 1 {
                         rng.random_range(0..cfg.types)
                     } else {
@@ -298,6 +335,15 @@ impl<'n> SystemSim<'n> {
                     arrived,
                 } => {
                     cs.release(circuit).expect("live circuit");
+                    probe.add(Counter::Releases, 1);
+                    if probe.enabled() {
+                        probe.event(
+                            now,
+                            rsin_obs::EventKind::Release,
+                            processor as u64,
+                            resource as u64,
+                        );
+                    }
                     transmitting[processor] = false;
                     let done = now + exponential(&mut rng, 1.0 / cfg.mean_service);
                     push(
@@ -318,12 +364,28 @@ impl<'n> SystemSim<'n> {
                     let fe = &plan.events()[index];
                     fe.apply(&mut cs);
                     match fe.action {
-                        FaultAction::Fail => failures += 1,
+                        FaultAction::Fail => {
+                            failures += 1;
+                            probe.add(Counter::Faults, 1);
+                        }
                         FaultAction::Repair => {
                             repairs += 1;
+                            probe.add(Counter::Repairs, 1);
                             // Measure recovery from the *latest* repair.
                             pending_recovery = Some(now);
                         }
+                    }
+                    if probe.enabled() {
+                        // Operands: component index, and 0 = link / 1 = box.
+                        let (component, is_box) = match fe.target {
+                            FaultTarget::Link(l) => (l.index() as u64, 0),
+                            FaultTarget::Box(b) => (b as u64, 1),
+                        };
+                        let kind = match fe.action {
+                            FaultAction::Fail => rsin_obs::EventKind::Fault,
+                            FaultAction::Repair => rsin_obs::EventKind::Repair,
+                        };
+                        probe.event(now, kind, component, is_box);
                     }
                 }
             }
@@ -347,6 +409,10 @@ impl<'n> SystemSim<'n> {
             if requests.is_empty() || free.is_empty() {
                 continue;
             }
+            if probe.enabled() {
+                let depth: usize = queue.iter().map(|q| q.len()).sum();
+                probe.record(rsin_obs::Hist::QueueDepth, depth as u64);
+            }
             let denom_requests = requests.len();
             let denom_free = free.len();
             let problem = ScheduleProblem {
@@ -359,19 +425,30 @@ impl<'n> SystemSim<'n> {
             // (empty plan) stays bit-identical to the pre-fault simulator.
             let (out, recovered, shed) = if cs.faulty_count() > 0 {
                 let d = scheduler
-                    .try_schedule_degraded(&problem, &mut scratch)
+                    .try_schedule_degraded_observed(&problem, &mut scratch, probe)
                     .unwrap_or_else(|e| {
                         panic!("{} failed degraded schedule: {e}", scheduler.name())
                     });
                 (d.outcome, d.recovered as u64, d.shed as u64)
             } else {
-                (scheduler.schedule_reusing(&problem, &mut scratch), 0, 0)
+                let out = scheduler
+                    .try_schedule_observed(&problem, &mut scratch, probe)
+                    .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", scheduler.name()));
+                (out, 0, 0)
             };
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
             drop(problem);
             cycles += 1;
             shed_total += shed;
             recovered_total += recovered;
+            if probe.enabled() {
+                if recovered > 0 {
+                    probe.event(now, rsin_obs::EventKind::Recovered, recovered, 0);
+                }
+                if shed > 0 {
+                    probe.event(now, rsin_obs::EventKind::Shed, shed, 0);
+                }
+            }
             if shed == 0 {
                 if let Some(t0) = pending_recovery.take() {
                     recovery.push(now - t0);
@@ -407,6 +484,7 @@ impl<'n> SystemSim<'n> {
                 utilization: busy_integral / horizon / nr as f64,
                 mean_response: response.mean(),
                 response_ci95: response.ci95_half_width(),
+                response_p99: response.p99(),
                 completed,
                 mean_queue: queue_integral / horizon,
                 cycles,
@@ -484,6 +562,49 @@ pub fn run_faulted_trials(
     let run_one = |trial: usize| {
         let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
         SystemSim::new(net, *cfg).run_faulted_trial(scheduler, &plan, trial as u64)
+    };
+    if threads == 1 || trials <= 1 {
+        for (t, slot) in results.iter_mut().enumerate() {
+            *slot = Some(run_one(t));
+        }
+    } else {
+        let chunk = trials.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (c, slots) in results.chunks_mut(chunk).enumerate() {
+                let run_one = &run_one;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(run_one(c * chunk + j));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every trial simulated"))
+        .collect()
+}
+
+/// [`run_faulted_trials`] with every trial reporting into one shared
+/// telemetry probe ([`Probe`] is `Sync`; a live `rsin_obs::Telemetry` sink
+/// accumulates with relaxed atomics, so the aggregate counters are exact
+/// while event interleaving across workers is wall-clock order). Statistics
+/// stay bit-identical to the unobserved runs for any thread count.
+pub fn run_faulted_trials_probed(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    trials: usize,
+    threads: usize,
+    probe: &dyn Probe,
+) -> Vec<FaultedStats> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<FaultedStats>> = vec![None; trials];
+    let run_one = |trial: usize| {
+        let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
+        SystemSim::new(net, *cfg).run_faulted_trial_probed(scheduler, &plan, trial as u64, probe)
     };
     if threads == 1 || trials <= 1 {
         for (t, slot) in results.iter_mut().enumerate() {
