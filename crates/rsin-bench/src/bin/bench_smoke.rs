@@ -6,7 +6,8 @@
 //! reset-per-trial scheduling rows) with min-of-N repetitions and writes a
 //! JSON report.
 //!
-//! Usage: `bench_smoke [--telemetry <path>] <out.json> [baseline.json]`
+//! Usage: `bench_smoke [--telemetry <path>] [--replicas <n>] <out.json>
+//! [baseline.json]`
 //!
 //! Raw seconds are not comparable across machines, so every row also
 //! carries a *normalized* time: row seconds divided by the seconds of a
@@ -15,24 +16,38 @@
 //! normalized time regresses more than 25 % over the baseline's — slow CI
 //! hardware cancels out of the ratio, real hot-path regressions do not.
 //!
-//! Three more contracts are asserted on the way:
+//! Five contracts are asserted on the way:
 //!
 //! * determinism — every thread count must produce bit-identical blocking
 //!   statistics;
+//! * replicated determinism — `run_replicated` over `--replicas` replicas
+//!   (default 4) must produce bit-identical merged statistics at 1, 2, and
+//!   8 worker threads;
 //! * zero-overhead-when-off telemetry — the `NoopProbe` observed scheduling
 //!   row must stay within the regression limit of the unobserved row,
 //!   in-process (no baseline needed);
 //! * parallel efficiency — when the baseline carries a
 //!   `min_parallel_speedup` and the machine has ≥ 4 cores, the 4-thread
-//!   blocking row must beat the 1-thread row by at least that factor.
+//!   blocking row must beat the 1-thread row by at least that factor;
+//! * scheduler-pool efficiency — when the baseline carries a
+//!   `min_pool_speedup` and the machine has ≥ 4 cores, the four-scheduler
+//!   comparison table run on per-scheduler pools
+//!   (`compare_schedulers_pools`) must beat the serial row-after-row table
+//!   by at least that factor (max-of-rows vs. sum-of-rows wall-clock). On
+//!   smaller machines both per-core gates print a skip note instead.
 //!
 //! `--telemetry <path>` additionally runs the observed hot path under a live
 //! `rsin_obs::Telemetry` sink and writes its JSON report.
 
 use rsin_core::model::ScheduleProblem;
 use rsin_core::scheduler::{MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler};
+use rsin_flow::max_flow::Algorithm;
 use rsin_obs::{NoopProbe, Probe, Telemetry};
-use rsin_sim::blocking::{run_blocking_threads, BlockingConfig};
+use rsin_sim::blocking::{
+    compare_schedulers_pools, compare_schedulers_threads, run_blocking_threads, BlockingConfig,
+};
+use rsin_sim::replicate::run_replicated;
+use rsin_sim::system::DynamicConfig;
 use rsin_sim::workload::{random_snapshot, trial_rng};
 use rsin_topology::builders::omega;
 use rsin_topology::Network;
@@ -161,11 +176,13 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     rows
 }
 
-/// Extract the top-level `min_parallel_speedup` value from a baseline file,
-/// if present (fixed format, like [`parse_baseline`]).
-fn parse_min_speedup(text: &str) -> Option<f64> {
-    let idx = text.find("\"min_parallel_speedup\":")?;
-    let rest = text[idx + "\"min_parallel_speedup\":".len()..].trim_start();
+/// Extract a top-level named floor (e.g. `min_parallel_speedup`,
+/// `min_pool_speedup`) from a baseline file, if present (fixed format, like
+/// [`parse_baseline`]).
+fn parse_floor(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let idx = text.find(&needle)?;
+    let rest = text[idx + needle.len()..].trim_start();
     let num: String = rest
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.')
@@ -173,17 +190,25 @@ fn parse_min_speedup(text: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Pop `--flag value` out of `args`; returns the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut telemetry_path = None;
-    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
-        if i + 1 >= args.len() {
-            eprintln!("error: --telemetry needs a path");
-            std::process::exit(2);
-        }
-        telemetry_path = Some(args.remove(i + 1));
-        args.remove(i);
-    }
+    let telemetry_path = take_flag(&mut args, "--telemetry");
+    let replicas: usize = take_flag(&mut args, "--replicas")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
     let out_path = args
         .first()
         .cloned()
@@ -243,6 +268,113 @@ fn main() {
             normalized: secs / calib,
         });
     }
+
+    // Scheduler-pool rows (ROADMAP item 2): the same four-scheduler
+    // comparison table run serially row after row vs. on per-scheduler
+    // pools. The four max-flow variants cost about the same per trial, so
+    // on >= 4 cores the pooled table should approach max-of-rows
+    // wall-clock. Bit-identity between the two is asserted first.
+    let dinic = MaxFlowScheduler::new(Algorithm::Dinic);
+    let edmonds_karp = MaxFlowScheduler::new(Algorithm::EdmondsKarp);
+    let push_relabel = MaxFlowScheduler::new(Algorithm::PushRelabel);
+    let capacity_scaling = MaxFlowScheduler::new(Algorithm::CapacityScaling);
+    let table: [&dyn Scheduler; 4] = [&dinic, &edmonds_karp, &push_relabel, &capacity_scaling];
+    let table_cfg = BlockingConfig { trials: 512, ..cfg };
+    let serial_table = compare_schedulers_threads(&net, &table, &table_cfg, 1);
+    let pooled_table = compare_schedulers_pools(&net, &table, &table_cfg, 1);
+    for ((n1, a), (n2, b)) in serial_table.iter().zip(&pooled_table) {
+        assert_eq!(n1, n2, "pooled table reordered the rows");
+        assert_eq!(
+            a.blocking.mean.to_bits(),
+            b.blocking.mean.to_bits(),
+            "per-scheduler pools changed the statistics for {n1}"
+        );
+    }
+    let serial_secs = time_min(|| {
+        black_box(compare_schedulers_threads(&net, &table, &table_cfg, 1));
+    });
+    println!("  scheduler_table_serial: {serial_secs:.4}s");
+    rows.push(Row {
+        name: "scheduler_table_serial".to_string(),
+        secs: serial_secs,
+        normalized: serial_secs / calib,
+    });
+    let pool_secs = time_min(|| {
+        black_box(compare_schedulers_pools(&net, &table, &table_cfg, 1));
+    });
+    let pool_speedup = serial_secs / pool_secs;
+    println!("  scheduler_table_pools: {pool_secs:.4}s (x{pool_speedup:.2} vs serial)");
+    rows.push(Row {
+        name: "scheduler_table_pools".to_string(),
+        secs: pool_secs,
+        normalized: pool_secs / calib,
+    });
+
+    // Replicated-dynamic rows (ROADMAP item 3): the merged statistics of a
+    // replicated single-config dynamic run must be bit-identical at 1, 2,
+    // and 8 worker threads, then the run itself is timed at full width.
+    let dyn_cfg = DynamicConfig {
+        arrival_rate: 0.5,
+        sim_time: 150.0,
+        warmup: 15.0,
+        seed: 41,
+        ..DynamicConfig::default()
+    };
+    let rep_reference = run_replicated(&net, &max_flow, &dyn_cfg, replicas, 1);
+    for t in [2usize, 8] {
+        let r = run_replicated(&net, &max_flow, &dyn_cfg, replicas, t);
+        assert_eq!(
+            rep_reference.completed, r.completed,
+            "replicated completed drifted at {t} threads"
+        );
+        assert_eq!(
+            rep_reference.cycles, r.cycles,
+            "replicated cycles drifted at {t} threads"
+        );
+        for (name, a, b) in [
+            (
+                "response.mean",
+                rep_reference.response.mean,
+                r.response.mean,
+            ),
+            (
+                "response.ci95",
+                rep_reference.response.ci95,
+                r.response.ci95,
+            ),
+            ("response.p99", rep_reference.response.p99, r.response.p99),
+            (
+                "utilization.mean",
+                rep_reference.utilization.mean,
+                r.utilization.mean,
+            ),
+            (
+                "mean_queue.mean",
+                rep_reference.mean_queue.mean,
+                r.mean_queue.mean,
+            ),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "replicated {name} drifted at {t} threads"
+            );
+        }
+    }
+    let rep_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rep_secs = time_min(|| {
+        black_box(
+            run_replicated(&net, &max_flow, &dyn_cfg, replicas, rep_threads)
+                .response
+                .mean,
+        );
+    });
+    println!("  replicated_dynamic: {rep_secs:.4}s ({replicas} replicas, {rep_threads} threads)");
+    rows.push(Row {
+        name: "replicated_dynamic".to_string(),
+        secs: rep_secs,
+        normalized: rep_secs / calib,
+    });
 
     // Zero-overhead-when-off gate: the observed hot path under NoopProbe
     // must stay within the regression limit of the plain one, measured in
@@ -333,10 +465,10 @@ fn main() {
     // 4-thread blocking row must actually outrun the 1-thread row. The
     // in-process secs ratio is machine-independent; the floor comes from
     // the baseline file so CI hardware changes tune one number, not code.
-    if let Some(min_speedup) = parse_min_speedup(&text) {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if let Some(min_speedup) = parse_floor(&text, "min_parallel_speedup") {
         if cores >= 4 {
             let t1 = rows.iter().find(|r| r.name == "blocking_threads_1");
             let t4 = rows.iter().find(|r| r.name == "blocking_threads_4");
@@ -354,6 +486,33 @@ fn main() {
             }
         } else {
             println!("  parallel efficiency: skipped ({cores} core(s) available, gate needs >= 4)");
+        }
+    }
+    // Scheduler-pool efficiency gate (ROADMAP item 2): per-scheduler pools
+    // must turn the comparison table's sum-of-rows into roughly
+    // max-of-rows. Same skip rule as above — the pooled table cannot beat
+    // serial without free cores.
+    if let Some(min_pool) = parse_floor(&text, "min_pool_speedup") {
+        if cores >= 4 {
+            let serial = rows.iter().find(|r| r.name == "scheduler_table_serial");
+            let pooled = rows.iter().find(|r| r.name == "scheduler_table_pools");
+            if let (Some(serial), Some(pooled)) = (serial, pooled) {
+                let speedup = serial.secs / pooled.secs;
+                println!(
+                    "  scheduler-pool efficiency: table speedup x{speedup:.2} (floor x{min_pool})"
+                );
+                if speedup < min_pool {
+                    eprintln!(
+                        "bench_smoke: scheduler-pool table speedup x{speedup:.2} below floor \
+                         x{min_pool}"
+                    );
+                    failed = true;
+                }
+            }
+        } else {
+            println!(
+                "  scheduler-pool efficiency: skipped ({cores} core(s) available, gate needs >= 4)"
+            );
         }
     }
 

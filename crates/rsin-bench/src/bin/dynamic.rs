@@ -6,37 +6,76 @@
 //! and comparing the optimal scheduler against greedy routing on resource
 //! utilization and response time (mean and tail p99).
 //!
-//! Usage: `dynamic [--telemetry <path>] [horizon] [threads]`
+//! Usage: `dynamic [--telemetry <path>] [--json <path>] [--replicas <n>]
+//! [--threads <n>] [horizon] [threads]`
 //!
-//! With `--telemetry <path>`, one bounded probed run (omega-8, max-flow,
-//! load 0.5) re-executes after the sweep under a live `rsin_obs::Telemetry`
-//! sink and its JSON snapshot is written to the given path.
+//! Every sweep point runs `--replicas` independent `(seed, replica)`
+//! replications (default 1, which reproduces the single-run sweep
+//! bit-for-bit), flattened with the load axis onto one worker pool and
+//! merged in replica order — so the table and the `--json` report are
+//! **bit-identical for any `--threads` value**. The JSON deliberately omits
+//! the thread count; the CI determinism job byte-compares the file across
+//! thread counts.
+//!
+//! With `--telemetry <path>`, a replicated probed run (omega-8, max-flow,
+//! load 0.5) re-executes after the sweep, each replica recording into its
+//! own `rsin_obs::Telemetry` sink; the reports are merged in replica order
+//! and written as JSON to the given path.
 
 use rsin_bench::{emit_table, network_by_name};
 use rsin_core::scheduler::{GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler};
-use rsin_obs::Telemetry;
-use rsin_sim::system::{run_sweep, DynamicConfig, SystemSim};
+use rsin_sim::replicate::{run_replicated_probed, run_replicated_sweep, ReplicatedStats};
+use rsin_sim::system::DynamicConfig;
 
 const LOADS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
+/// Pop `--flag value` out of `args`; returns the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn json_row(load: f64, scheduler: &str, s: &ReplicatedStats) -> String {
+    format!(
+        "    {{\"arrival_rate\": {load}, \"scheduler\": \"{scheduler}\", \
+         \"utilization\": {}, \"utilization_ci95\": {}, \
+         \"response\": {}, \"response_ci95\": {}, \"response_p99\": {}, \
+         \"mean_queue\": {}, \"mean_blocking\": {}, \
+         \"completed\": {}, \"cycles\": {}}}",
+        s.utilization.mean,
+        s.utilization.ci95,
+        s.response.mean,
+        s.response.ci95,
+        s.response.p99,
+        s.mean_queue.mean,
+        s.mean_blocking.mean,
+        s.completed,
+        s.cycles,
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut telemetry_path = None;
-    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
-        if i + 1 >= args.len() {
-            eprintln!("error: --telemetry needs a path");
-            std::process::exit(2);
-        }
-        telemetry_path = Some(args.remove(i + 1));
-        args.remove(i);
-    }
+    let telemetry_path = take_flag(&mut args, "--telemetry");
+    let json_path = take_flag(&mut args, "--json");
+    let replicas: usize = take_flag(&mut args, "--replicas")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let threads_flag: Option<usize> =
+        take_flag(&mut args, "--threads").and_then(|v| v.parse().ok());
     let horizon = args
         .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(3000.0f64);
-    let threads = args
-        .get(1)
-        .and_then(|a| a.parse().ok())
+    let threads = threads_flag
+        .or_else(|| args.get(1).and_then(|a| a.parse().ok()))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let net = network_by_name("omega-8").unwrap();
     let optimal = MaxFlowScheduler::default();
@@ -44,7 +83,7 @@ fn main() {
     let schedulers: Vec<&dyn Scheduler> = vec![&optimal, &greedy];
     println!(
         "DYNAMIC — omega-8, horizon {horizon}, mean service 1.0, mean transmission 0.2, \
-         {threads} worker thread(s)\n"
+         {replicas} replica(s), {threads} worker thread(s)\n"
     );
     let configs: Vec<DynamicConfig> = LOADS
         .iter()
@@ -59,21 +98,26 @@ fn main() {
         })
         .collect();
     let mut rows = Vec::new();
-    // The whole load sweep runs in parallel per scheduler; row order (and
-    // every statistic) is independent of the thread count.
+    let mut json_rows = Vec::new();
+    // The (load × replica) grid runs in parallel per scheduler; row order
+    // (and every statistic) is independent of the thread count because each
+    // replica is a pure function of (seed, replica) and the merges run
+    // sequentially in replica order.
     for s in &schedulers {
-        let sweep = run_sweep(&net, *s, &configs, threads);
+        let sweep = run_replicated_sweep(&net, *s, &configs, replicas, threads);
         for (load, stats) in LOADS.iter().zip(&sweep) {
             rows.push(vec![
                 format!("{load:.1}"),
                 s.name().to_string(),
-                format!("{:.3}", stats.utilization),
-                format!("{:.3}", stats.mean_response),
-                format!("{:.3}", stats.response_p99),
-                format!("{:.2}", stats.mean_queue),
-                format!("{:.3}", stats.mean_blocking),
+                format!("{:.3}", stats.utilization.mean),
+                format!("{:.3}", stats.response.mean),
+                format!("{:.3}", stats.response.ci95),
+                format!("{:.3}", stats.response.p99),
+                format!("{:.2}", stats.mean_queue.mean),
+                format!("{:.3}", stats.mean_blocking.mean),
                 stats.completed.to_string(),
             ]);
+            json_rows.push(json_row(*load, s.name(), stats));
         }
     }
     emit_table(
@@ -83,6 +127,7 @@ fn main() {
             "scheduler",
             "utilization",
             "response",
+            "resp ci95",
             "resp p99",
             "queue",
             "cycle blocking",
@@ -90,10 +135,27 @@ fn main() {
         ],
         &rows,
     );
+    if let Some(jpath) = json_path {
+        // No thread count in here: the report must be byte-identical
+        // however many workers produced it (the CI determinism job diffs
+        // it across --threads values).
+        let json = format!(
+            "{{\n  \"source\": \"dynamic\",\n  \"network\": \"omega-8\",\n  \
+             \"horizon\": {horizon},\n  \"replicas\": {replicas},\n  \"seed\": 42,\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n"),
+        );
+        if let Err(e) = std::fs::write(&jpath, &json) {
+            eprintln!("warning: could not write {jpath}: {e}");
+        } else {
+            println!("\nreport written to {jpath}");
+        }
+    }
     if let Some(tpath) = telemetry_path {
-        // One bounded probed run at the middle of the sweep; probes only
-        // observe, so the table above is unaffected.
-        let telemetry = Telemetry::new();
+        // A replicated probed run at the middle of the sweep; probes only
+        // observe, so the table above is unaffected, and per-replica sinks
+        // merged in replica order keep counters/events thread-count
+        // independent (span latencies stay wall-clock).
         let cfg = DynamicConfig {
             arrival_rate: 0.5,
             mean_transmission: 0.2,
@@ -103,12 +165,15 @@ fn main() {
             seed: 42,
             types: 1,
         };
-        let _ = SystemSim::new(&net, cfg).run_probed(&optimal, &telemetry);
-        let json = telemetry.report().to_json("dynamic");
+        let (_, report) = run_replicated_probed(&net, &optimal, &cfg, replicas, threads);
+        let json = report.to_json("dynamic");
         if let Err(e) = std::fs::write(&tpath, &json) {
             eprintln!("warning: could not write {tpath}: {e}");
         } else {
-            println!("\ntelemetry written to {tpath} (omega-8 / max-flow / load 0.5)");
+            println!(
+                "\ntelemetry written to {tpath} (omega-8 / max-flow / load 0.5, \
+                 {replicas} replica(s))"
+            );
         }
     }
     println!(

@@ -9,12 +9,18 @@
 //! alternate paths before being shed, and the report compares allocations
 //! against the fault-free baseline of the *same* arrival stream.
 //!
-//! Usage: `faults [--telemetry <path>] [trials] [threads] [json-path]`
+//! Usage: `faults [--telemetry <path>] [--json <path>] [--replicas <n>]
+//! [--threads <n>] [trials] [threads] [json-path]`
 //!
 //! Trials follow the `(seed, trial)` RNG-stream convention shared with the
-//! `blocking` and `dynamic` experiments, so every number is bit-identical
-//! for any thread count. Besides the table, a JSON report is written to
-//! `json-path` (default `faults_report.json`).
+//! `blocking` and `dynamic` experiments, and per-trial results merge
+//! sequentially in trial order ([`merge_faulted`]), so every number — and
+//! every byte of the JSON report, which deliberately records no thread
+//! count — is bit-identical for any `--threads` value; the CI determinism
+//! job diffs the file across thread counts. `--replicas` is a synonym for
+//! the trial count (each trial *is* an independent `(seed, replica)`
+//! replication). The JSON report goes to `--json`/`json-path` (default
+//! `faults_report.json`).
 //!
 //! With `--telemetry <path>`, one bounded probed capture (omega-8,
 //! max-flow, rate 0.005) re-runs after the sweep under a live
@@ -28,6 +34,7 @@ use rsin_core::scheduler::{
     AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler,
 };
 use rsin_obs::Telemetry;
+use rsin_sim::replicate::merge_faulted;
 use rsin_sim::system::{
     run_faulted_trials, run_faulted_trials_probed, DynamicConfig, FaultedStats,
 };
@@ -63,46 +70,39 @@ fn aggregate(
     trials: &[FaultedStats],
     baseline: &[FaultedStats],
 ) -> Row {
-    let completed: u64 = trials.iter().map(|t| t.stats.completed).sum();
-    let baseline_completed: u64 = baseline.iter().map(|t| t.stats.completed).sum();
-    // Weighted recovery mean across trials.
-    let rec_n: u64 = trials.iter().map(|t| t.recoveries_observed).sum();
-    let rec_sum: f64 = trials
-        .iter()
-        .map(|t| t.mean_recovery * t.recoveries_observed as f64)
-        .sum();
+    // The shared replica merge: sums, plus the recovery mean weighted by
+    // each trial's observed recoveries, all in trial order.
+    let m = merge_faulted(trials);
+    let b = merge_faulted(baseline);
     Row {
         network,
         scheduler,
         rate,
-        survival: if baseline_completed > 0 {
-            completed as f64 / baseline_completed as f64
+        survival: if b.stats.completed > 0 {
+            m.stats.completed as f64 / b.stats.completed as f64
         } else {
             1.0
         },
-        completed,
-        baseline_completed,
-        shed: trials.iter().map(|t| t.shed_total).sum(),
-        recovered: trials.iter().map(|t| t.recovered_total).sum(),
-        failures: trials.iter().map(|t| t.failures).sum(),
-        repairs: trials.iter().map(|t| t.repairs).sum(),
-        mean_recovery: if rec_n > 0 {
-            rec_sum / rec_n as f64
-        } else {
-            0.0
-        },
-        recoveries_observed: rec_n,
-        transform_rebuilds: trials.iter().map(|t| t.transform_rebuilds).sum(),
+        completed: m.stats.completed,
+        baseline_completed: b.stats.completed,
+        shed: m.shed_total,
+        recovered: m.recovered_total,
+        failures: m.failures,
+        repairs: m.repairs,
+        mean_recovery: m.mean_recovery,
+        recoveries_observed: m.recoveries_observed,
+        transform_rebuilds: m.transform_rebuilds,
     }
 }
 
-fn json_report(rows: &[Row], trials: usize, threads: usize) -> String {
+// Deliberately no thread count in the report: it must be byte-identical
+// however many workers produced it (the CI determinism job diffs it).
+fn json_report(rows: &[Row], trials: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"experiment\": \"faults\",\n");
     s.push_str(&format!("  \"seed\": {SEED},\n"));
     s.push_str(&format!("  \"trials\": {trials},\n"));
-    s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"sim_time\": {SIM_TIME},\n"));
     s.push_str(&format!("  \"warmup\": {WARMUP},\n"));
     s.push_str(&format!("  \"mean_repair\": {MEAN_REPAIR},\n"));
@@ -134,25 +134,34 @@ fn json_report(rows: &[Row], trials: usize, threads: usize) -> String {
     s
 }
 
+/// Pop `--flag value` out of `args`; returns the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut telemetry_path = None;
-    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
-        if i + 1 >= args.len() {
-            eprintln!("error: --telemetry needs a path");
-            std::process::exit(2);
-        }
-        telemetry_path = Some(args.remove(i + 1));
-        args.remove(i);
-    }
-    let trials: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(6);
-    let threads = args
-        .get(1)
-        .and_then(|a| a.parse().ok())
+    let telemetry_path = take_flag(&mut args, "--telemetry");
+    let replicas_flag: Option<usize> =
+        take_flag(&mut args, "--replicas").and_then(|v| v.parse().ok());
+    let threads_flag: Option<usize> =
+        take_flag(&mut args, "--threads").and_then(|v| v.parse().ok());
+    let json_flag = take_flag(&mut args, "--json");
+    let trials: usize = replicas_flag
+        .or_else(|| args.first().and_then(|a| a.parse().ok()))
+        .unwrap_or(6);
+    let threads = threads_flag
+        .or_else(|| args.get(1).and_then(|a| a.parse().ok()))
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let json_path = args
-        .get(2)
-        .cloned()
+    let json_path = json_flag
+        .or_else(|| args.get(2).cloned())
         .unwrap_or_else(|| "faults_report.json".into());
     let optimal = MaxFlowScheduler::default();
     let greedy = GreedyScheduler::new(RequestOrder::Shuffled(17));
@@ -237,7 +246,7 @@ fn main() {
         ],
         &table,
     );
-    let report = json_report(&rows, trials, threads);
+    let report = json_report(&rows, trials);
     if let Err(e) = std::fs::write(&json_path, &report) {
         eprintln!("warning: could not write {json_path}: {e}");
     } else {

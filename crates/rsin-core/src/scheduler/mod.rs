@@ -104,6 +104,14 @@ impl ScheduleScratch {
     }
 }
 
+// Worker pools (rsin-sim) construct one `ScheduleScratch` per worker thread
+// and move it into the scoped closure; keep the hot-path state `Send` so
+// that per-worker plumbing cannot silently regress.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ScheduleScratch>()
+};
+
 /// Outcome of a degraded-mode scheduling cycle
 /// ([`Scheduler::try_schedule_degraded`]): the merged mapping plus how many
 /// blocked requests the alternate-path retry rescued, and how many were

@@ -55,26 +55,33 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Max-flow scheduling: scratch reuse across a random snapshot sequence
-    /// preserves the optimum of every individual solve.
+    /// preserves the optimum of every individual solve, for both fully
+    /// scratch-aware algorithms (Dinic and push-relabel share one
+    /// `SolveScratch`, exercising buffer reuse across algorithms too).
     #[test]
     fn reusable_max_flow_matches_fresh_solve(
         which in 0usize..3,
         snaps in proptest::collection::vec(snapshot_strategy(), 1..5),
     ) {
         let net = network(which);
-        let scheduler = MaxFlowScheduler::default();
+        let schedulers = [
+            MaxFlowScheduler::new(rsin_flow::max_flow::Algorithm::Dinic),
+            MaxFlowScheduler::new(rsin_flow::max_flow::Algorithm::PushRelabel),
+        ];
         let mut scratch = ScheduleScratch::new();
         for snap in &snaps {
             let cs = circuit_state(&net, snap);
             let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
-            let fresh = scheduler.try_schedule(&problem).unwrap();
-            let reused = scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
-            prop_assert_eq!(reused.allocated(), fresh.allocated());
-            prop_assert_eq!(
-                reused.assignments.len() + reused.blocked.len(),
-                problem.requests.len()
-            );
-            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            for scheduler in &schedulers {
+                let fresh = scheduler.try_schedule(&problem).unwrap();
+                let reused = scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
+                prop_assert_eq!(reused.allocated(), fresh.allocated());
+                prop_assert_eq!(
+                    reused.assignments.len() + reused.blocked.len(),
+                    problem.requests.len()
+                );
+                prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            }
         }
     }
 

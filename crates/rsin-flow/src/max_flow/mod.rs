@@ -94,9 +94,9 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId, algo: Algorithm) -> MaxF
     }
 }
 
-/// [`solve`] reusing caller-provided scratch buffers. Dinic runs fully
-/// allocation-free; the other algorithms have no scratch-aware variant yet
-/// and fall back to [`solve`] (same results either way).
+/// [`solve`] reusing caller-provided scratch buffers. Dinic and push-relabel
+/// run fully allocation-free; the augmenting-path algorithms without a
+/// scratch-aware variant fall back to [`solve`] (same results either way).
 pub fn solve_with(
     g: &mut FlowNetwork,
     s: NodeId,
@@ -106,6 +106,7 @@ pub fn solve_with(
 ) -> MaxFlowResult {
     match algo {
         Algorithm::Dinic => dinic::solve_with(g, s, t, scratch),
+        Algorithm::PushRelabel => push_relabel::solve_with(g, s, t, scratch),
         _ => solve(g, s, t, algo),
     }
 }

@@ -9,6 +9,7 @@
 
 use super::MaxFlowResult;
 use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::SolveScratch;
 use crate::stats::OpStats;
 use crate::Flow;
 use std::collections::VecDeque;
@@ -120,6 +121,128 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
     MaxFlowResult { value, stats }
 }
 
+/// [`solve`] reusing caller-provided scratch buffers. An exact rewrite of
+/// the plain solver — same FIFO discharge order, same gap-heuristic lifts,
+/// same [`OpStats`] — with the per-call `Vec`/`VecDeque` allocations (and
+/// the per-discharge arc-list clones) replaced by [`SolveScratch`] buffers
+/// that persist across solves.
+pub fn solve_with(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut SolveScratch,
+) -> MaxFlowResult {
+    let n = g.num_nodes();
+    let mut stats = OpStats::new();
+    if s == t || n < 2 {
+        return MaxFlowResult { value: 0, stats };
+    }
+    scratch.reset_push_relabel(n);
+    let SolveScratch {
+        height,
+        excess,
+        hcount,
+        active,
+        in_queue,
+        arc_buf,
+        ..
+    } = scratch;
+    height[s.index()] = n;
+    hcount[0] = n - 1;
+    hcount[n] = 1;
+
+    // Saturate all source arcs. The plain solver clones the arc list because
+    // pushing mutates the graph; here the snapshot lands in `arc_buf`.
+    arc_buf.clear();
+    arc_buf.extend_from_slice(g.out_arcs(s));
+    for &a in arc_buf.iter() {
+        let r = g.residual(a);
+        if r > 0 {
+            let to = g.arc(a).to;
+            g.push(a, r);
+            excess[to.index()] += r;
+            excess[s.index()] -= r;
+            if to != t && to != s && !in_queue[to.index()] {
+                active.push_back(to);
+                in_queue[to.index()] = true;
+            }
+        }
+    }
+
+    while let Some(u) = active.pop_front() {
+        in_queue[u.index()] = false;
+        stats.node_visits += 1;
+        // Discharge u.
+        while excess[u.index()] > 0 {
+            let mut pushed = false;
+            arc_buf.clear();
+            arc_buf.extend_from_slice(g.out_arcs(u));
+            for &a in arc_buf.iter() {
+                stats.arc_scans += 1;
+                if excess[u.index()] == 0 {
+                    break;
+                }
+                let arc = g.arc(a);
+                let to = arc.to;
+                if arc.residual() > 0 && height[u.index()] == height[to.index()] + 1 {
+                    let d = excess[u.index()].min(g.residual(a));
+                    g.push(a, d);
+                    excess[u.index()] -= d;
+                    excess[to.index()] += d;
+                    stats.augmentations += 1;
+                    if to != s && to != t && !in_queue[to.index()] {
+                        active.push_back(to);
+                        in_queue[to.index()] = true;
+                    }
+                    pushed = true;
+                }
+            }
+            if excess[u.index()] == 0 {
+                break;
+            }
+            if !pushed {
+                // Relabel u to one above its lowest admissible neighbour.
+                let old = height[u.index()];
+                let mut min_h = usize::MAX;
+                for &a in g.out_arcs(u) {
+                    stats.arc_scans += 1;
+                    let arc = g.arc(a);
+                    if arc.residual() > 0 {
+                        min_h = min_h.min(height[arc.to.index()]);
+                    }
+                }
+                if min_h == usize::MAX {
+                    break; // isolated excess; cannot route (stays at u)
+                }
+                hcount[old] -= 1;
+                // Gap heuristic: no node left at `old` and old < n means
+                // everything above the gap can never reach t; lift it all
+                // above n at once.
+                if hcount[old] == 0 && old < n {
+                    for v in 0..n {
+                        if v != s.index() && height[v] > old && height[v] <= n {
+                            hcount[height[v]] -= 1;
+                            height[v] = n + 1;
+                            hcount[height[v]] += 1;
+                        }
+                    }
+                    if height[u.index()] > old {
+                        continue;
+                    }
+                }
+                height[u.index()] = min_h + 1;
+                hcount[height[u.index()]] += 1;
+                stats.phases += 1; // count relabels as "phase" work
+                if height[u.index()] > 2 * n {
+                    break; // safety: should be unreachable
+                }
+            }
+        }
+    }
+    let value = g.flow_value(s);
+    MaxFlowResult { value, stats }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +311,50 @@ mod tests {
         }
         let r = solve(&mut g, s, t);
         assert_eq!(r.value, 4);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_bit_for_bit() {
+        // Same value AND same operation counts: solve_with must be an exact
+        // rewrite, not merely an equivalent algorithm.
+        let build = || {
+            let mut g = FlowNetwork::new();
+            let s = g.add_node("s");
+            let t = g.add_node("t");
+            let mid: Vec<_> = (0..6).map(|i| g.add_node(format!("m{i}"))).collect();
+            for (i, &m) in mid.iter().enumerate() {
+                g.add_arc(s, m, 1 + i as i64, 0);
+                g.add_arc(m, t, 2, 0);
+                g.add_arc(m, mid[(i + 1) % 6], 1, 0);
+            }
+            (g, s, t)
+        };
+        let mut scratch = SolveScratch::new();
+        // Dirty the scratch on an unrelated instance first.
+        let (mut warm, ws, wt) = build();
+        solve_with(&mut warm, ws, wt, &mut scratch);
+        let (mut plain_g, s, t) = build();
+        let plain = solve(&mut plain_g, s, t);
+        let (mut scr_g, s2, t2) = build();
+        let scr = solve_with(&mut scr_g, s2, t2, &mut scratch);
+        assert_eq!(plain.value, scr.value);
+        assert_eq!(plain.stats.node_visits, scr.stats.node_visits);
+        assert_eq!(plain.stats.arc_scans, scr.stats.arc_scans);
+        assert_eq!(plain.stats.augmentations, scr.stats.augmentations);
+        assert_eq!(plain.stats.phases, scr.stats.phases);
+        assert_eq!(scr_g.check_legal_flow(s2, t2).unwrap(), scr.value);
+    }
+
+    #[test]
+    fn scratch_variant_handles_degenerate_graphs() {
+        let mut scratch = SolveScratch::new();
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        assert_eq!(solve_with(&mut g, s, t, &mut scratch).value, 0);
+        assert_eq!(solve_with(&mut g, s, s, &mut scratch).value, 0);
+        g.add_arc(s, t, 3, 0);
+        assert_eq!(solve_with(&mut g, s, t, &mut scratch).value, 3);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::graph::{ArcId, NodeId};
 use crate::min_cost::out_of_kilter::KilterNetwork;
-use crate::Cost;
+use crate::{Cost, Flow};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -71,6 +71,19 @@ pub struct SolveScratch {
     /// Out-of-kilter: reusable circulation network (arcs, potentials and
     /// labeling buffers), re-populated per solve via `reset`.
     pub(crate) kilter: KilterNetwork,
+    /// Push-relabel: node heights.
+    pub(crate) height: Vec<usize>,
+    /// Push-relabel: per-node excess.
+    pub(crate) excess: Vec<Flow>,
+    /// Push-relabel: nodes per height (gap heuristic), sized `2n + 1`.
+    pub(crate) hcount: Vec<usize>,
+    /// Push-relabel: FIFO active-node queue.
+    pub(crate) active: VecDeque<NodeId>,
+    /// Push-relabel: queue-membership flags.
+    pub(crate) in_queue: Vec<bool>,
+    /// Push-relabel: snapshot of one node's out-arc list (the plain solver
+    /// clones it per discharge because pushing mutates the graph).
+    pub(crate) arc_buf: Vec<ArcId>,
 }
 
 impl SolveScratch {
@@ -87,6 +100,22 @@ impl SolveScratch {
         self.pot.resize(n, 0);
         self.dist.resize(n, 0);
         self.parent.resize(n, None);
+    }
+
+    /// Reset the push-relabel buffers for a graph of `n` nodes: heights and
+    /// excesses zeroed, gap counters sized `2n + 1`, queue flags cleared.
+    /// Unlike [`Self::ensure_nodes`] this initializes contents — push-relabel
+    /// reads every slot before writing it.
+    pub(crate) fn reset_push_relabel(&mut self, n: usize) {
+        self.height.clear();
+        self.height.resize(n, 0);
+        self.excess.clear();
+        self.excess.resize(n, 0);
+        self.hcount.clear();
+        self.hcount.resize(2 * n + 1, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.active.clear();
     }
 }
 

@@ -139,6 +139,17 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Fold another snapshot into this one, bucket by bucket. Counts, sums,
+    /// and therefore every quantile read exactly what one histogram fed
+    /// both observation streams would hold — integer adds, no rounding.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 #[cfg(test)]

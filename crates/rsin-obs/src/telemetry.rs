@@ -174,6 +174,37 @@ pub struct TelemetryReport {
 }
 
 impl TelemetryReport {
+    /// Fold `other` into this report: counters, solver totals, and
+    /// histogram buckets add exactly; event traces concatenate and re-sort
+    /// by simulated time (stably, so same-time events keep self-then-other
+    /// order); `events_dropped` adds.
+    ///
+    /// This is how replicated runs (`rsin-sim`) aggregate telemetry: each
+    /// replica records into its own sink and the reports merge afterwards
+    /// **in replica order**, so the merged counters, solver totals, and
+    /// event stream are independent of how many worker threads ran the
+    /// replicas. The span-latency histograms merge exactly too, but their
+    /// *contents* are wall-clock nanoseconds and therefore vary run to run
+    /// regardless of merging.
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        for (c, oc) in self.counters.iter_mut().zip(&other.counters) {
+            *c += oc;
+        }
+        for (s, os) in self.solvers.iter_mut().zip(&other.solvers) {
+            s.solves += os.solves;
+            s.counts.node_visits += os.counts.node_visits;
+            s.counts.arc_scans += os.counts.arc_scans;
+            s.counts.augmentations += os.counts.augmentations;
+            s.counts.phases += os.counts.phases;
+        }
+        for (h, oh) in self.hists.iter_mut().zip(&other.hists) {
+            h.merge(oh);
+        }
+        self.events.extend(other.events.iter().copied());
+        self.events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        self.events_dropped += other.events_dropped;
+    }
+
     /// Encode the report as JSON. `source` names the producing experiment.
     pub fn to_json(&self, source: &str) -> String {
         let mut s = String::with_capacity(4096 + 64 * self.events.len());
@@ -339,6 +370,89 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_sink() {
+        // Two sinks fed disjoint streams, merged, must equal one sink fed
+        // both streams (events compared as sets ordered by time).
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let both = Telemetry::new();
+        for (t, time) in [(&a, 1.0), (&both, 1.0), (&b, 2.0), (&both, 2.0)] {
+            t.add(Counter::Cycles, 3);
+            t.add(Counter::Requests, 1);
+            t.solver(
+                SolverId::MaxFlowDinic,
+                SolveCounts {
+                    node_visits: 5,
+                    arc_scans: 9,
+                    augmentations: 2,
+                    phases: 1,
+                },
+            );
+            t.record(Hist::QueueDepth, time as u64 + 3);
+            t.event(time, EventKind::Arrival, 0, 0);
+        }
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        let expect = both.report();
+        assert_eq!(merged.counters, expect.counters);
+        let (m, e) = (
+            &merged.solvers[SolverId::MaxFlowDinic.index()],
+            &expect.solvers[SolverId::MaxFlowDinic.index()],
+        );
+        assert_eq!(m.solves, e.solves);
+        assert_eq!(m.counts.arc_scans, e.counts.arc_scans);
+        for (mh, eh) in merged.hists.iter().zip(&expect.hists) {
+            assert_eq!(mh.buckets, eh.buckets);
+            assert_eq!(mh.count, eh.count);
+            assert_eq!(mh.sum, eh.sum);
+            assert_eq!(mh.p99(), eh.p99());
+        }
+        assert_eq!(merged.events.len(), expect.events.len());
+        for (me, ee) in merged.events.iter().zip(&expect.events) {
+            assert_eq!(me.time.to_bits(), ee.time.to_bits());
+            assert_eq!(me.kind, ee.kind);
+        }
+        assert_eq!(merged.events_dropped, expect.events_dropped);
+    }
+
+    #[test]
+    fn merge_sorts_events_by_time_stably() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.event(2.0, EventKind::Fault, 1, 0);
+        a.event(5.0, EventKind::Repair, 1, 0);
+        b.event(2.0, EventKind::Arrival, 2, 0);
+        b.event(3.0, EventKind::Release, 2, 0);
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        let kinds: Vec<EventKind> = merged.events.iter().map(|e| e.kind).collect();
+        // Same-time tie at 2.0 keeps self (Fault) before other (Arrival).
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Fault,
+                EventKind::Arrival,
+                EventKind::Release,
+                EventKind::Repair
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_report_is_identity() {
+        let a = Telemetry::new();
+        a.add(Counter::Cycles, 7);
+        a.record(Hist::QueueDepth, 2);
+        a.event(1.5, EventKind::Arrival, 0, 0);
+        let mut merged = a.report();
+        merged.merge(&Telemetry::new().report());
+        let expect = a.report();
+        assert_eq!(merged.counters, expect.counters);
+        assert_eq!(merged.events.len(), expect.events.len());
+        assert_eq!(merged.hists[Hist::QueueDepth.index()].count, 1);
     }
 
     #[test]

@@ -91,7 +91,8 @@ pub fn run_blocking(
     run_blocking_threads(net, scheduler, cfg, 1)
 }
 
-/// [`run_blocking`] with the trials split across `threads` scoped workers.
+/// [`run_blocking`] with the trials pulled from a shared cursor by
+/// `threads` scoped workers (see [`crate::pool`]).
 ///
 /// Determinism contract: every trial seeds its own RNG stream from
 /// `(cfg.seed, trial)` and writes its result into a slot indexed by trial
@@ -105,27 +106,12 @@ pub fn run_blocking_threads(
     cfg: &BlockingConfig,
     threads: usize,
 ) -> BlockingStats {
-    let threads = threads.max(1);
-    let mut results = vec![TrialResult::default(); cfg.trials as usize];
-    if threads == 1 || results.len() <= 1 {
-        let mut scratch = ScheduleScratch::new();
-        for (trial, slot) in results.iter_mut().enumerate() {
-            *slot = run_trial(net, scheduler, cfg, trial as u64, &mut scratch);
-        }
-    } else {
-        let chunk = results.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (ci, slots) in results.chunks_mut(chunk).enumerate() {
-                let base = (ci * chunk) as u64;
-                s.spawn(move || {
-                    let mut scratch = ScheduleScratch::new();
-                    for (i, slot) in slots.iter_mut().enumerate() {
-                        *slot = run_trial(net, scheduler, cfg, base + i as u64, &mut scratch);
-                    }
-                });
-            }
-        });
-    }
+    let results = crate::pool::run_indexed_with(
+        cfg.trials as usize,
+        threads,
+        ScheduleScratch::new,
+        |scratch, trial| run_trial(net, scheduler, cfg, trial as u64, scratch),
+    );
     // Sequential reduction in trial order: Welford accumulation is not
     // associative, so folding per-worker partials would make the statistics
     // depend on the partition. Folding the per-trial records here does not.
@@ -148,6 +134,7 @@ pub fn run_blocking_threads(
 
 /// Run the same trials for several schedulers (shared snapshots via the
 /// seed), returning `(name, stats)` rows — one table line per scheduler.
+/// Fully serial: one scheduler at a time, one thread for its trials.
 pub fn compare_schedulers(
     net: &Network,
     schedulers: &[&dyn Scheduler],
@@ -156,19 +143,53 @@ pub fn compare_schedulers(
     compare_schedulers_threads(net, schedulers, cfg, 1)
 }
 
-/// [`compare_schedulers`] with each scheduler's trials fanned out over
-/// `threads` workers (schedulers run one after another so rows stay in
-/// input order; the statistics are thread-count-invariant either way).
+/// [`compare_schedulers`] with a total worker budget of `threads`, split
+/// across *both* grid axes: the scheduler rows run on an outer pool of
+/// `min(threads, rows)` workers, and each row fans its trials out over
+/// `threads / rows` (at least 1) inner workers. A multi-row table therefore
+/// finishes in max-of-rows rather than sum-of-rows wall-clock once
+/// `threads > 1`, while `threads == 1` remains the fully serial loop.
+///
+/// Rows come back in input order and every statistic is bit-identical for
+/// any thread count — each row is a [`run_blocking_threads`] call, which is
+/// itself thread-count-invariant.
 pub fn compare_schedulers_threads(
     net: &Network,
     schedulers: &[&dyn Scheduler],
     cfg: &BlockingConfig,
     threads: usize,
 ) -> Vec<(&'static str, BlockingStats)> {
-    schedulers
-        .iter()
-        .map(|s| (s.name(), run_blocking_threads(net, *s, cfg, threads)))
-        .collect()
+    let rows = schedulers.len();
+    let threads = threads.max(1);
+    let inner = (threads / rows.max(1)).max(1);
+    crate::pool::run_indexed(rows, threads.min(rows), |i| {
+        (
+            schedulers[i].name(),
+            run_blocking_threads(net, schedulers[i], cfg, inner),
+        )
+    })
+}
+
+/// One independent worker pool per scheduler: row `i` gets its own
+/// `threads_per_scheduler`-worker pool and all pools run concurrently, so
+/// the table finishes in max-of-rows wall-clock regardless of how the rows'
+/// costs are skewed. This is the explicit-width variant of
+/// [`compare_schedulers_threads`] for callers that size pools themselves
+/// (the `bench_smoke` scheduler-parallel gate times exactly this against
+/// the serial loop).
+pub fn compare_schedulers_pools(
+    net: &Network,
+    schedulers: &[&dyn Scheduler],
+    cfg: &BlockingConfig,
+    threads_per_scheduler: usize,
+) -> Vec<(&'static str, BlockingStats)> {
+    let rows = schedulers.len();
+    crate::pool::run_indexed(rows, rows, |i| {
+        (
+            schedulers[i].name(),
+            run_blocking_threads(net, schedulers[i], cfg, threads_per_scheduler),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -274,6 +295,39 @@ mod tests {
         let b = run_blocking(&net, &MaxFlowScheduler::default(), &cfg);
         assert_eq!(a.blocking.mean.to_bits(), b.blocking.mean.to_bits());
         assert_eq!(a.blocking.n, 3);
+    }
+
+    #[test]
+    fn scheduler_pools_match_serial_rows_bit_for_bit() {
+        // The tentpole contract: running each scheduler on its own pool
+        // (and splitting a thread budget across the scheduler axis) must
+        // reproduce the serial row-by-row table exactly.
+        let net = omega(8).unwrap();
+        let cfg = BlockingConfig {
+            trials: 61,
+            requests: 5,
+            resources: 5,
+            occupied_circuits: 1,
+            seed: 31,
+        };
+        let opt = MaxFlowScheduler::default();
+        let heu = GreedyScheduler::default();
+        let schedulers: [&dyn rsin_core::scheduler::Scheduler; 2] = [&opt, &heu];
+        let serial = compare_schedulers(&net, &schedulers, &cfg);
+        for (budget, per_pool) in [(4, 1), (8, 2), (2, 3)] {
+            let budgeted = compare_schedulers_threads(&net, &schedulers, &cfg, budget);
+            let pooled = compare_schedulers_pools(&net, &schedulers, &cfg, per_pool);
+            for rows in [&budgeted, &pooled] {
+                assert_eq!(rows.len(), serial.len());
+                for (a, b) in serial.iter().zip(rows.iter()) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.blocking.mean.to_bits(), b.1.blocking.mean.to_bits());
+                    assert_eq!(a.1.blocking.ci95.to_bits(), b.1.blocking.ci95.to_bits());
+                    assert_eq!(a.1.allocated.mean.to_bits(), b.1.allocated.mean.to_bits());
+                    assert_eq!(a.1.trials_with_blocking, b.1.trials_with_blocking);
+                }
+            }
+        }
     }
 
     #[test]

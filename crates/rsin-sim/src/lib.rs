@@ -15,6 +15,11 @@
 //!   Poisson task arrivals, one task transmitted at a time per processor,
 //!   circuits released after transmission, resources busy until completion
 //!   (model points 1–5), yielding utilization and response times;
+//! * [`pool`] — the work-stealing-free worker pool every parallel
+//!   experiment axis (trials, sweep points, fault trials, replicas, and
+//!   per-scheduler comparison rows) runs on;
+//! * [`replicate`] — replicated dynamic runs: independent `(seed, replica)`
+//!   streams of one configuration, merged deterministically;
 //! * [`metrics`] — sample statistics with confidence intervals;
 //! * [`monitor`] — the centralized monitor architecture of Fig. 6, with
 //!   its exact cycle semantics (mid-cycle arrivals and releases deferred);
@@ -43,10 +48,19 @@ pub mod cost;
 pub mod metrics;
 pub mod monitor;
 pub mod packet;
+pub mod pool;
+pub mod replicate;
 pub mod system;
 pub mod workload;
 
-pub use blocking::{run_blocking, run_blocking_threads, BlockingConfig, BlockingStats};
+pub use blocking::{
+    compare_schedulers_pools, compare_schedulers_threads, run_blocking, run_blocking_threads,
+    BlockingConfig, BlockingStats,
+};
+pub use replicate::{
+    merge_dynamic, merge_faulted, run_replicated, run_replicated_faulted, run_replicated_probed,
+    run_replicated_sweep, ReplicatedFaultedStats, ReplicatedStats,
+};
 pub use system::{
     fault_plan_seed, run_faulted_trials, run_faulted_trials_probed, run_sweep, DynamicConfig,
     DynamicStats, FaultedStats, SystemSim,

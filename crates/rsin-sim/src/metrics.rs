@@ -56,6 +56,39 @@ impl Sample {
         self.buckets[bucket_of(scaled)] += 1;
     }
 
+    /// Merge another sample into this one (Chan et al. parallel Welford
+    /// combination), as if `other`'s observations had been pushed after
+    /// `self`'s.
+    ///
+    /// Count, min, max, histogram buckets — and therefore every quantile,
+    /// including [`Sample::p99`] — are *exactly* what the single-stream
+    /// computation produces. Mean and variance are algebraically equal but
+    /// may differ from the push-by-push result in the last floating-point
+    /// bits; what stays bit-identical is the merge itself: merging the same
+    /// per-replica samples in the same order always yields the same bits,
+    /// which is the contract replicated runs are built on (merge order is
+    /// fixed to replica order, never completion order).
+    pub fn merge(&mut self, other: &Sample) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / (n1 + n2));
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / (n1 + n2));
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.n
@@ -245,6 +278,119 @@ mod tests {
         // Negative observations clamp into bucket 0 and the readout clamps
         // back to the observed range.
         assert_eq!(s.quantile(0.99), -5.0);
+    }
+
+    /// Deterministic synthetic stream with spread-out magnitudes so the
+    /// histogram populates many octaves (exercises bucket-wise merging).
+    fn stream(len: usize) -> Vec<f64> {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        (0..len)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                // Mantissa in [1, 2) times a power of two in [2^-4, 2^11].
+                let mant = 1.0 + (x >> 40) as f64 / (1u64 << 24) as f64;
+                let exp = ((x >> 8) % 16) as i32 - 4;
+                mant * f64::powi(2.0, exp)
+            })
+            .collect()
+    }
+
+    /// Split a stream into K per-replica samples, merge them in replica
+    /// order, and compare against the sequential single-stream pushes.
+    fn merge_matches_sequential(k: usize) {
+        let data = stream(501); // deliberately not divisible by 2 or 7
+        let mut sequential = Sample::new();
+        for &x in &data {
+            sequential.push(x);
+        }
+        let chunk = data.len().div_ceil(k);
+        let mut merged = Sample::new();
+        for part in data.chunks(chunk) {
+            let mut s = Sample::new();
+            for &x in part {
+                s.push(x);
+            }
+            merged.merge(&s);
+        }
+        // Exact fields: count, extremes, every histogram bucket, and hence
+        // every quantile readout including p99.
+        assert_eq!(merged.count(), sequential.count(), "k={k}");
+        assert_eq!(merged.min().to_bits(), sequential.min().to_bits(), "k={k}");
+        assert_eq!(merged.max().to_bits(), sequential.max().to_bits(), "k={k}");
+        assert_eq!(merged.buckets, sequential.buckets, "k={k}");
+        assert_eq!(merged.p99().to_bits(), sequential.p99().to_bits(), "k={k}");
+        assert_eq!(
+            merged.quantile(0.5).to_bits(),
+            sequential.quantile(0.5).to_bits(),
+            "k={k}"
+        );
+        // Algebraically-equal fields: tight relative tolerance.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(merged.mean(), sequential.mean()) < 1e-12, "k={k}");
+        assert!(
+            rel(merged.variance(), sequential.variance()) < 1e-9,
+            "k={k}"
+        );
+        assert!(
+            rel(merged.ci95_half_width(), sequential.ci95_half_width()) < 1e-9,
+            "k={k}"
+        );
+    }
+
+    #[test]
+    fn merge_of_one_replica_matches_sequential() {
+        merge_matches_sequential(1);
+    }
+
+    #[test]
+    fn merge_of_two_replicas_matches_sequential() {
+        merge_matches_sequential(2);
+    }
+
+    #[test]
+    fn merge_of_seven_replicas_matches_sequential() {
+        merge_matches_sequential(7);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut s = Sample::new();
+        for x in [1.0, 2.5, 9.0] {
+            s.push(x);
+        }
+        let snapshot = s;
+        s.merge(&Sample::new());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean().to_bits(), snapshot.mean().to_bits());
+        let mut empty = Sample::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.mean().to_bits(), snapshot.mean().to_bits());
+        assert_eq!(empty.buckets, snapshot.buckets);
+    }
+
+    #[test]
+    fn merge_is_deterministic_for_fixed_order() {
+        // The replicated-run contract: same parts, same order → same bits.
+        let data = stream(100);
+        let make = || {
+            let mut merged = Sample::new();
+            for part in data.chunks(17) {
+                let mut s = Sample::new();
+                for &x in part {
+                    s.push(x);
+                }
+                merged.merge(&s);
+            }
+            merged
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+        assert_eq!(a.p99().to_bits(), b.p99().to_bits());
     }
 
     #[test]

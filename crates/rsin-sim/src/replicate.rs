@@ -1,0 +1,355 @@
+//! Replicated dynamic runs: independent `(seed, replica)` RNG-stream
+//! simulations of *one* configuration, merged deterministically.
+//!
+//! A single long dynamic simulation was the last serial surface of the
+//! experiment grid (ROADMAP item 3): load sweeps parallelize across
+//! configurations, blocking experiments across trials, but one
+//! `(network, scheduler, config)` point ran on one core no matter how long
+//! the horizon. Replication is the standard fix from parallel
+//! discrete-event simulation practice: run `replicas` statistically
+//! independent copies of the model — replica `r` draws its arrivals from
+//! the `(cfg.seed, r)` stream, exactly the `(seed, trial)` convention every
+//! other experiment here uses — and pool their outputs.
+//!
+//! Determinism contract (the same one PR 1 established for blocking
+//! trials): replicas land in an index-addressed slot table and the merge
+//! runs **sequentially in replica order** after every replica finishes.
+//! [`Sample::merge`] keeps counts, extremes, histogram buckets — hence p99
+//! — exactly equal to the single-stream computation, and fixes the
+//! floating-point evaluation order of the pooled mean/CI, so the returned
+//! statistics are bit-identical for any thread count. A property test in
+//! `tests/replication.rs` pins that, and the CI `determinism` job
+//! byte-compares the exported JSON across thread counts.
+
+use crate::metrics::{Sample, Summary};
+use crate::system::{DynamicConfig, DynamicStats, FaultedStats, SystemSim};
+use rsin_core::scheduler::Scheduler;
+use rsin_obs::{Telemetry, TelemetryReport};
+use rsin_topology::{FaultPlan, FaultPlanConfig, Network};
+
+/// Pooled statistics of `replicas` independent dynamic runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatedStats {
+    /// How many replicas were merged.
+    pub replicas: u64,
+    /// Task-level response time pooled across replicas: per-replica
+    /// [`DynamicStats::response`] samples merged in replica order, so the
+    /// mean/CI weight every completed task equally and the p99 reads the
+    /// combined histogram.
+    pub response: Summary,
+    /// Across-replica distribution of per-replica utilization (each replica
+    /// contributes one observation; the CI measures replica-to-replica
+    /// variability, the classic replication/deletion estimate).
+    pub utilization: Summary,
+    /// Across-replica distribution of per-replica mean queue length.
+    pub mean_queue: Summary,
+    /// Across-replica distribution of per-replica mean cycle blocking.
+    pub mean_blocking: Summary,
+    /// Tasks completed after warm-up, summed over replicas.
+    pub completed: u64,
+    /// Scheduling cycles executed, summed over replicas.
+    pub cycles: u64,
+}
+
+/// Pooled survival metrics of `replicas` independent faulted runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatedFaultedStats {
+    /// The pooled ordinary statistics.
+    pub stats: ReplicatedStats,
+    /// Circuits established, summed over replicas.
+    pub allocations: u64,
+    /// Requests shed by degraded cycles, summed over replicas.
+    pub shed_total: u64,
+    /// Blocked requests rescued by the alternate-path retry, summed.
+    pub recovered_total: u64,
+    /// `Fail` events applied, summed over replicas.
+    pub failures: u64,
+    /// `Repair` events applied, summed over replicas.
+    pub repairs: u64,
+    /// Mean repair→recovery interval, weighted by each replica's
+    /// `recoveries_observed` (0 if none observed anywhere).
+    pub mean_recovery: f64,
+    /// Total repair→zero-shed intervals observed across replicas.
+    pub recoveries_observed: u64,
+    /// Transformation-graph rebuilds, summed over replicas (one per replica
+    /// per transformation shape used; faults never add to it).
+    pub transform_rebuilds: u64,
+}
+
+/// Merge per-replica [`DynamicStats`] in slice (= replica) order.
+///
+/// Pure and deterministic: same slice, same bits out. Runs after the
+/// parallel phase, so thread count cannot influence it.
+pub fn merge_dynamic(per_replica: &[DynamicStats]) -> ReplicatedStats {
+    let mut response = Sample::new();
+    let mut utilization = Sample::new();
+    let mut mean_queue = Sample::new();
+    let mut mean_blocking = Sample::new();
+    let mut completed = 0u64;
+    let mut cycles = 0u64;
+    for s in per_replica {
+        response.merge(&s.response);
+        utilization.push(s.utilization);
+        mean_queue.push(s.mean_queue);
+        mean_blocking.push(s.mean_blocking);
+        completed += s.completed;
+        cycles += s.cycles;
+    }
+    ReplicatedStats {
+        replicas: per_replica.len() as u64,
+        response: Summary::from(&response),
+        utilization: Summary::from(&utilization),
+        mean_queue: Summary::from(&mean_queue),
+        mean_blocking: Summary::from(&mean_blocking),
+        completed,
+        cycles,
+    }
+}
+
+/// Merge per-replica [`FaultedStats`] in slice (= replica) order.
+pub fn merge_faulted(per_replica: &[FaultedStats]) -> ReplicatedFaultedStats {
+    let stats: Vec<DynamicStats> = per_replica.iter().map(|f| f.stats).collect();
+    let mut recoveries_observed = 0u64;
+    let mut recovery_sum = 0.0f64;
+    for f in per_replica {
+        recoveries_observed += f.recoveries_observed;
+        recovery_sum += f.mean_recovery * f.recoveries_observed as f64;
+    }
+    ReplicatedFaultedStats {
+        stats: merge_dynamic(&stats),
+        allocations: per_replica.iter().map(|f| f.allocations).sum(),
+        shed_total: per_replica.iter().map(|f| f.shed_total).sum(),
+        recovered_total: per_replica.iter().map(|f| f.recovered_total).sum(),
+        failures: per_replica.iter().map(|f| f.failures).sum(),
+        repairs: per_replica.iter().map(|f| f.repairs).sum(),
+        mean_recovery: if recoveries_observed > 0 {
+            recovery_sum / recoveries_observed as f64
+        } else {
+            0.0
+        },
+        recoveries_observed,
+        transform_rebuilds: per_replica.iter().map(|f| f.transform_rebuilds).sum(),
+    }
+}
+
+/// Run `replicas` independent fault-free dynamic simulations of `cfg` on a
+/// `threads`-worker pool and merge them (replica `r` = the `(cfg.seed, r)`
+/// stream, so replica 0 reproduces [`SystemSim::run`] exactly).
+pub fn run_replicated(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    replicas: usize,
+    threads: usize,
+) -> ReplicatedStats {
+    let per_replica = crate::pool::run_indexed(replicas, threads, |r| {
+        SystemSim::new(net, *cfg)
+            .run_faulted_trial(scheduler, &FaultPlan::empty(), r as u64)
+            .stats
+    });
+    merge_dynamic(&per_replica)
+}
+
+/// Replicated faulted runs: replica `r` additionally draws its fault plan
+/// from [`fault_plan_seed`](crate::system::fault_plan_seed)`(cfg.seed, r)`,
+/// mirroring
+/// [`run_faulted_trials`](crate::system::run_faulted_trials) — this *is*
+/// that batch plus the deterministic merge.
+pub fn run_replicated_faulted(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    replicas: usize,
+    threads: usize,
+) -> ReplicatedFaultedStats {
+    let per_replica =
+        crate::system::run_faulted_trials(net, scheduler, cfg, fault_cfg, replicas, threads);
+    merge_faulted(&per_replica)
+}
+
+/// Replicate every configuration of a load sweep on **one** flattened
+/// `(config, replica)` task grid, so a sweep with few points still saturates
+/// the pool. Returns one [`ReplicatedStats`] per configuration, in input
+/// order.
+pub fn run_replicated_sweep(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    configs: &[DynamicConfig],
+    replicas: usize,
+    threads: usize,
+) -> Vec<ReplicatedStats> {
+    let replicas = replicas.max(1);
+    let per: Vec<DynamicStats> = crate::pool::run_indexed(configs.len() * replicas, threads, |k| {
+        let (ci, r) = (k / replicas, k % replicas);
+        SystemSim::new(net, configs[ci])
+            .run_faulted_trial(scheduler, &FaultPlan::empty(), r as u64)
+            .stats
+    });
+    per.chunks(replicas).map(merge_dynamic).collect()
+}
+
+/// [`run_replicated`] under telemetry: each replica records into its **own**
+/// [`Telemetry`] sink and the per-replica reports are merged in replica
+/// order via [`TelemetryReport::merge`]. Unlike sharing one live sink
+/// across workers (where the event trace interleaves in wall-clock order),
+/// the merged counters, solver totals, and event stream are independent of
+/// the thread count; only the span-latency histograms keep wall-clock
+/// noise, since they measure real nanoseconds.
+pub fn run_replicated_probed(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    replicas: usize,
+    threads: usize,
+) -> (ReplicatedStats, TelemetryReport) {
+    let replicas = replicas.max(1);
+    let sinks: Vec<Telemetry> = (0..replicas).map(|_| Telemetry::new()).collect();
+    let per_replica = crate::pool::run_indexed(replicas, threads, |r| {
+        SystemSim::new(net, *cfg)
+            .run_faulted_trial_probed(scheduler, &FaultPlan::empty(), r as u64, &sinks[r])
+            .stats
+    });
+    let mut report = sinks[0].report();
+    for sink in &sinks[1..] {
+        report.merge(&sink.report());
+    }
+    (merge_dynamic(&per_replica), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_core::scheduler::MaxFlowScheduler;
+    use rsin_topology::builders::omega;
+
+    fn small_cfg() -> DynamicConfig {
+        DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 120.0,
+            warmup: 20.0,
+            ..DynamicConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_replica_reproduces_the_single_run() {
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let single = SystemSim::new(&net, cfg).run(&scheduler);
+        let rep = run_replicated(&net, &scheduler, &cfg, 1, 1);
+        assert_eq!(rep.replicas, 1);
+        assert_eq!(rep.completed, single.completed);
+        assert_eq!(rep.cycles, single.cycles);
+        assert_eq!(rep.response.mean.to_bits(), single.mean_response.to_bits());
+        assert_eq!(rep.response.p99.to_bits(), single.response_p99.to_bits());
+        assert_eq!(rep.utilization.mean.to_bits(), single.utilization.to_bits());
+    }
+
+    #[test]
+    fn replicas_are_independent_streams() {
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let rep = run_replicated(&net, &scheduler, &cfg, 4, 1);
+        assert_eq!(rep.replicas, 4);
+        // Four replicas pool four times the tasks of one (roughly), and the
+        // across-replica utilization CI must be non-degenerate.
+        let single = SystemSim::new(&net, cfg).run(&scheduler);
+        assert!(rep.completed > 2 * single.completed);
+        assert!(rep.utilization.ci95 > 0.0);
+        assert_eq!(rep.response.n, rep.completed);
+    }
+
+    #[test]
+    fn replicated_stats_bit_identical_across_thread_counts() {
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let serial = run_replicated(&net, &scheduler, &cfg, 5, 1);
+        for threads in [2, 3, 8] {
+            let parallel = run_replicated(&net, &scheduler, &cfg, 5, threads);
+            assert_eq!(serial.completed, parallel.completed, "threads={threads}");
+            assert_eq!(serial.cycles, parallel.cycles, "threads={threads}");
+            for (a, b) in [
+                (serial.response, parallel.response),
+                (serial.utilization, parallel.utilization),
+                (serial.mean_queue, parallel.mean_queue),
+                (serial.mean_blocking, parallel.mean_blocking),
+            ] {
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "threads={threads}");
+                assert_eq!(a.ci95.to_bits(), b.ci95.to_bits(), "threads={threads}");
+                assert_eq!(a.p99.to_bits(), b.p99.to_bits(), "threads={threads}");
+                assert_eq!(a.n, b.n, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_replication_sums_survival_metrics() {
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let fcfg = FaultPlanConfig::links(0.004, 15.0, cfg.sim_time);
+        let per = crate::system::run_faulted_trials(&net, &scheduler, &cfg, &fcfg, 3, 1);
+        let merged = merge_faulted(&per);
+        assert_eq!(merged.stats.replicas, 3);
+        assert_eq!(merged.failures, per.iter().map(|f| f.failures).sum::<u64>());
+        assert_eq!(
+            merged.transform_rebuilds,
+            per.iter().map(|f| f.transform_rebuilds).sum::<u64>()
+        );
+        let direct = run_replicated_faulted(&net, &scheduler, &cfg, &fcfg, 3, 2);
+        assert_eq!(direct.failures, merged.failures);
+        assert_eq!(
+            direct.stats.response.mean.to_bits(),
+            merged.stats.response.mean.to_bits()
+        );
+        assert_eq!(
+            direct.mean_recovery.to_bits(),
+            merged.mean_recovery.to_bits()
+        );
+    }
+
+    #[test]
+    fn replicated_sweep_matches_per_config_replication() {
+        let net = omega(8).unwrap();
+        let scheduler = MaxFlowScheduler::default();
+        let configs: Vec<DynamicConfig> = [0.2, 0.5]
+            .iter()
+            .map(|&rate| DynamicConfig {
+                arrival_rate: rate,
+                ..small_cfg()
+            })
+            .collect();
+        let swept = run_replicated_sweep(&net, &scheduler, &configs, 3, 4);
+        assert_eq!(swept.len(), 2);
+        for (cfg, s) in configs.iter().zip(&swept) {
+            let direct = run_replicated(&net, &scheduler, cfg, 3, 1);
+            assert_eq!(s.completed, direct.completed);
+            assert_eq!(s.response.mean.to_bits(), direct.response.mean.to_bits());
+            assert_eq!(
+                s.utilization.ci95.to_bits(),
+                direct.utilization.ci95.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn probed_replication_observes_without_disturbing() {
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let plain = run_replicated(&net, &scheduler, &cfg, 3, 2);
+        let (probed, report) = run_replicated_probed(&net, &scheduler, &cfg, 3, 2);
+        assert_eq!(plain.completed, probed.completed);
+        assert_eq!(
+            plain.response.mean.to_bits(),
+            probed.response.mean.to_bits()
+        );
+        // Every replica's cycles land in the merged counters.
+        let cycles = report.counters[rsin_obs::Counter::Cycles.index()];
+        assert_eq!(cycles, plain.cycles);
+    }
+}

@@ -96,6 +96,12 @@ pub struct DynamicStats {
     pub cycles: u64,
     /// Mean per-cycle blocking fraction (cycles with contention only).
     pub mean_blocking: f64,
+    /// The full post-warmup response-time accumulator (Welford state plus
+    /// log2 histogram) that `mean_response`/`response_ci95`/`response_p99`
+    /// are read from. Exposed so replicated runs can pool the response
+    /// *distributions* across replicas via [`Sample::merge`] instead of
+    /// averaging pre-digested scalars.
+    pub response: Sample,
 }
 
 /// Survival metrics of a faulted dynamic run, wrapping the ordinary
@@ -489,6 +495,7 @@ impl<'n> SystemSim<'n> {
                 mean_queue: queue_integral / horizon,
                 cycles,
                 mean_blocking: blocking.mean(),
+                response,
             },
             allocations,
             shed_total,
@@ -517,28 +524,9 @@ pub fn run_sweep(
     configs: &[DynamicConfig],
     threads: usize,
 ) -> Vec<DynamicStats> {
-    let threads = threads.max(1);
-    let mut results: Vec<Option<DynamicStats>> = vec![None; configs.len()];
-    if threads == 1 || configs.len() <= 1 {
-        for (slot, cfg) in results.iter_mut().zip(configs) {
-            *slot = Some(SystemSim::new(net, *cfg).run(scheduler));
-        }
-    } else {
-        let chunk = configs.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (slots, cfgs) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-                s.spawn(move || {
-                    for (slot, cfg) in slots.iter_mut().zip(cfgs) {
-                        *slot = Some(SystemSim::new(net, *cfg).run(scheduler));
-                    }
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every config simulated"))
-        .collect()
+    crate::pool::run_indexed(configs.len(), threads, |i| {
+        SystemSim::new(net, configs[i]).run(scheduler)
+    })
 }
 
 /// Run `trials` independent faulted dynamic simulations, fanning them out
@@ -557,33 +545,10 @@ pub fn run_faulted_trials(
     trials: usize,
     threads: usize,
 ) -> Vec<FaultedStats> {
-    let threads = threads.max(1);
-    let mut results: Vec<Option<FaultedStats>> = vec![None; trials];
-    let run_one = |trial: usize| {
+    crate::pool::run_indexed(trials, threads, |trial| {
         let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
         SystemSim::new(net, *cfg).run_faulted_trial(scheduler, &plan, trial as u64)
-    };
-    if threads == 1 || trials <= 1 {
-        for (t, slot) in results.iter_mut().enumerate() {
-            *slot = Some(run_one(t));
-        }
-    } else {
-        let chunk = trials.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (c, slots) in results.chunks_mut(chunk).enumerate() {
-                let run_one = &run_one;
-                s.spawn(move || {
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(run_one(c * chunk + j));
-                    }
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every trial simulated"))
-        .collect()
+    })
 }
 
 /// [`run_faulted_trials`] with every trial reporting into one shared
@@ -600,33 +565,10 @@ pub fn run_faulted_trials_probed(
     threads: usize,
     probe: &dyn Probe,
 ) -> Vec<FaultedStats> {
-    let threads = threads.max(1);
-    let mut results: Vec<Option<FaultedStats>> = vec![None; trials];
-    let run_one = |trial: usize| {
+    crate::pool::run_indexed(trials, threads, |trial| {
         let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
         SystemSim::new(net, *cfg).run_faulted_trial_probed(scheduler, &plan, trial as u64, probe)
-    };
-    if threads == 1 || trials <= 1 {
-        for (t, slot) in results.iter_mut().enumerate() {
-            *slot = Some(run_one(t));
-        }
-    } else {
-        let chunk = trials.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (c, slots) in results.chunks_mut(chunk).enumerate() {
-                let run_one = &run_one;
-                s.spawn(move || {
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(run_one(c * chunk + j));
-                    }
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every trial simulated"))
-        .collect()
+    })
 }
 
 #[cfg(test)]
