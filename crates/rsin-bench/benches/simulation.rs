@@ -38,6 +38,7 @@ fn bench_dynamic(c: &mut Criterion) {
         warmup: 20.0,
         seed: 6,
         types: 1,
+        priority_levels: 1,
     };
     c.bench_function("dynamic_200tu_omega8", |b| {
         b.iter(|| {

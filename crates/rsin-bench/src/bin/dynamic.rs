@@ -95,6 +95,7 @@ fn main() {
             warmup: horizon * 0.1,
             seed: 42,
             types: 1,
+            priority_levels: 1,
         })
         .collect();
     let mut rows = Vec::new();
@@ -164,6 +165,7 @@ fn main() {
             warmup: horizon * 0.1,
             seed: 42,
             types: 1,
+            priority_levels: 1,
         };
         let (_, report) = run_replicated_probed(&net, &optimal, &cfg, replicas, threads);
         let json = report.to_json("dynamic");

@@ -9,8 +9,17 @@
 //! alternate paths before being shed, and the report compares allocations
 //! against the fault-free baseline of the *same* arrival stream.
 //!
-//! Usage: `faults [--telemetry <path>] [--json <path>] [--replicas <n>]
-//! [--threads <n>] [trials] [threads] [json-path]`
+//! Usage: `faults [--policy none|bfs|priced] [--telemetry <path>]
+//! [--json <path>] [--replicas <n>] [--threads <n>] [trials] [threads]
+//! [json-path]`
+//!
+//! `--policy` selects how blocked requests are handled during faulty
+//! cycles (default `bfs`): shed immediately (`none`), BFS-retried to any
+//! type-compatible alternate (`bfs`), or recovered by a residual
+//! Transformation-2 min-cost solve that fills degraded capacity
+//! preference-first (`priced`; see
+//! `Scheduler::try_schedule_degraded_priced`). The report's
+//! `recovery_cost` column prices the recoveries either retry made.
 //!
 //! Trials follow the `(seed, trial)` RNG-stream convention shared with the
 //! `blocking` and `dynamic` experiments, and per-trial results merge
@@ -36,7 +45,8 @@ use rsin_core::scheduler::{
 use rsin_obs::Telemetry;
 use rsin_sim::replicate::merge_faulted;
 use rsin_sim::system::{
-    run_faulted_trials, run_faulted_trials_probed, DynamicConfig, FaultedStats,
+    run_faulted_trials_policy, run_faulted_trials_policy_probed, DegradedPolicy, DynamicConfig,
+    FaultedStats,
 };
 use rsin_topology::FaultPlanConfig;
 
@@ -61,6 +71,7 @@ struct Row {
     mean_recovery: f64,
     recoveries_observed: u64,
     transform_rebuilds: u64,
+    recovery_cost: i64,
 }
 
 fn aggregate(
@@ -92,15 +103,17 @@ fn aggregate(
         mean_recovery: m.mean_recovery,
         recoveries_observed: m.recoveries_observed,
         transform_rebuilds: m.transform_rebuilds,
+        recovery_cost: m.recovery_cost,
     }
 }
 
 // Deliberately no thread count in the report: it must be byte-identical
 // however many workers produced it (the CI determinism job diffs it).
-fn json_report(rows: &[Row], trials: usize) -> String {
+fn json_report(rows: &[Row], trials: usize, policy: DegradedPolicy) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"experiment\": \"faults\",\n");
+    s.push_str(&format!("  \"policy\": \"{}\",\n", policy.name()));
     s.push_str(&format!("  \"seed\": {SEED},\n"));
     s.push_str(&format!("  \"trials\": {trials},\n"));
     s.push_str(&format!("  \"sim_time\": {SIM_TIME},\n"));
@@ -111,8 +124,8 @@ fn json_report(rows: &[Row], trials: usize) -> String {
         s.push_str(&format!(
             "    {{\"network\": \"{}\", \"scheduler\": \"{}\", \"failure_rate\": {}, \
              \"survival\": {:.6}, \"completed\": {}, \"baseline_completed\": {}, \
-             \"shed\": {}, \"recovered\": {}, \"failures\": {}, \"repairs\": {}, \
-             \"mean_recovery\": {:.6}, \"recoveries_observed\": {}, \
+             \"shed\": {}, \"recovered\": {}, \"recovery_cost\": {}, \"failures\": {}, \
+             \"repairs\": {}, \"mean_recovery\": {:.6}, \"recoveries_observed\": {}, \
              \"transform_rebuilds\": {}}}{}\n",
             r.network,
             r.scheduler,
@@ -122,6 +135,7 @@ fn json_report(rows: &[Row], trials: usize) -> String {
             r.baseline_completed,
             r.shed,
             r.recovered,
+            r.recovery_cost,
             r.failures,
             r.repairs,
             r.mean_recovery,
@@ -148,6 +162,15 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let policy = match take_flag(&mut args, "--policy").as_deref() {
+        None | Some("bfs") => DegradedPolicy::Bfs,
+        Some("none") => DegradedPolicy::None,
+        Some("priced") => DegradedPolicy::Priced,
+        Some(other) => {
+            eprintln!("error: unknown --policy {other} (expected none|bfs|priced)");
+            std::process::exit(2);
+        }
+    };
     let telemetry_path = take_flag(&mut args, "--telemetry");
     let replicas_flag: Option<usize> =
         take_flag(&mut args, "--replicas").and_then(|v| v.parse().ok());
@@ -181,34 +204,53 @@ fn main() {
         warmup: WARMUP,
         seed: SEED,
         types: 1,
+        // Four levels give the degraded retries a non-trivial cost surface
+        // (priority/preference are deterministic in the index, so the
+        // max-flow and heuristic disciplines' decisions are unchanged —
+        // only the cost accounting and the priced recovery's choice of
+        // alternate depend on it).
+        priority_levels: 4,
     };
     println!(
         "FAULTS — dynamic fail/repair sweep ({} trials, horizon {SIM_TIME}, mean repair \
-         {MEAN_REPAIR}, {threads} worker thread(s))\n",
-        trials
+         {MEAN_REPAIR}, policy {}, {threads} worker thread(s))\n",
+        trials,
+        policy.name()
     );
     let mut rows = Vec::new();
     for name in NETWORKS {
         let net = network_by_name(name).unwrap();
         for (sname, scheduler) in schedulers {
             // Rate 0 is the fault-free baseline of the same arrival streams.
-            let baseline = run_faulted_trials(
+            let baseline = run_faulted_trials_policy(
                 &net,
                 scheduler,
                 &cfg,
                 &FaultPlanConfig::links(0.0, MEAN_REPAIR, SIM_TIME),
                 trials,
                 threads,
+                policy,
             );
             for rate in RATES {
                 let fcfg = FaultPlanConfig::links(rate, MEAN_REPAIR, SIM_TIME);
-                let stats = run_faulted_trials(&net, scheduler, &cfg, &fcfg, trials, threads);
-                // PR invariant: faults are capacity patches, never rebuilds
-                // — at most one transform build per trial (exactly one for
-                // the flow-based scheduler, zero for the heuristic).
-                let expected = if sname == "max-flow" { 1 } else { 0 };
+                let stats = run_faulted_trials_policy(
+                    &net, scheduler, &cfg, &fcfg, trials, threads, policy,
+                );
+                // PR invariant: faults are capacity patches, never rebuilds.
+                // The flow-based scheduler builds its Transformation-1 graph
+                // exactly once per trial and never touches the min-cost
+                // shape (its priced override skips the residual — Theorem 2
+                // makes recovery impossible). A heuristic builds nothing
+                // under none/bfs; under the priced policy it lazily builds
+                // the residual Transformation-2 graph at most once, on the
+                // first faulty cycle with blockage.
+                let ok = |t: &FaultedStats| match (sname, policy) {
+                    ("max-flow", _) => t.transform_rebuilds == 1,
+                    (_, DegradedPolicy::Priced) => t.transform_rebuilds <= 1,
+                    _ => t.transform_rebuilds == 0,
+                };
                 assert!(
-                    stats.iter().all(|t| t.transform_rebuilds == expected),
+                    stats.iter().all(ok),
                     "{name}/{sname}: fault toggles must not rebuild the transform"
                 );
                 rows.push(aggregate(name, sname, rate, &stats, &baseline));
@@ -225,6 +267,7 @@ fn main() {
                 format!("{:.3}", r.survival),
                 r.shed.to_string(),
                 r.recovered.to_string(),
+                r.recovery_cost.to_string(),
                 r.failures.to_string(),
                 format!("{:.2}", r.mean_recovery),
                 r.transform_rebuilds.to_string(),
@@ -240,13 +283,14 @@ fn main() {
             "survival",
             "shed",
             "recovered",
+            "recovery cost",
             "failures",
             "mean recovery",
             "rebuilds",
         ],
         &table,
     );
-    let report = json_report(&rows, trials);
+    let report = json_report(&rows, trials, policy);
     if let Err(e) = std::fs::write(&json_path, &report) {
         eprintln!("warning: could not write {json_path}: {e}");
     } else {
@@ -259,7 +303,9 @@ fn main() {
         let telemetry = Telemetry::new();
         let net = network_by_name("omega-8").unwrap();
         let fcfg = FaultPlanConfig::links(0.005, MEAN_REPAIR, SIM_TIME);
-        let _ = run_faulted_trials_probed(&net, &optimal, &cfg, &fcfg, trials, threads, &telemetry);
+        let _ = run_faulted_trials_policy_probed(
+            &net, &optimal, &cfg, &fcfg, trials, threads, policy, &telemetry,
+        );
         let json = telemetry.report().to_json("faults");
         if let Err(e) = std::fs::write(&tpath, &json) {
             eprintln!("warning: could not write {tpath}: {e}");

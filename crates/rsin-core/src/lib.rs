@@ -50,4 +50,6 @@ pub mod transform;
 
 pub use mapping::{Assignment, MappingError};
 pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
-pub use scheduler::{DegradedOutcome, ScheduleError, ScheduleScratch, Scheduler};
+pub use scheduler::{
+    DegradedOutcome, PricedDegradedOutcome, ScheduleError, ScheduleScratch, Scheduler,
+};

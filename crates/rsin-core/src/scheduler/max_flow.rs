@@ -1,6 +1,6 @@
 //! The optimal homogeneous scheduler: Transformation 1 + maximum flow.
 
-use super::{finish_outcome, ScheduleError, ScheduleScratch, Scheduler};
+use super::{finish_outcome, PricedDegradedOutcome, ScheduleError, ScheduleScratch, Scheduler};
 use crate::mapping::extract;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::homogeneous;
@@ -100,6 +100,29 @@ impl Scheduler for MaxFlowScheduler {
         probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
         probe.add(rsin_obs::Counter::Cycles, 1);
         Ok(out)
+    }
+
+    /// Skip the residual solve: the primary mapping is already *maximum*
+    /// (Theorem 2), so a recovered request would be a link-disjoint
+    /// extension of a maximum mapping — a contradiction. Blocked requests
+    /// are therefore shed directly, nothing else could have been recovered
+    /// at any price, and this scratch never builds the min-cost
+    /// transformation shape: rebuilds stay at exactly 1 under the priced
+    /// policy too.
+    fn priced_retry(
+        &self,
+        _problem: &ScheduleProblem,
+        primary: ScheduleOutcome,
+        _scratch: &mut ScheduleScratch,
+        _probe: &dyn rsin_obs::Probe,
+    ) -> Result<PricedDegradedOutcome, ScheduleError> {
+        let shed = primary.blocked.len();
+        Ok(PricedDegradedOutcome {
+            recovered: 0,
+            shed,
+            recovery_cost: 0,
+            outcome: primary,
+        })
     }
 }
 

@@ -1,7 +1,10 @@
 //! The optimal priority/preference scheduler: Transformation 2 + min-cost
 //! flow.
 
-use super::{finish_outcome, ScheduleError, ScheduleScratch, Scheduler};
+use super::{
+    finish_outcome, priced_retry_blocked, PricedDegradedOutcome, ScheduleError, ScheduleScratch,
+    Scheduler,
+};
 use crate::mapping::extract;
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::priority;
@@ -105,6 +108,22 @@ impl Scheduler for MinCostScheduler {
         probe.finish(span, rsin_obs::Hist::CycleLatencyNs);
         probe.add(rsin_obs::Counter::Cycles, 1);
         Ok(out)
+    }
+
+    /// Priced retry running this scheduler's own min-cost algorithm on the
+    /// residual. The primary mapping is already optimal (Theorem 3), so the
+    /// residual provably recovers nothing — running it anyway is a cheap
+    /// live self-check that the residual construction is conservative, and
+    /// it reuses the same Transformation-2 graph the primary solve just
+    /// configured, so rebuilds stay at 1.
+    fn priced_retry(
+        &self,
+        problem: &ScheduleProblem,
+        primary: ScheduleOutcome,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<PricedDegradedOutcome, ScheduleError> {
+        priced_retry_blocked(problem, primary, scratch, self.algorithm, probe)
     }
 }
 

@@ -29,9 +29,10 @@ pub use max_flow::MaxFlowScheduler;
 pub use min_cost::MinCostScheduler;
 pub use multicommodity::MultiCommodityScheduler;
 
-use crate::mapping::{Assignment, MappingError};
+use crate::mapping::{extract, Assignment, MappingError};
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::transform::reusable::ReusableTransform;
+use rsin_flow::min_cost::Algorithm as MinCostAlgorithm;
 use rsin_flow::SolveScratch;
 use rsin_topology::circuit::CircuitError;
 use std::collections::{HashMap, HashSet};
@@ -126,6 +127,12 @@ pub struct DegradedOutcome {
     pub recovered: usize,
     /// Requests still unallocated after the retry.
     pub shed: usize,
+    /// Transformation-2 cost added by the recovered assignments: merged
+    /// total cost minus the primary pass's total cost, both on the original
+    /// problem's cost scale. Always ≥ 0 (recovered assignments only add
+    /// nonnegative terms). The BFS retry picks alternates blindly, so this
+    /// is what priced degraded-mode scheduling minimizes instead.
+    pub recovery_cost: i64,
 }
 
 /// Retry every blocked request of `primary` over the residual free links:
@@ -140,9 +147,11 @@ fn retry_blocked(
         return Ok(DegradedOutcome {
             recovered: 0,
             shed: 0,
+            recovery_cost: 0,
             outcome: primary,
         });
     }
+    let primary_cost = primary.total_cost;
     let mut cs = problem.circuits.clone();
     let mut taken = vec![false; problem.free.len()];
     for a in &primary.assignments {
@@ -187,9 +196,141 @@ fn retry_blocked(
     let outcome = finish_outcome(problem, assignments, estimated_instructions);
     let shed = outcome.blocked.len();
     Ok(DegradedOutcome {
+        recovery_cost: outcome.total_cost - primary_cost,
         outcome,
         recovered,
         shed,
+    })
+}
+
+/// Outcome of a *priced* degraded-mode scheduling cycle
+/// ([`Scheduler::try_schedule_degraded_priced`]): like [`DegradedOutcome`],
+/// but the recovery pass is a residual Transformation-2 min-cost solve
+/// instead of a blind BFS, so among all maximal recoveries this one has
+/// minimum `recovery_cost`.
+#[derive(Debug, Clone)]
+pub struct PricedDegradedOutcome {
+    /// The merged outcome: primary assignments plus recovered ones, with
+    /// `blocked` listing only the shed requests. `total_cost` is computed
+    /// on the original problem's cost scale.
+    pub outcome: ScheduleOutcome,
+    /// Requests the primary pass blocked but the residual min-cost solve
+    /// re-routed to an alternate free resource.
+    pub recovered: usize,
+    /// Requests still unallocated after the priced retry (absorbed by the
+    /// residual transformation's bypass node).
+    pub shed: usize,
+    /// Transformation-2 cost added by the recovered assignments: merged
+    /// total cost minus the primary pass's total cost. Always ≥ 0, and
+    /// minimal among maximal recoveries (Theorem 3 applied to the residual).
+    pub recovery_cost: i64,
+}
+
+/// Priced retry of every blocked request of `primary`: pin the primary
+/// assignments onto a copy of the circuit state, then — per resource type,
+/// since Transformation 2 is type-blind — build a residual min-cost
+/// subproblem over only that type's blocked requests and still-untaken free
+/// resources and solve it through the scratch's reusable Transformation-2
+/// graph (occupied links enter as capacity patches, never a rebuild; the
+/// bypass node absorbs requests no free resource can reach).
+///
+/// The residual's local `γ'_max`/`q'_max` shift every allocation cost by a
+/// per-round constant relative to the full problem's scale, which never
+/// changes the argmin; the merged outcome is then re-costed on the
+/// *original* problem via [`finish_outcome`], so `recovery_cost` and the
+/// merged `total_cost` share one scale.
+fn priced_retry_blocked(
+    problem: &ScheduleProblem,
+    primary: ScheduleOutcome,
+    scratch: &mut ScheduleScratch,
+    algorithm: MinCostAlgorithm,
+    probe: &dyn rsin_obs::Probe,
+) -> Result<PricedDegradedOutcome, ScheduleError> {
+    if primary.blocked.is_empty() {
+        return Ok(PricedDegradedOutcome {
+            recovered: 0,
+            shed: 0,
+            recovery_cost: 0,
+            outcome: primary,
+        });
+    }
+    let primary_cost = primary.total_cost;
+    let mut cs = problem.circuits.clone();
+    let mut taken: HashSet<usize> = HashSet::new();
+    for a in &primary.assignments {
+        taken.insert(a.resource);
+        cs.establish(&a.path)?;
+    }
+    let blocked: HashSet<usize> = primary.blocked.iter().copied().collect();
+    let mut estimated_instructions = primary.estimated_instructions;
+    let mut assignments = primary.assignments;
+    let mut recovered = 0;
+    // One residual round per type, in ascending type order; recovered
+    // circuits are established between rounds so rounds stay link-disjoint.
+    let mut types: Vec<usize> = problem
+        .requests
+        .iter()
+        .filter(|r| blocked.contains(&r.processor))
+        .map(|r| r.resource_type)
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+    for ty in types {
+        let requests: Vec<_> = problem
+            .requests
+            .iter()
+            .filter(|r| blocked.contains(&r.processor) && r.resource_type == ty)
+            .copied()
+            .collect();
+        let free: Vec<_> = problem
+            .free
+            .iter()
+            .filter(|f| !taken.contains(&f.resource) && f.resource_type == ty)
+            .copied()
+            .collect();
+        if free.is_empty() {
+            continue;
+        }
+        // Scope the residual solve so `cs`'s immutable borrow ends before
+        // the recovered circuits are pinned.
+        let found = {
+            let residual = ScheduleProblem {
+                circuits: &cs,
+                requests,
+                free,
+            };
+            let ScheduleScratch {
+                solve,
+                min_cost: reusable,
+                ..
+            } = scratch;
+            let (t, f0) = reusable.configure_min_cost(&residual);
+            let r = rsin_flow::min_cost::solve_residual_observed(
+                &mut t.flow,
+                t.source,
+                t.sink,
+                f0,
+                algorithm,
+                solve,
+                probe,
+            );
+            estimated_instructions += r.stats.estimated_instructions();
+            extract(t)?
+        };
+        for a in found {
+            cs.establish(&a.path)?;
+            taken.insert(a.resource);
+            recovered += 1;
+            assignments.push(a);
+        }
+    }
+    let outcome = finish_outcome(problem, assignments, estimated_instructions);
+    let shed = outcome.blocked.len();
+    Ok(PricedDegradedOutcome {
+        recovery_cost: outcome.total_cost - primary_cost,
+        recovered,
+        shed,
+        outcome,
     })
 }
 
@@ -249,6 +390,54 @@ pub trait Scheduler: Sync {
         retry_blocked(problem, primary)
     }
 
+    /// The recovery pass of priced degraded-mode scheduling: given the
+    /// primary outcome, solve the residual Transformation-2 subproblem over
+    /// the blocked requests and still-free resources and merge. The default
+    /// runs successive shortest paths on the residual;
+    /// [`MinCostScheduler`] overrides it to reuse its own configured
+    /// algorithm, and [`MaxFlowScheduler`] overrides it to skip the residual
+    /// entirely (its primary mapping is already maximum, so any recovery
+    /// would extend a maximum mapping — impossible by Theorem 2 — and
+    /// skipping keeps its scratch free of the min-cost shape).
+    fn priced_retry(
+        &self,
+        problem: &ScheduleProblem,
+        primary: ScheduleOutcome,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<PricedDegradedOutcome, ScheduleError> {
+        priced_retry_blocked(
+            problem,
+            primary,
+            scratch,
+            MinCostAlgorithm::SuccessiveShortestPaths,
+            probe,
+        )
+    }
+
+    /// Priced degraded-mode scheduling for faulted networks: run the
+    /// primary discipline, then instead of the blind BFS retry of
+    /// [`Self::try_schedule_degraded`], solve a residual Transformation-2
+    /// min-cost subproblem over the blocked requests and still-free
+    /// resources (bypass node absorbing the unallocatable ones) and merge.
+    /// Among all maximal recoveries the residual solve picks the one of
+    /// minimum cost, so degraded capacity is filled preference-first — the
+    /// regime where alternate choice dominates tail behavior.
+    ///
+    /// For min-cost schedulers the merged result is *bit-identical in total
+    /// cost* to a fresh Transformation-2 solve on the same faulted topology
+    /// (the optimality oracle in the property suite pins this), and the
+    /// residual solve reuses the scratch's transformation graph, so
+    /// [`ScheduleScratch::rebuilds`] stays at 1 across fault toggles.
+    fn try_schedule_degraded_priced(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<PricedDegradedOutcome, ScheduleError> {
+        let primary = self.try_schedule_reusing(problem, scratch)?;
+        self.priced_retry(problem, primary, scratch, &rsin_obs::NoopProbe)
+    }
+
     /// [`Self::try_schedule_reusing`] reporting the cycle to a telemetry
     /// probe: one [`rsin_obs::Hist::CycleLatencyNs`] span over the whole
     /// scheduling cycle plus a [`rsin_obs::Counter::Cycles`] tick. The
@@ -286,7 +475,38 @@ pub trait Scheduler: Sync {
         probe.add(rsin_obs::Counter::DegradedCycles, 1);
         probe.add(rsin_obs::Counter::Recovered, degraded.recovered as u64);
         probe.add(rsin_obs::Counter::Shed, degraded.shed as u64);
+        debug_assert!(degraded.recovery_cost >= 0);
+        probe.add(
+            rsin_obs::Counter::RecoveryCost,
+            degraded.recovery_cost as u64,
+        );
+        probe.record(rsin_obs::Hist::RecoveryCost, degraded.recovery_cost as u64);
         Ok(degraded)
+    }
+
+    /// [`Self::try_schedule_degraded_priced`] reporting the cycle to a
+    /// telemetry probe. The primary pass goes through
+    /// [`Self::try_schedule_observed`]; each residual round reports its
+    /// solve through [`rsin_flow::min_cost::solve_residual_observed`]; then
+    /// the merge's counts land in [`rsin_obs::Counter::Recovered`] /
+    /// [`rsin_obs::Counter::Shed`] / [`rsin_obs::Counter::RecoveryCost`],
+    /// the per-cycle cost in [`rsin_obs::Hist::RecoveryCost`], and the
+    /// cycle ticks [`rsin_obs::Counter::DegradedCycles`].
+    fn try_schedule_degraded_priced_observed(
+        &self,
+        problem: &ScheduleProblem,
+        scratch: &mut ScheduleScratch,
+        probe: &dyn rsin_obs::Probe,
+    ) -> Result<PricedDegradedOutcome, ScheduleError> {
+        let primary = self.try_schedule_observed(problem, scratch, probe)?;
+        let priced = self.priced_retry(problem, primary, scratch, probe)?;
+        probe.add(rsin_obs::Counter::DegradedCycles, 1);
+        probe.add(rsin_obs::Counter::Recovered, priced.recovered as u64);
+        probe.add(rsin_obs::Counter::Shed, priced.shed as u64);
+        debug_assert!(priced.recovery_cost >= 0);
+        probe.add(rsin_obs::Counter::RecoveryCost, priced.recovery_cost as u64);
+        probe.record(rsin_obs::Hist::RecoveryCost, priced.recovery_cost as u64);
+        Ok(priced)
     }
 
     /// Panicking wrapper over [`Self::try_schedule_reusing`], mirroring
@@ -439,6 +659,129 @@ mod tests {
         assert_eq!(degraded.shed, 1);
         assert_eq!(degraded.outcome.blocked, vec![2]);
         assert_eq!(cs.faulty_count(), 1, "degraded pass must not mutate state");
+    }
+
+    #[test]
+    fn priced_retry_prefers_high_preference_alternate() {
+        use rsin_topology::NodeRef;
+        // Kill r1's input links. When address mapping binds p0 to the dead
+        // r1, the priced retry must recover to r2 (preference 9, recovery
+        // cost 0) and never to r0 (preference 2, recovery cost 7) — the
+        // blind BFS retry has no such guarantee.
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        for l in net.in_links(NodeRef::Resource(1)) {
+            cs.fail_link(l);
+        }
+        let problem = ScheduleProblem::with_priorities(&cs, &[(0, 1)], &[(0, 2), (1, 1), (2, 9)]);
+        let mut scratch = ScheduleScratch::new();
+        let mut exercised = false;
+        for seed in 0..64 {
+            let s = AddressMappedScheduler::new(seed);
+            let primary = s.try_schedule(&problem).unwrap();
+            let priced = s
+                .try_schedule_degraded_priced(&problem, &mut scratch)
+                .unwrap();
+            verify(&priced.outcome.assignments, &problem).unwrap();
+            assert_eq!(priced.outcome.allocated() + priced.shed, 1);
+            if !primary.blocked.is_empty() {
+                assert_eq!(priced.recovered, 1, "seed {seed}");
+                assert_eq!(priced.outcome.assignments[0].resource, 2, "seed {seed}");
+                assert_eq!(
+                    priced.recovery_cost,
+                    priced.outcome.total_cost - primary.total_cost
+                );
+                exercised = true;
+            }
+        }
+        assert!(exercised, "some seed must bind the dead resource");
+    }
+
+    #[test]
+    fn priced_degraded_on_min_cost_matches_fresh_solve() {
+        use rsin_flow::min_cost::Algorithm;
+        use rsin_topology::NodeRef;
+        // The oracle in miniature: on a faulted topology, the priced
+        // degraded outcome of a min-cost scheduler is bit-identical in cost
+        // and cardinality to a fresh Transformation-2 solve, and the
+        // residual solve never rebuilds the transformation.
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let l = net.processor_link(2).unwrap();
+        cs.fail_link(l);
+        for l in net.in_links(NodeRef::Resource(5)) {
+            cs.fail_link(l);
+        }
+        let problem = ScheduleProblem::with_priorities(
+            &cs,
+            &[(0, 3), (2, 9), (4, 1), (7, 6)],
+            &[(0, 2), (3, 8), (5, 10), (6, 4)],
+        );
+        for algo in Algorithm::ALL {
+            let s = MinCostScheduler::new(algo);
+            let mut scratch = ScheduleScratch::new();
+            let priced = s
+                .try_schedule_degraded_priced(&problem, &mut scratch)
+                .unwrap();
+            let fresh = s.schedule(&problem);
+            verify(&priced.outcome.assignments, &problem).unwrap();
+            assert_eq!(priced.outcome.total_cost, fresh.total_cost, "{algo:?}");
+            assert_eq!(priced.outcome.allocated(), fresh.allocated(), "{algo:?}");
+            // Theorem 3: the primary is optimal, so the residual recovers
+            // nothing and adds no cost.
+            assert_eq!(priced.recovered, 0, "{algo:?}");
+            assert_eq!(priced.recovery_cost, 0, "{algo:?}");
+            assert_eq!(scratch.rebuilds(), 1, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn priced_degraded_on_max_flow_skips_residual() {
+        // Max-flow's override sheds directly (Theorem 2) and must never
+        // build the min-cost transformation shape.
+        let net = omega(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        let l = net.processor_link(2).unwrap();
+        cs.fail_link(l);
+        let problem = ScheduleProblem::homogeneous(&cs, &[0, 2, 4], &[0, 2, 4]);
+        let mut scratch = ScheduleScratch::new();
+        let priced = MaxFlowScheduler::default()
+            .try_schedule_degraded_priced(&problem, &mut scratch)
+            .unwrap();
+        assert_eq!(priced.outcome.allocated(), 2);
+        assert_eq!(priced.recovered, 0);
+        assert_eq!(priced.shed, 1);
+        assert_eq!(priced.recovery_cost, 0);
+        assert_eq!(scratch.rebuilds(), 1, "min-cost shape must stay unbuilt");
+    }
+
+    #[test]
+    fn priced_retry_respects_resource_types() {
+        // Transformation 2 is type-blind, so the retry runs one residual
+        // round per type; recovered assignments must never cross types.
+        let net = omega(8).unwrap();
+        let cs = CircuitState::new(&net);
+        let mut problem = ScheduleProblem::homogeneous(&cs, &[0, 1], &[2, 4]);
+        problem.requests[1].resource_type = 1;
+        problem.free[0].resource_type = 1; // r2 is the only type-1 resource
+        let primary = finish_outcome(&problem, Vec::new(), 0);
+        assert_eq!(primary.blocked.len(), 2);
+        let mut scratch = ScheduleScratch::new();
+        let priced = priced_retry_blocked(
+            &problem,
+            primary,
+            &mut scratch,
+            MinCostAlgorithm::SuccessiveShortestPaths,
+            &rsin_obs::NoopProbe,
+        )
+        .unwrap();
+        assert_eq!(priced.recovered, 2);
+        assert_eq!(priced.shed, 0);
+        verify(&priced.outcome.assignments, &problem).unwrap();
+        for a in &priced.outcome.assignments {
+            let want = if a.processor == 1 { 2 } else { 4 };
+            assert_eq!(a.resource, want, "type-matched resource");
+        }
     }
 
     #[test]

@@ -168,6 +168,73 @@ proptest! {
         }
     }
 
+    /// The priced degraded-mode optimality oracle: for min-cost schedulers,
+    /// the merged outcome of `try_schedule_degraded_priced` on a faulted
+    /// topology is *bit-identical in total cost* (and allocation count) to a
+    /// fresh Transformation-2 solve on that same faulted topology — the
+    /// incremental primary-plus-residual recovery loses no optimality — for
+    /// all three min-cost algorithms, across random topologies, random
+    /// priorities/preferences, and random fault toggle sequences, with the
+    /// transform rebuilt exactly once per scratch for the whole sequence.
+    #[test]
+    fn priced_degraded_matches_fresh_min_cost_solve(
+        which in 0usize..3,
+        snap in snapshot_strategy(),
+        prios in proptest::collection::vec(1u32..10, 8),
+        prefs in proptest::collection::vec(1u32..10, 8),
+        toggles in proptest::collection::vec(
+            (0u32..1_000_000, any::<bool>(), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let net = network(which);
+        let requesting: Vec<(usize, u32)> =
+            snap.requesting.iter().map(|&p| (p, prios[p])).collect();
+        let free: Vec<(usize, u32)> = snap.free.iter().map(|&r| (r, prefs[r])).collect();
+        for algo in rsin_flow::min_cost::Algorithm::ALL {
+            let scheduler = MinCostScheduler::new(algo);
+            let mut scratch = ScheduleScratch::new();
+            let mut cs = circuit_state(&net, &snap);
+            // Warm the scratch on the fault-free topology.
+            {
+                let problem = ScheduleProblem::with_priorities(&cs, &requesting, &free);
+                scheduler.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            }
+            prop_assert_eq!(scratch.rebuilds(), 1, "{:?}", algo);
+            for &(raw, is_box, fail) in &toggles {
+                match (is_box, fail) {
+                    (false, true) =>
+                        cs.fail_link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                    (false, false) =>
+                        cs.repair_link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                    (true, true) => cs.fail_box(raw as usize % net.num_boxes()),
+                    (true, false) => cs.repair_box(raw as usize % net.num_boxes()),
+                }
+                let problem = ScheduleProblem::with_priorities(&cs, &requesting, &free);
+                let fresh = scheduler.try_schedule(&problem).unwrap();
+                let priced = scheduler
+                    .try_schedule_degraded_priced(&problem, &mut scratch)
+                    .unwrap();
+                prop_assert_eq!(
+                    priced.outcome.total_cost, fresh.total_cost,
+                    "{:?}: priced-degraded cost must equal the fresh solve", algo
+                );
+                prop_assert_eq!(priced.outcome.allocated(), fresh.allocated(), "{:?}", algo);
+                prop_assert!(verify(&priced.outcome.assignments, &problem).is_ok());
+                prop_assert_eq!(
+                    priced.outcome.allocated() + priced.shed,
+                    problem.requests.len(),
+                    "{:?}: every request allocated or shed", algo
+                );
+                prop_assert!(priced.recovery_cost >= 0, "{:?}", algo);
+                prop_assert_eq!(
+                    scratch.rebuilds(), 1,
+                    "{:?}: fault toggles and residual solves must never rebuild", algo
+                );
+            }
+        }
+    }
+
     /// Probe equivalence: attaching any probe — the no-op ZST or a live
     /// `Telemetry` sink — to the observed scheduling path never changes the
     /// outcome. Probes only watch; allocation count, total cost, and mapping

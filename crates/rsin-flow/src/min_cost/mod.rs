@@ -123,6 +123,33 @@ pub fn solve_observed(
     r
 }
 
+/// [`solve_observed`] specialized to *residual* Transformation-2 networks:
+/// the min-cost subproblem that priced degraded-mode scheduling builds over
+/// only the blocked requests and still-free resources after the primary
+/// discipline ran. The residual graph carries the same cost structure as the
+/// full transformation — per-assignment costs `(γ'_max − γ_p) + (q'_max −
+/// q_w)` plus a bypass leg strictly dearer than any real allocation — so
+/// every arc cost is nonnegative, which this entry checks in debug builds
+/// (SSP then skips its Bellman–Ford reweighting prepass, and all three
+/// algorithms share one contract). Behaviour is otherwise identical to
+/// [`solve_observed`]: scratch buffers are reused and the solve reports to
+/// the probe.
+pub fn solve_residual_observed(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    target: Flow,
+    algo: Algorithm,
+    scratch: &mut SolveScratch,
+    probe: &dyn rsin_obs::Probe,
+) -> MinCostResult {
+    debug_assert!(
+        g.forward_arcs().all(|(_, a)| a.cost >= 0),
+        "residual Transformation-2 networks must have nonnegative arc costs"
+    );
+    solve_observed(g, s, t, target, algo, scratch, probe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +237,46 @@ mod tests {
                 costs.windows(2).all(|w| w[0] == w[1]),
                 "target {target}: {costs:?}"
             );
+        }
+    }
+
+    #[test]
+    fn residual_entry_matches_plain_solve_on_bypass_shape() {
+        // A bypass-shaped residual: two blocked requests, one reachable free
+        // resource, bypass node absorbing the overflow at a cost strictly
+        // above any real allocation. All three algorithms must route the
+        // cheap request to the resource and bypass the other, matching the
+        // unobserved solver bit for bit.
+        for algo in Algorithm::ALL {
+            let build = || {
+                let mut g = FlowNetwork::new();
+                let s = g.add_node("s");
+                let p0 = g.add_node("p0");
+                let p1 = g.add_node("p1");
+                let u = g.add_node("u"); // bypass
+                let r0 = g.add_node("r0");
+                let t = g.add_node("t");
+                g.add_arc(s, p0, 1, 0);
+                g.add_arc(s, p1, 1, 0);
+                g.add_arc(p0, r0, 1, 3); // (γ_max−γ)+(q_max−q) = 3
+                g.add_arc(p1, r0, 1, 1);
+                g.add_arc(p0, u, 1, 7); // bypass leg > any allocation
+                g.add_arc(p1, u, 1, 9);
+                g.add_arc(u, t, 2, 6);
+                g.add_arc(r0, t, 1, 0);
+                (g, s, t)
+            };
+            let (mut g, s, t) = build();
+            let mut scratch = SolveScratch::default();
+            let probe = rsin_obs::NoopProbe;
+            let r = solve_residual_observed(&mut g, s, t, 2, algo, &mut scratch, &probe);
+            let (mut g2, s2, t2) = build();
+            let plain = solve(&mut g2, s2, t2, 2, algo);
+            assert_eq!((r.flow, r.cost), (plain.flow, plain.cost), "{algo:?}");
+            // p1 (cost 1) takes r0; p0 goes through the bypass: 1 + 7 + 6.
+            assert_eq!(r.flow, 2, "{algo:?}");
+            assert_eq!(r.cost, 14, "{algo:?}");
+            assert_eq!(g.check_legal_flow(s, t).unwrap(), 2, "{algo:?}");
         }
     }
 

@@ -41,11 +41,16 @@ pub enum Counter {
     PhaseRegistration,
     /// Status-bus transitions decoded as cycle-start.
     PhaseCycleStart,
+    /// Total Transformation-2 cost of assignments recovered by priced
+    /// degraded-mode scheduling (merged cost minus primary cost, summed
+    /// over degraded cycles). Appended last: `index()` is the declaration
+    /// order, so new counters must never reorder existing ones.
+    RecoveryCost,
 }
 
 impl Counter {
     /// All variants, in report order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 17] = [
         Counter::Cycles,
         Counter::DegradedCycles,
         Counter::Recovered,
@@ -62,6 +67,7 @@ impl Counter {
         Counter::PhaseResource,
         Counter::PhaseRegistration,
         Counter::PhaseCycleStart,
+        Counter::RecoveryCost,
     ];
 
     /// Dense array index (== position in [`Counter::ALL`]).
@@ -88,6 +94,7 @@ impl Counter {
             Counter::PhaseResource => "phase_resource",
             Counter::PhaseRegistration => "phase_registration",
             Counter::PhaseCycleStart => "phase_cycle_start",
+            Counter::RecoveryCost => "recovery_cost",
         }
     }
 }
@@ -103,15 +110,20 @@ pub enum Hist {
     QueueDepth,
     /// Clock periods per distributed scheduling cycle.
     ClocksPerCycle,
+    /// Per-degraded-cycle Transformation-2 cost of recovered assignments
+    /// (the priced retry's `recovery_cost`). Appended last: `index()` is
+    /// declaration order.
+    RecoveryCost,
 }
 
 impl Hist {
     /// All variants, in report order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::CycleLatencyNs,
         Hist::SolveLatencyNs,
         Hist::QueueDepth,
         Hist::ClocksPerCycle,
+        Hist::RecoveryCost,
     ];
 
     /// Dense array index (== position in [`Hist::ALL`]).
@@ -126,6 +138,7 @@ impl Hist {
             Hist::SolveLatencyNs => "solve_latency_ns",
             Hist::QueueDepth => "queue_depth",
             Hist::ClocksPerCycle => "clocks_per_cycle",
+            Hist::RecoveryCost => "recovery_cost",
         }
     }
 }

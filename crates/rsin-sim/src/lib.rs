@@ -62,6 +62,7 @@ pub use replicate::{
     run_replicated_sweep, ReplicatedFaultedStats, ReplicatedStats,
 };
 pub use system::{
-    fault_plan_seed, run_faulted_trials, run_faulted_trials_probed, run_sweep, DynamicConfig,
-    DynamicStats, FaultedStats, SystemSim,
+    fault_plan_seed, run_faulted_trials, run_faulted_trials_policy,
+    run_faulted_trials_policy_probed, run_faulted_trials_probed, run_sweep, DegradedPolicy,
+    DynamicConfig, DynamicStats, FaultedStats, SystemSim,
 };

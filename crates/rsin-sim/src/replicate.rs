@@ -74,6 +74,10 @@ pub struct ReplicatedFaultedStats {
     /// Transformation-graph rebuilds, summed over replicas (one per replica
     /// per transformation shape used; faults never add to it).
     pub transform_rebuilds: u64,
+    /// Transformation-2 cost added by degraded-mode recoveries, summed over
+    /// replicas (the cost of degradation; see
+    /// [`FaultedStats::recovery_cost`]).
+    pub recovery_cost: i64,
 }
 
 /// Merge per-replica [`DynamicStats`] in slice (= replica) order.
@@ -129,6 +133,7 @@ pub fn merge_faulted(per_replica: &[FaultedStats]) -> ReplicatedFaultedStats {
         },
         recoveries_observed,
         transform_rebuilds: per_replica.iter().map(|f| f.transform_rebuilds).sum(),
+        recovery_cost: per_replica.iter().map(|f| f.recovery_cost).sum(),
     }
 }
 

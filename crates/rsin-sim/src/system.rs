@@ -60,6 +60,13 @@ pub struct DynamicConfig {
     /// `r % types`; each arriving task draws a uniform type, so the offered
     /// load is balanced across types.
     pub types: usize,
+    /// Number of priority/preference levels (1 = the classic unpriced
+    /// model). Processor `p` requests at priority `1 + p % levels` and
+    /// resource `r` offers preference `1 + r % levels` — deterministic, no
+    /// RNG draws — so with `levels == 1` every run is bit-identical to the
+    /// unpriced simulator, while `levels > 1` gives degraded-mode recovery
+    /// a non-trivial Transformation-2 cost surface to optimize over.
+    pub priority_levels: u32,
 }
 
 impl Default for DynamicConfig {
@@ -72,6 +79,34 @@ impl Default for DynamicConfig {
             warmup: 100.0,
             seed: 1,
             types: 1,
+            priority_levels: 1,
+        }
+    }
+}
+
+/// How a scheduling cycle handles blocked requests while the topology is
+/// degraded (at least one component faulty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedPolicy {
+    /// No retry: blocked requests are shed (stay queued) immediately.
+    None,
+    /// Unpriced alternate-path retry: each blocked request BFSes to *any*
+    /// still-untaken type-compatible free resource
+    /// ([`Scheduler::try_schedule_degraded`]).
+    Bfs,
+    /// Priced retry: a residual Transformation-2 min-cost solve over the
+    /// blocked requests and still-free resources picks the minimum-cost
+    /// maximal recovery ([`Scheduler::try_schedule_degraded_priced`]).
+    Priced,
+}
+
+impl DegradedPolicy {
+    /// Short identifier used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradedPolicy::None => "none",
+            DegradedPolicy::Bfs => "bfs",
+            DegradedPolicy::Priced => "priced",
         }
     }
 }
@@ -134,6 +169,12 @@ pub struct FaultedStats {
     /// fault-free value (1 per transformation shape used) because fault
     /// toggles are incremental capacity patches.
     pub transform_rebuilds: u64,
+    /// Total Transformation-2 cost added by degraded-mode recoveries over
+    /// the whole run (summed per-cycle `recovery_cost`; the cost of
+    /// degradation). 0 when nothing is recovered, when
+    /// `priority_levels == 1` (all costs collapse to 0), or under
+    /// [`DegradedPolicy::None`].
+    pub recovery_cost: i64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -241,6 +282,23 @@ impl<'n> SystemSim<'n> {
         self.run_faulted_trial_probed(scheduler, plan, trial, &NoopProbe)
     }
 
+    /// [`Self::run_faulted_trial`] with an explicit degraded-mode policy:
+    /// how blocked requests are handled during faulty cycles (shed
+    /// immediately, BFS-retried, or recovered by a residual min-cost solve;
+    /// see [`DegradedPolicy`]). [`Self::run_faulted_trial`] is the
+    /// [`DegradedPolicy::Bfs`] special case. The policy only takes effect
+    /// while something is faulty, so all policies are bit-identical under an
+    /// empty plan.
+    pub fn run_faulted_trial_policy(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+        policy: DegradedPolicy,
+    ) -> FaultedStats {
+        self.run_faulted_trial_policy_probed(scheduler, plan, trial, policy, &NoopProbe)
+    }
+
     /// [`Self::run_faulted_trial`] reporting to a telemetry probe: arrival,
     /// release, fault, and repair events go into the probe's trace (with
     /// matching counters), per-cycle queue depths land in
@@ -256,6 +314,19 @@ impl<'n> SystemSim<'n> {
         scheduler: &dyn Scheduler,
         plan: &FaultPlan,
         trial: u64,
+        probe: &dyn Probe,
+    ) -> FaultedStats {
+        self.run_faulted_trial_policy_probed(scheduler, plan, trial, DegradedPolicy::Bfs, probe)
+    }
+
+    /// [`Self::run_faulted_trial_policy`] reporting to a telemetry probe
+    /// (see [`Self::run_faulted_trial_probed`] for the probe contract).
+    pub fn run_faulted_trial_policy_probed(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+        policy: DegradedPolicy,
         probe: &dyn Probe,
     ) -> FaultedStats {
         let cfg = &self.cfg;
@@ -299,9 +370,11 @@ impl<'n> SystemSim<'n> {
         let mut completed = 0u64;
         let mut cycles = 0u64;
 
+        let levels = cfg.priority_levels.max(1);
         let mut allocations = 0u64;
         let mut shed_total = 0u64;
         let mut recovered_total = 0u64;
+        let mut recovery_cost_total = 0i64;
         let mut failures = 0u64;
         let mut repairs = 0u64;
         let mut recovery = Sample::new();
@@ -400,7 +473,7 @@ impl<'n> SystemSim<'n> {
                 .filter(|&p| !queue[p].is_empty() && !transmitting[p])
                 .map(|p| ScheduleRequest {
                     processor: p,
-                    priority: 1,
+                    priority: 1 + (p as u32) % levels,
                     resource_type: queue[p].front().unwrap().1,
                 })
                 .collect();
@@ -408,7 +481,7 @@ impl<'n> SystemSim<'n> {
                 .filter(|&r| !busy[r])
                 .map(|r| FreeResource {
                     resource: r,
-                    preference: 1,
+                    preference: 1 + (r as u32) % levels,
                     resource_type: if cfg.types > 1 { r % cfg.types } else { 0 },
                 })
                 .collect();
@@ -428,25 +501,58 @@ impl<'n> SystemSim<'n> {
             };
             // Degraded-mode scheduling only while something is actually
             // faulty; fault-free cycles take the ordinary path so `run()`
-            // (empty plan) stays bit-identical to the pre-fault simulator.
-            let (out, recovered, shed) = if cs.faulty_count() > 0 {
-                let d = scheduler
-                    .try_schedule_degraded_observed(&problem, &mut scratch, probe)
-                    .unwrap_or_else(|e| {
-                        panic!("{} failed degraded schedule: {e}", scheduler.name())
-                    });
-                (d.outcome, d.recovered as u64, d.shed as u64)
+            // (empty plan) stays bit-identical to the pre-fault simulator,
+            // and all policies agree under an empty plan.
+            let (out, recovered, shed, recovery_cost) = if cs.faulty_count() > 0 {
+                match policy {
+                    DegradedPolicy::None => {
+                        let out = scheduler
+                            .try_schedule_observed(&problem, &mut scratch, probe)
+                            .unwrap_or_else(|e| {
+                                panic!("{} failed to schedule: {e}", scheduler.name())
+                            });
+                        let shed = out.blocked.len() as u64;
+                        (out, 0, shed, 0)
+                    }
+                    DegradedPolicy::Bfs => {
+                        let d = scheduler
+                            .try_schedule_degraded_observed(&problem, &mut scratch, probe)
+                            .unwrap_or_else(|e| {
+                                panic!("{} failed degraded schedule: {e}", scheduler.name())
+                            });
+                        (
+                            d.outcome,
+                            d.recovered as u64,
+                            d.shed as u64,
+                            d.recovery_cost,
+                        )
+                    }
+                    DegradedPolicy::Priced => {
+                        let d = scheduler
+                            .try_schedule_degraded_priced_observed(&problem, &mut scratch, probe)
+                            .unwrap_or_else(|e| {
+                                panic!("{} failed priced degraded schedule: {e}", scheduler.name())
+                            });
+                        (
+                            d.outcome,
+                            d.recovered as u64,
+                            d.shed as u64,
+                            d.recovery_cost,
+                        )
+                    }
+                }
             } else {
                 let out = scheduler
                     .try_schedule_observed(&problem, &mut scratch, probe)
                     .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", scheduler.name()));
-                (out, 0, 0)
+                (out, 0, 0, 0)
             };
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
             drop(problem);
             cycles += 1;
             shed_total += shed;
             recovered_total += recovered;
+            recovery_cost_total += recovery_cost;
             if probe.enabled() {
                 if recovered > 0 {
                     probe.event(now, rsin_obs::EventKind::Recovered, recovered, 0);
@@ -505,6 +611,7 @@ impl<'n> SystemSim<'n> {
             mean_recovery: recovery.mean(),
             recoveries_observed: recovery.count(),
             transform_rebuilds: scratch.rebuilds(),
+            recovery_cost: recovery_cost_total,
         }
     }
 }
@@ -545,9 +652,33 @@ pub fn run_faulted_trials(
     trials: usize,
     threads: usize,
 ) -> Vec<FaultedStats> {
+    run_faulted_trials_policy(
+        net,
+        scheduler,
+        cfg,
+        fault_cfg,
+        trials,
+        threads,
+        DegradedPolicy::Bfs,
+    )
+}
+
+/// [`run_faulted_trials`] with an explicit degraded-mode policy (see
+/// [`DegradedPolicy`]); the unsuffixed entry is the [`DegradedPolicy::Bfs`]
+/// special case. Same determinism contract: results land in trial order and
+/// are bit-identical for any thread count.
+pub fn run_faulted_trials_policy(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    trials: usize,
+    threads: usize,
+    policy: DegradedPolicy,
+) -> Vec<FaultedStats> {
     crate::pool::run_indexed(trials, threads, |trial| {
         let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
-        SystemSim::new(net, *cfg).run_faulted_trial(scheduler, &plan, trial as u64)
+        SystemSim::new(net, *cfg).run_faulted_trial_policy(scheduler, &plan, trial as u64, policy)
     })
 }
 
@@ -565,9 +696,40 @@ pub fn run_faulted_trials_probed(
     threads: usize,
     probe: &dyn Probe,
 ) -> Vec<FaultedStats> {
+    run_faulted_trials_policy_probed(
+        net,
+        scheduler,
+        cfg,
+        fault_cfg,
+        trials,
+        threads,
+        DegradedPolicy::Bfs,
+        probe,
+    )
+}
+
+/// [`run_faulted_trials_policy`] with every trial reporting into one shared
+/// telemetry probe (same contract as [`run_faulted_trials_probed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_faulted_trials_policy_probed(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    trials: usize,
+    threads: usize,
+    policy: DegradedPolicy,
+    probe: &dyn Probe,
+) -> Vec<FaultedStats> {
     crate::pool::run_indexed(trials, threads, |trial| {
         let plan = FaultPlan::generate(net, fault_cfg, fault_plan_seed(cfg.seed, trial as u64));
-        SystemSim::new(net, *cfg).run_faulted_trial_probed(scheduler, &plan, trial as u64, probe)
+        SystemSim::new(net, *cfg).run_faulted_trial_policy_probed(
+            scheduler,
+            &plan,
+            trial as u64,
+            policy,
+            probe,
+        )
     })
 }
 
@@ -832,6 +994,109 @@ mod tests {
         );
         assert!(faulted.mean_recovery >= 0.0);
         assert!(faulted.mean_recovery < cfg.sim_time);
+    }
+
+    #[test]
+    fn degraded_policies_agree_on_empty_plan() {
+        // The policy knob only takes effect while something is faulty, so
+        // under an empty plan all three policies are bit-identical.
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 200.0,
+            warmup: 20.0,
+            priority_levels: 3,
+            ..DynamicConfig::default()
+        };
+        let s = MaxFlowScheduler::default();
+        let runs: Vec<FaultedStats> = [
+            DegradedPolicy::None,
+            DegradedPolicy::Bfs,
+            DegradedPolicy::Priced,
+        ]
+        .iter()
+        .map(|&p| SystemSim::new(&net, cfg).run_faulted_trial_policy(&s, &FaultPlan::empty(), 0, p))
+        .collect();
+        for w in runs.windows(2) {
+            assert_eq!(w[0].stats.completed, w[1].stats.completed);
+            assert_eq!(w[0].stats.cycles, w[1].stats.cycles);
+            assert_eq!(
+                w[0].stats.mean_response.to_bits(),
+                w[1].stats.mean_response.to_bits()
+            );
+        }
+        assert!(runs.iter().all(|r| r.recovery_cost == 0));
+    }
+
+    #[test]
+    fn priced_policy_bit_identical_across_thread_counts() {
+        use rsin_core::scheduler::AddressMappedScheduler;
+        use rsin_topology::FaultPlanConfig;
+        // Address mapping binds blind, so faulty cycles actually exercise
+        // the residual min-cost recovery; the result must still be
+        // bit-identical for any worker count.
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.5,
+            sim_time: 200.0,
+            warmup: 20.0,
+            priority_levels: 4,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig::links(0.004, 15.0, cfg.sim_time);
+        let scheduler = AddressMappedScheduler::new(7);
+        let serial =
+            run_faulted_trials_policy(&net, &scheduler, &cfg, &fcfg, 5, 1, DegradedPolicy::Priced);
+        for threads in [2, 8] {
+            let parallel = run_faulted_trials_policy(
+                &net,
+                &scheduler,
+                &cfg,
+                &fcfg,
+                5,
+                threads,
+                DegradedPolicy::Priced,
+            );
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.stats.completed, b.stats.completed, "threads={threads}");
+                assert_eq!(a.recovery_cost, b.recovery_cost, "threads={threads}");
+                assert_eq!(a.recovered_total, b.recovered_total, "threads={threads}");
+                assert_eq!(
+                    a.stats.mean_response.to_bits(),
+                    b.stats.mean_response.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+        assert!(
+            serial.iter().all(|r| r.recovery_cost >= 0),
+            "recovery cost is a sum of nonnegative per-cycle costs"
+        );
+    }
+
+    #[test]
+    fn priority_levels_one_matches_unpriced_run() {
+        // levels == 1 must be bit-identical to the pre-knob simulator
+        // (priority/preference all collapse to 1 with no extra RNG draws).
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 150.0,
+            warmup: 20.0,
+            ..DynamicConfig::default()
+        };
+        assert_eq!(cfg.priority_levels, 1);
+        let a = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
+        let leveled = DynamicConfig {
+            priority_levels: 5,
+            ..cfg
+        };
+        let b = SystemSim::new(&net, leveled).run(&MaxFlowScheduler::default());
+        // Max-flow ignores prices entirely, so even with levels > 1 the
+        // decision sequence (and hence all dynamics) is unchanged.
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Dominance regression for priced degraded-mode scheduling.
+//!
+//! Both retry policies are evaluated on the *same* degraded scheduling
+//! problem — an omega-8 state carrying a seeded fault-plan prefix — so the
+//! comparison is paired, not trajectory-coupled (two free-running
+//! simulations diverge after their first differing recovery and their
+//! run totals stop being comparable). On a paired problem the dominance is
+//! Theorem-3 backed: the residual min-cost solve recovers a *maximum* set
+//! of blocked requests (never sheds more than the greedy BFS retry) and,
+//! when both recover equally many, at no greater Transformation-2 cost.
+//!
+//! The per-(rate, scheduler) cell aggregates are pinned as a committed
+//! snapshot so any behavioural drift shows up as a readable diff
+//! (regenerate with `UPDATE_SNAPSHOTS=1 cargo test -p rsin-sim --test
+//! degraded_dominance`).
+
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{
+    AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, ScheduleScratch,
+    Scheduler,
+};
+use rsin_topology::builders::omega;
+use rsin_topology::{CircuitState, FaultPlan, FaultPlanConfig};
+
+const SEED: u64 = 42;
+const TRIALS: u64 = 6;
+const RATES: [f64; 3] = [0.002, 0.005, 0.01];
+const HORIZONS: [f64; 4] = [60.0, 150.0, 240.0, 300.0];
+const MEAN_REPAIR: f64 = 25.0;
+const LEVELS: u32 = 4;
+
+#[derive(Default)]
+struct Cell {
+    problems: u64,
+    degraded: u64,
+    recovered: u64,
+    shed: u64,
+    recovery_cost: i64,
+}
+
+#[test]
+fn priced_retry_dominates_bfs_on_fixed_grid() {
+    let net = omega(8).unwrap();
+    let schedulers: [(&str, Box<dyn Scheduler>); 3] = [
+        ("max-flow", Box::new(MaxFlowScheduler::default())),
+        (
+            "greedy",
+            Box::new(GreedyScheduler::new(RequestOrder::Shuffled(17))),
+        ),
+        ("addr-map", Box::new(AddressMappedScheduler::new(SEED))),
+    ];
+
+    let mut table = String::new();
+    table.push_str(&format!(
+        "network=omega-8 trials={TRIALS} horizons={HORIZONS:?} mean_repair={MEAN_REPAIR} \
+         levels={LEVELS} seed={SEED}\n",
+    ));
+    table.push_str(
+        "scheduler  rate    policy  problems  degraded  recovered  shed  recovery_cost\n",
+    );
+
+    for (name, scheduler) in &schedulers {
+        // One scratch per scheduler, shared across every cell: fault
+        // toggles and occupancy are capacity patches, never rebuilds.
+        let mut scratch = ScheduleScratch::new();
+        for rate in RATES {
+            let fault_cfg = FaultPlanConfig::links(rate, MEAN_REPAIR, 300.0);
+            let mut bfs_cell = Cell::default();
+            let mut priced_cell = Cell::default();
+            for trial in 0..TRIALS {
+                let plan = FaultPlan::generate(&net, &fault_cfg, SEED ^ (trial * 977));
+                for until in HORIZONS {
+                    let mut cs = CircuitState::new(&net);
+                    plan.apply_until(until, &mut cs);
+                    let bits = trial.wrapping_mul(31).wrapping_add(until as u64);
+                    let req: Vec<(usize, u32)> = (0..8)
+                        .filter(|p| (bits >> (p % 6)) & 1 == 0)
+                        .map(|p| (p, 1 + (p as u32) % LEVELS))
+                        .collect();
+                    let free: Vec<(usize, u32)> = (0..8)
+                        .filter(|r| (bits >> ((r + 3) % 7)) & 1 == 1)
+                        .map(|r| (r, 1 + (r as u32) % LEVELS))
+                        .collect();
+                    let problem = ScheduleProblem::with_priorities(&cs, &req, &free);
+                    let bfs = scheduler
+                        .try_schedule_degraded(&problem, &mut scratch)
+                        .unwrap();
+                    let priced = scheduler
+                        .try_schedule_degraded_priced(&problem, &mut scratch)
+                        .unwrap();
+                    // Paired per-problem dominance (Theorem 3 on the
+                    // residual): the min-cost retry recovers a maximum set.
+                    assert!(
+                        priced.shed <= bfs.shed,
+                        "{name} rate {rate} trial {trial} until {until}: \
+                         priced shed {} > bfs shed {}",
+                        priced.shed,
+                        bfs.shed,
+                    );
+                    if priced.recovered == bfs.recovered {
+                        assert!(
+                            priced.recovery_cost <= bfs.recovery_cost,
+                            "{name} rate {rate} trial {trial} until {until}: equal \
+                             recovery but priced cost {} > bfs cost {}",
+                            priced.recovery_cost,
+                            bfs.recovery_cost,
+                        );
+                    }
+                    let degraded = u64::from(bfs.shed + bfs.recovered > 0);
+                    for (cell, recovered, shed, cost) in [
+                        (&mut bfs_cell, bfs.recovered, bfs.shed, bfs.recovery_cost),
+                        (
+                            &mut priced_cell,
+                            priced.recovered,
+                            priced.shed,
+                            priced.recovery_cost,
+                        ),
+                    ] {
+                        cell.problems += 1;
+                        cell.degraded += degraded;
+                        cell.recovered += recovered as u64;
+                        cell.shed += shed as u64;
+                        cell.recovery_cost += cost;
+                    }
+                }
+            }
+            // Cell-level dominance: never more shed, never a dearer total.
+            assert!(priced_cell.shed <= bfs_cell.shed, "{name} rate {rate}");
+            assert!(
+                priced_cell.recovery_cost <= bfs_cell.recovery_cost,
+                "{name} rate {rate}: priced cell cost {} > bfs {}",
+                priced_cell.recovery_cost,
+                bfs_cell.recovery_cost,
+            );
+            for (policy, cell) in [("bfs", &bfs_cell), ("priced", &priced_cell)] {
+                table.push_str(&format!(
+                    "{name:<9}  {rate:<6}  {policy:<6}  {:<8}  {:<8}  {:<9}  {:<4}  {}\n",
+                    cell.problems, cell.degraded, cell.recovered, cell.shed, cell.recovery_cost,
+                ));
+            }
+        }
+    }
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/snapshots/degraded_dominance.txt"
+    );
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(path, &table).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(path)
+        .expect("missing snapshot; regenerate with UPDATE_SNAPSHOTS=1");
+    assert_eq!(
+        committed, table,
+        "dominance table drifted from the committed snapshot; if the change \
+         is intentional, regenerate with UPDATE_SNAPSHOTS=1",
+    );
+}

@@ -295,6 +295,105 @@ mod tests {
     }
 
     #[test]
+    fn apply_until_idempotent_at_repeated_horizons() {
+        // Replaying the same prefix — once more on the same state, or on a
+        // fresh state — always lands on the same fault set: fail/repair are
+        // idempotent set operations and the prefix is a fixed event list.
+        let net = omega(8).unwrap();
+        let plan = FaultPlan::generate(&net, &cfg(0.03, 4.0), 21);
+        assert!(plan.len() >= 4, "want a mix of failures and repairs");
+        let mut last_applied = 0;
+        for horizon in [0.0, 25.0, 50.0, 100.0, f64::INFINITY] {
+            let mut cs = CircuitState::new(&net);
+            let applied = plan.apply_until(horizon, &mut cs);
+            assert!(applied >= last_applied, "prefix grows with the horizon");
+            last_applied = applied;
+            let faulty: Vec<bool> = (0..net.num_links() as u32)
+                .map(|l| !cs.is_free(LinkId(l)))
+                .collect();
+            // Same horizon again, same state: nothing changes.
+            assert_eq!(plan.apply_until(horizon, &mut cs), applied);
+            let replayed: Vec<bool> = (0..net.num_links() as u32)
+                .map(|l| !cs.is_free(LinkId(l)))
+                .collect();
+            assert_eq!(faulty, replayed, "horizon {horizon}");
+            // Same horizon on a fresh state: identical fault set.
+            let mut fresh = CircuitState::new(&net);
+            assert_eq!(plan.apply_until(horizon, &mut fresh), applied);
+            let fresh_faulty: Vec<bool> = (0..net.num_links() as u32)
+                .map(|l| !fresh.is_free(LinkId(l)))
+                .collect();
+            assert_eq!(faulty, fresh_faulty, "horizon {horizon}");
+        }
+        assert_eq!(last_applied, plan.len(), "infinite horizon replays all");
+    }
+
+    #[test]
+    fn from_events_sorts_by_time_and_keeps_tie_order() {
+        let l = |i: u32| FaultTarget::Link(LinkId(i));
+        let ev = |time, target, action| FaultEvent {
+            time,
+            target,
+            action,
+        };
+        let plan = FaultPlan::from_events(vec![
+            ev(5.0, l(3), FaultAction::Fail),
+            ev(1.0, l(0), FaultAction::Fail),
+            ev(5.0, l(1), FaultAction::Fail), // same time as l(3): stays after it
+            ev(0.0, l(2), FaultAction::Fail),
+        ]);
+        let times: Vec<f64> = plan.events().iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.events()[0].target, l(2));
+        assert_eq!(plan.events()[1].target, l(0));
+        // Stable sort: the 5.0 tie keeps insertion order.
+        assert_eq!(plan.events()[2].target, l(3));
+        assert_eq!(plan.events()[3].target, l(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_events_rejects_non_finite_times() {
+        let _ = FaultPlan::from_events(vec![FaultEvent {
+            time: f64::NAN,
+            target: FaultTarget::Link(LinkId(0)),
+            action: FaultAction::Fail,
+        }]);
+    }
+
+    #[test]
+    fn failure_count_consistent_under_interleaved_fail_repair() {
+        // One link failing and repairing repeatedly: failure_count counts
+        // Fail *events* (3 here), while the applied state at any horizon
+        // reflects only the last action before it.
+        let net = omega(8).unwrap();
+        let target = FaultTarget::Link(LinkId(0));
+        let ev = |time, action| FaultEvent {
+            time,
+            target,
+            action,
+        };
+        let plan = FaultPlan::from_events(vec![
+            ev(1.0, FaultAction::Fail),
+            ev(2.0, FaultAction::Repair),
+            ev(3.0, FaultAction::Fail),
+            ev(4.0, FaultAction::Repair),
+            ev(5.0, FaultAction::Fail),
+        ]);
+        assert_eq!(plan.failure_count(), 3);
+        assert_eq!(plan.len(), 5);
+        for (horizon, want_faulty) in [(0.5, 0), (1.5, 1), (2.5, 0), (3.5, 1), (4.5, 0), (5.5, 1)] {
+            let mut cs = CircuitState::new(&net);
+            plan.apply_until(horizon, &mut cs);
+            assert_eq!(cs.faulty_count(), want_faulty, "horizon {horizon}");
+        }
+        // Event-time boundary is exclusive: `time < until`.
+        let mut cs = CircuitState::new(&net);
+        assert_eq!(plan.apply_until(1.0, &mut cs), 0);
+        assert_eq!(cs.faulty_count(), 0);
+    }
+
+    #[test]
     fn box_faults_expand_to_links() {
         let net = omega(8).unwrap();
         let mut cs = CircuitState::new(&net);

@@ -51,6 +51,7 @@ fn main() {
                 warmup: 200.0,
                 seed: 8,
                 types: 1,
+                priority_levels: 1,
             };
             let stats = SystemSim::new(&net, cfg).run(*s);
             println!(

@@ -113,6 +113,41 @@ fn equivalence_under_faults() {
 }
 
 #[test]
+fn equivalence_under_fault_plan_prefixes() {
+    // The same conformance claim, but with the fault history drawn from a
+    // seeded FaultPlan instead of a hand-rolled pattern: at every horizon
+    // prefix of the plan, the token engine on the degraded topology must
+    // allocate exactly as many resources as centralized Dinic.
+    use rsin_topology::{FaultPlan, FaultPlanConfig};
+
+    let net = omega(8).unwrap();
+    let cfg = FaultPlanConfig::links(0.02, 10.0, 100.0);
+    for trial in 0..8u64 {
+        let plan = FaultPlan::generate(&net, &cfg, 0xFA17 ^ trial);
+        for until in [0.0, 20.0, 45.0, 70.0, 100.0, 200.0] {
+            let mut cs = CircuitState::new(&net);
+            let applied = plan.apply_until(until, &mut cs);
+            assert!(applied <= plan.len());
+            let req: Vec<usize> = (0..8).filter(|i| (trial >> (i % 6)) & 1 == 0).collect();
+            let free: Vec<usize> = (0..8)
+                .filter(|i| (trial >> ((i + 3) % 6)) & 1 == 1)
+                .collect();
+            let problem = ScheduleProblem::homogeneous(&cs, &req, &free);
+            let hw = TokenEngine::run(&problem);
+            let sw = MaxFlowScheduler::default().schedule(&problem);
+            assert_eq!(
+                hw.outcome.assignments.len(),
+                sw.allocated(),
+                "trial {trial} until {until} ({} faulty links)",
+                cs.faulty_count(),
+            );
+            verify(&hw.outcome.assignments, &problem)
+                .unwrap_or_else(|e| panic!("trial {trial} until {until}: {e}"));
+        }
+    }
+}
+
+#[test]
 fn equivalence_on_64x64_spot_check() {
     hammer(&omega(64).unwrap(), 64, 5, 32, 8);
 }

@@ -90,6 +90,7 @@ fn dynamic_simulation_full_stack() {
         warmup: 40.0,
         seed: 3,
         types: 1,
+        priority_levels: 1,
     };
     let stats = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
     assert!(stats.completed > 200);
