@@ -40,13 +40,17 @@
 //! `rsin_obs::Telemetry` sink and writes its JSON report.
 
 use rsin_core::model::ScheduleProblem;
-use rsin_core::scheduler::{MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler};
+use rsin_core::scheduler::{
+    IncrementalBackend, MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler,
+    StreamDecision,
+};
 use rsin_flow::max_flow::Algorithm;
 use rsin_obs::{NoopProbe, Probe, Telemetry};
 use rsin_sim::blocking::{
     compare_schedulers_pools, compare_schedulers_threads, run_blocking_threads, BlockingConfig,
 };
 use rsin_sim::replicate::run_replicated;
+use rsin_sim::stream::{generate_commands, replay_batch, replay_incremental};
 use rsin_sim::system::DynamicConfig;
 use rsin_sim::workload::{random_snapshot, trial_rng};
 use rsin_topology::builders::omega;
@@ -376,6 +380,60 @@ fn main() {
         normalized: rep_secs / calib,
     });
 
+    // Streaming rows: warm-start incremental decisions vs per-event batch
+    // re-solves on the same recorded command stream (the rsin-serve hot
+    // path). Allocation-count equivalence on every prefix is asserted
+    // before timing; the speedup gate reads `min_stream_speedup` from the
+    // baseline. Both sides are single-threaded, so there is no core-count
+    // skip — the ratio is meaningful on any machine.
+    let stream_cmds = generate_commands(net.num_processors(), 384, 0.8, 41, 0);
+    {
+        let decisions = replay_incremental(&net, IncrementalBackend::MaxFlow, &stream_cmds)
+            .expect("valid stream");
+        let batch_counts = replay_batch(&net, &stream_cmds).expect("batch replays");
+        let mut allocated = 0usize;
+        for (d, &want) in decisions.iter().zip(&batch_counts) {
+            match d {
+                StreamDecision::Allocated { .. } => allocated += 1,
+                StreamDecision::Released { promoted, .. } => {
+                    allocated -= 1;
+                    if promoted.is_some() {
+                        allocated += 1;
+                    }
+                }
+                StreamDecision::Queued { .. } | StreamDecision::Withdrawn { .. } => {}
+            }
+            assert_eq!(allocated, want, "incremental diverged from batch re-solve");
+        }
+    }
+    let stream_inc_secs = time_min(|| {
+        black_box(
+            replay_incremental(&net, IncrementalBackend::MaxFlow, &stream_cmds)
+                .expect("valid stream")
+                .len(),
+        );
+    });
+    println!("  stream_incremental: {stream_inc_secs:.4}s");
+    rows.push(Row {
+        name: "stream_incremental".to_string(),
+        secs: stream_inc_secs,
+        normalized: stream_inc_secs / calib,
+    });
+    let stream_batch_secs = time_min(|| {
+        black_box(
+            replay_batch(&net, &stream_cmds)
+                .expect("batch replays")
+                .len(),
+        );
+    });
+    let stream_speedup = stream_batch_secs / stream_inc_secs;
+    println!("  stream_batch: {stream_batch_secs:.4}s (incremental x{stream_speedup:.2} faster)");
+    rows.push(Row {
+        name: "stream_batch".to_string(),
+        secs: stream_batch_secs,
+        normalized: stream_batch_secs / calib,
+    });
+
     // Zero-overhead-when-off gate: the observed hot path under NoopProbe
     // must stay within the regression limit of the plain one, measured in
     // the same process so machine speed cancels exactly.
@@ -513,6 +571,28 @@ fn main() {
             println!(
                 "  scheduler-pool efficiency: skipped ({cores} core(s) available, gate needs >= 4)"
             );
+        }
+    }
+
+    // Streaming warm-start gate (ISSUE 6 acceptance): incremental decisions
+    // must beat per-event batch re-solves by the baseline floor. Both sides
+    // are single-threaded, so unlike the two gates above there is no
+    // core-count skip — the in-process ratio holds on any machine.
+    if let Some(min_stream) = parse_floor(&text, "min_stream_speedup") {
+        let inc = rows.iter().find(|r| r.name == "stream_incremental");
+        let batch = rows.iter().find(|r| r.name == "stream_batch");
+        if let (Some(inc), Some(batch)) = (inc, batch) {
+            let speedup = batch.secs / inc.secs;
+            println!(
+                "  streaming warm-start: incremental speedup x{speedup:.2} (floor x{min_stream})"
+            );
+            if speedup < min_stream {
+                eprintln!(
+                    "bench_smoke: streaming incremental speedup x{speedup:.2} below floor \
+                     x{min_stream}"
+                );
+                failed = true;
+            }
         }
     }
 

@@ -51,5 +51,6 @@ pub mod transform;
 pub use mapping::{Assignment, MappingError};
 pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
 pub use scheduler::{
-    DegradedOutcome, PricedDegradedOutcome, ScheduleError, ScheduleScratch, Scheduler,
+    DegradedOutcome, IncrementalBackend, IncrementalScheduler, PricedDegradedOutcome,
+    PromotedRequest, ScheduleError, ScheduleScratch, Scheduler, StreamDecision,
 };

@@ -17,6 +17,7 @@
 
 mod exhaustive;
 mod heuristic;
+pub mod incremental;
 mod matching;
 mod max_flow;
 mod min_cost;
@@ -24,6 +25,7 @@ mod multicommodity;
 
 pub use exhaustive::ExhaustiveScheduler;
 pub use heuristic::{AddressMappedScheduler, GreedyScheduler, RequestOrder};
+pub use incremental::{IncrementalBackend, IncrementalScheduler, PromotedRequest, StreamDecision};
 pub use matching::MatchingScheduler;
 pub use max_flow::MaxFlowScheduler;
 pub use min_cost::MinCostScheduler;
@@ -50,6 +52,16 @@ pub enum ScheduleError {
     Mapping(MappingError),
     /// A fallback path could not establish a circuit it believed was free.
     Circuit(CircuitError),
+    /// A stream command named a processor the network does not have.
+    UnknownProcessor(usize),
+    /// A stream `Request` arrived for a processor that is already queued or
+    /// allocated.
+    DuplicateRequest(usize),
+    /// A stream `Release` arrived for a processor with nothing to release.
+    ReleaseIdle(usize),
+    /// An internal invariant was violated (corrupted flow or bookkeeping);
+    /// the message names the broken invariant.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -57,6 +69,12 @@ impl std::fmt::Display for ScheduleError {
         match self {
             ScheduleError::Mapping(e) => write!(f, "flow decomposition failed: {e:?}"),
             ScheduleError::Circuit(e) => write!(f, "circuit establishment failed: {e:?}"),
+            ScheduleError::UnknownProcessor(p) => write!(f, "unknown processor {p}"),
+            ScheduleError::DuplicateRequest(p) => {
+                write!(f, "processor {p} already has an active request")
+            }
+            ScheduleError::ReleaseIdle(p) => write!(f, "processor {p} has nothing to release"),
+            ScheduleError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -179,11 +197,15 @@ fn retry_blocked(
         }
         if let Some((resource, path)) = cs.find_path_to_any(p, &candidates) {
             cs.establish(&path)?;
+            // The resource was drawn from `candidates` ⊆ `problem.free`, so
+            // a miss here means the snapshot mutated underneath us.
             let k = problem
                 .free
                 .iter()
                 .position(|f| f.resource == resource)
-                .unwrap();
+                .ok_or(ScheduleError::Internal(
+                    "recovered resource missing from the free list",
+                ))?;
             taken[k] = true;
             assignments.push(Assignment {
                 processor: p,

@@ -196,6 +196,13 @@ impl ReusableTransform {
         self.inner.as_mut().map(|i| &mut i.t)
     }
 
+    /// Read-only view of the currently built transform (e.g. to decompose
+    /// the retained flow without touching it). `None` until the first
+    /// configure.
+    pub fn transformed(&self) -> Option<&Transformed> {
+        self.inner.as_ref().map(|i| &i.t)
+    }
+
     /// Retune the superset for `problem` in the Transformation-1 shape
     /// (unit capacities, no costs) and return it ready to solve.
     pub fn configure_max_flow(&mut self, problem: &ScheduleProblem) -> &mut Transformed {

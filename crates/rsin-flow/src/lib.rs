@@ -25,8 +25,10 @@
 //! * Supporting machinery: an arena [`graph::FlowNetwork`] with paired
 //!   residual arcs, [`cut`] (min-cut extraction and max-flow = min-cut
 //!   verification), [`path`] (flow decomposition into arc-disjoint s–t paths,
-//!   which *are* the request→resource circuits), and [`stats`] (operation
-//!   counting used by the monitor-architecture cost model).
+//!   which *are* the request→resource circuits), [`incremental`] (warm-start
+//!   single augmentations and one-unit flow cancellation for streaming
+//!   schedulers), and [`stats`] (operation counting used by the
+//!   monitor-architecture cost model).
 //!
 //! ```
 //! use rsin_flow::graph::FlowNetwork;
@@ -49,6 +51,7 @@
 pub mod bipartite;
 pub mod cut;
 pub mod graph;
+pub mod incremental;
 pub mod max_flow;
 pub mod min_cost;
 pub mod multicommodity;

@@ -43,14 +43,28 @@ pub enum Counter {
     PhaseCycleStart,
     /// Total Transformation-2 cost of assignments recovered by priced
     /// degraded-mode scheduling (merged cost minus primary cost, summed
-    /// over degraded cycles). Appended last: `index()` is the declaration
-    /// order, so new counters must never reorder existing ones.
+    /// over degraded cycles).
     RecoveryCost,
+    /// Streaming decisions taken by an incremental scheduler (one per
+    /// accepted `Request`/`Release` command).
+    StreamDecisions,
+    /// Streaming arrivals allocated immediately (one augmentation found a
+    /// path).
+    StreamAllocated,
+    /// Streaming arrivals left queued (no augmenting path at arrival time).
+    StreamQueued,
+    /// Streaming releases of an allocated circuit (one unit of flow
+    /// cancelled).
+    StreamReleased,
+    /// Queued requests promoted to allocated by the re-augmentation that
+    /// follows a release. Appended last: `index()` is the declaration
+    /// order, so new counters must never reorder existing ones.
+    StreamPromoted,
 }
 
 impl Counter {
     /// All variants, in report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Cycles,
         Counter::DegradedCycles,
         Counter::Recovered,
@@ -68,6 +82,11 @@ impl Counter {
         Counter::PhaseRegistration,
         Counter::PhaseCycleStart,
         Counter::RecoveryCost,
+        Counter::StreamDecisions,
+        Counter::StreamAllocated,
+        Counter::StreamQueued,
+        Counter::StreamReleased,
+        Counter::StreamPromoted,
     ];
 
     /// Dense array index (== position in [`Counter::ALL`]).
@@ -95,6 +114,11 @@ impl Counter {
             Counter::PhaseRegistration => "phase_registration",
             Counter::PhaseCycleStart => "phase_cycle_start",
             Counter::RecoveryCost => "recovery_cost",
+            Counter::StreamDecisions => "stream_decisions",
+            Counter::StreamAllocated => "stream_allocated",
+            Counter::StreamQueued => "stream_queued",
+            Counter::StreamReleased => "stream_released",
+            Counter::StreamPromoted => "stream_promoted",
         }
     }
 }
@@ -111,19 +135,23 @@ pub enum Hist {
     /// Clock periods per distributed scheduling cycle.
     ClocksPerCycle,
     /// Per-degraded-cycle Transformation-2 cost of recovered assignments
-    /// (the priced retry's `recovery_cost`). Appended last: `index()` is
-    /// declaration order.
+    /// (the priced retry's `recovery_cost`).
     RecoveryCost,
+    /// Wall-clock nanoseconds of one streaming decision (arrival
+    /// augmentation or release cancellation + re-augmentation). Appended
+    /// last: `index()` is declaration order.
+    DecisionLatencyNs,
 }
 
 impl Hist {
     /// All variants, in report order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::CycleLatencyNs,
         Hist::SolveLatencyNs,
         Hist::QueueDepth,
         Hist::ClocksPerCycle,
         Hist::RecoveryCost,
+        Hist::DecisionLatencyNs,
     ];
 
     /// Dense array index (== position in [`Hist::ALL`]).
@@ -139,6 +167,7 @@ impl Hist {
             Hist::QueueDepth => "queue_depth",
             Hist::ClocksPerCycle => "clocks_per_cycle",
             Hist::RecoveryCost => "recovery_cost",
+            Hist::DecisionLatencyNs => "decision_latency_ns",
         }
     }
 }

@@ -1,0 +1,230 @@
+//! SERVE — the streaming scheduler service CLI.
+//!
+//! Drives the long-lived [`rsin_serve::Server`] event loop from the command
+//! line: generate or replay `R <p>` / `F <p>` command logs, write the
+//! canonical seq-ordered decision log, or sweep offered load and compare
+//! incremental (warm-start) decision throughput against per-event batch
+//! re-solves.
+//!
+//! Usage:
+//!   serve [--net <name>] [--backend maxflow|mincost] [--workers N]
+//!         [--seed S] [--events N] [--load F] [--trial T]
+//!         [--record FILE] [--replay FILE] [--decisions FILE] [--sweep]
+//!
+//! Modes (in precedence order):
+//!   --record FILE   generate a deterministic command log and write it; no
+//!                   scheduling happens (CI records once, replays twice).
+//!   --replay FILE   read a command log and serve it.
+//!   --sweep         saturation sweep: decisions/sec vs offered load,
+//!                   incremental vs batch (feeds EXPERIMENTS.md).
+//!   (default)       generate a stream in-process and serve it.
+//!
+//! Networks: `omegaN`, `cubeN`, `benesN`, `baselineN`, `flipN` (N a power
+//! of two), e.g. `omega16` (the default) or `cube8`.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use rsin_core::scheduler::IncrementalBackend;
+use rsin_serve::{serve_commands, ServeReport, ServerConfig};
+use rsin_sim::stream::{
+    encode_commands, generate_commands, parse_commands, replay_batch, replay_incremental,
+    StreamCommand,
+};
+use rsin_topology::builders::{baseline, benes, flip, generalized_cube, omega};
+use rsin_topology::Network;
+use std::time::Instant;
+
+struct Args {
+    net: String,
+    backend: IncrementalBackend,
+    workers: usize,
+    seed: u64,
+    trial: u64,
+    events: usize,
+    load: f64,
+    record: Option<String>,
+    replay: Option<String>,
+    decisions: Option<String>,
+    sweep: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        net: "omega16".to_string(),
+        backend: IncrementalBackend::MaxFlow,
+        workers: 1,
+        seed: 7,
+        trial: 0,
+        events: 512,
+        load: 0.7,
+        record: None,
+        replay: None,
+        decisions: None,
+        sweep: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--net" => args.net = value(&mut i)?,
+            "--backend" => {
+                args.backend = match value(&mut i)?.as_str() {
+                    "maxflow" => IncrementalBackend::MaxFlow,
+                    "mincost" => IncrementalBackend::MinCost,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
+            "--workers" => args.workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--trial" => args.trial = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--events" => args.events = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--load" => args.load = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--record" => args.record = Some(value(&mut i)?),
+            "--replay" => args.replay = Some(value(&mut i)?),
+            "--decisions" => args.decisions = Some(value(&mut i)?),
+            "--sweep" => args.sweep = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn build_network(spec: &str) -> Result<Network, String> {
+    let split = spec
+        .find(|c: char| c.is_ascii_digit())
+        .ok_or_else(|| format!("network spec {spec:?} has no size"))?;
+    let (family, size) = spec.split_at(split);
+    let n: usize = size
+        .parse()
+        .map_err(|e| format!("bad size in {spec:?}: {e}"))?;
+    let built = match family {
+        "omega" => omega(n),
+        "cube" => generalized_cube(n),
+        "benes" => benes(n),
+        "baseline" => baseline(n),
+        "flip" => flip(n),
+        other => return Err(format!("unknown network family {other:?}")),
+    };
+    built.map_err(|e| format!("cannot build {spec}: {e:?}"))
+}
+
+fn summarize(report: &ServeReport, secs: f64) {
+    println!(
+        "served {} decisions ({} errors) in {:.3}s — {:.0} decisions/sec",
+        report.decisions,
+        report.errors,
+        secs,
+        report.decisions as f64 / secs.max(1e-9)
+    );
+    println!(
+        "final state: {} allocated, {} queued, {} rebuild(s)",
+        report.allocated, report.queued, report.rebuilds
+    );
+}
+
+/// Saturation sweep: decisions/sec of the warm-start service vs per-event
+/// batch re-solves, across offered load.
+fn sweep(net: &Network, args: &Args) {
+    println!(
+        "SERVE SWEEP — {} {} events per point, backend {}",
+        args.net,
+        args.events,
+        args.backend.name()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "load", "inc dec/s", "batch dec/s", "speedup"
+    );
+    for load in [0.2, 0.35, 0.5, 0.65, 0.8, 0.9] {
+        let cmds = generate_commands(
+            net.num_processors(),
+            args.events,
+            load,
+            args.seed,
+            args.trial,
+        );
+        let t0 = Instant::now();
+        let inc = replay_incremental(net, args.backend, &cmds).expect("valid stream");
+        let inc_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let batch = replay_batch(net, &cmds).expect("valid stream");
+        let batch_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(inc.len(), batch.len());
+        let per = cmds.len() as f64;
+        println!(
+            "{:>6.2} {:>14.0} {:>14.0} {:>8.2}x",
+            load,
+            per / inc_secs.max(1e-9),
+            per / batch_secs.max(1e-9),
+            batch_secs / inc_secs.max(1e-9)
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let net = build_network(&args.net)?;
+
+    if let Some(path) = &args.record {
+        let cmds = generate_commands(
+            net.num_processors(),
+            args.events,
+            args.load,
+            args.seed,
+            args.trial,
+        );
+        std::fs::write(path, encode_commands(&cmds)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("recorded {} commands to {path}", cmds.len());
+        return Ok(());
+    }
+
+    if args.sweep {
+        sweep(&net, &args);
+        return Ok(());
+    }
+
+    let cmds: Vec<StreamCommand> = match &args.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            parse_commands(&text)?
+        }
+        None => generate_commands(
+            net.num_processors(),
+            args.events,
+            args.load,
+            args.seed,
+            args.trial,
+        ),
+    };
+
+    let config = ServerConfig {
+        backend: args.backend,
+        workers: args.workers,
+    };
+    let t0 = Instant::now();
+    let report = serve_commands(&net, config, &cmds);
+    let secs = t0.elapsed().as_secs_f64();
+
+    match &args.decisions {
+        Some(path) => {
+            std::fs::write(path, report.log()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {} decision lines to {path}", report.lines.len());
+        }
+        None => print!("{}", report.log()),
+    }
+    summarize(&report, secs);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,465 @@
+//! # rsin-serve — streaming scheduler service
+//!
+//! A long-lived event loop over the warm-start
+//! [`IncrementalScheduler`]: commands arrive on an mpsc submit channel, one
+//! scheduler thread makes every decision **incrementally** on the retained
+//! residual flow (the transformation graph is built exactly once —
+//! `rebuilds` stays 1 for the lifetime of the service), and a pool of
+//! format workers renders the canonical decision-log lines.
+//!
+//! ## Determinism contract
+//!
+//! The scheduler thread is the single decision maker and stamps every
+//! decision with a sequence number in submission order; worker threads only
+//! *format* already-made decisions, and the collector sorts the finished
+//! lines by sequence number. The emitted log is therefore byte-identical
+//! for any worker count — the CI `determinism` job replays a recorded
+//! command log at 1 and 8 workers and `cmp`s the logs.
+//!
+//! ## Error handling
+//!
+//! A malformed command (unknown processor, duplicate request, release of an
+//! idle processor) yields a typed [`ScheduleError`]; the service renders it
+//! as an `error` log line and keeps serving — a bad client command must not
+//! take the event loop down. See DESIGN.md §11 for the architecture and the
+//! cancel/augment invariants the scheduler relies on.
+
+use rsin_core::scheduler::{IncrementalBackend, IncrementalScheduler, ScheduleError};
+use rsin_obs::{NoopProbe, Probe};
+use rsin_sim::stream::{format_decision, StreamCommand};
+use rsin_topology::Network;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How a [`Server`] is run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Flow discipline for the retained graph.
+    pub backend: IncrementalBackend,
+    /// Number of format worker threads (clamped to at least 1). The
+    /// decision *log* is worker-count-invariant; workers only parallelize
+    /// rendering.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            backend: IncrementalBackend::MaxFlow,
+            workers: 1,
+        }
+    }
+}
+
+/// Final accounting of a served stream.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Decision-log lines in sequence order (one per submitted command).
+    pub lines: Vec<String>,
+    /// Commands that produced a decision.
+    pub decisions: u64,
+    /// Commands rejected with a typed error (rendered as `error` lines).
+    pub errors: u64,
+    /// Processors still holding an allocation at shutdown.
+    pub allocated: usize,
+    /// Processors still queued at shutdown.
+    pub queued: usize,
+    /// Transformation-graph builds over the service lifetime (always 1).
+    pub rebuilds: u64,
+}
+
+impl ServeReport {
+    /// The full decision log as one newline-terminated string (empty for an
+    /// empty stream). This is the byte sequence the determinism job
+    /// compares.
+    pub fn log(&self) -> String {
+        let mut s = String::new();
+        for line in &self.lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The submit side of a server was already closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server event loop is closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+/// The canonical rendering of a rejected command (kept next to
+/// [`format_decision`] semantics: sequence number first, then the verdict).
+pub fn format_error(seq: u64, e: &ScheduleError) -> String {
+    format!("{seq} error {e}")
+}
+
+/// What the scheduler thread hands back at shutdown.
+struct LoopStats {
+    decisions: u64,
+    errors: u64,
+    allocated: usize,
+    queued: usize,
+    rebuilds: u64,
+}
+
+/// A running streaming scheduler service.
+///
+/// Built by [`Server::start`]; fed with [`Server::submit`]; torn down with
+/// [`Server::finish`], which closes the submit channel, drains the
+/// pipeline, and returns the [`ServeReport`].
+pub struct Server {
+    submit: Option<mpsc::Sender<StreamCommand>>,
+    scheduler: Option<JoinHandle<LoopStats>>,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<Vec<(u64, String)>>>,
+}
+
+impl Server {
+    /// Start the event loop for `net` (unobserved).
+    pub fn start(net: &Network, config: ServerConfig) -> Server {
+        Self::start_probed(net, config, Arc::new(NoopProbe))
+    }
+
+    /// Start the event loop with per-decision probe reporting: every
+    /// decision bumps the `stream_*` counters and records its latency in
+    /// `decision_latency_ns` (see `rsin-obs`).
+    pub fn start_probed(
+        net: &Network,
+        config: ServerConfig,
+        probe: Arc<dyn Probe + Send + Sync>,
+    ) -> Server {
+        let inc = IncrementalScheduler::new(net, config.backend);
+        let (submit_tx, submit_rx) = mpsc::channel::<StreamCommand>();
+        let (work_tx, work_rx) = mpsc::channel::<(
+            u64,
+            Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
+        )>();
+        let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
+
+        let scheduler =
+            std::thread::spawn(move || scheduler_loop(inc, &*probe, submit_rx, work_tx));
+
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let work_rx = Arc::clone(&work_rx);
+                let line_tx = line_tx.clone();
+                std::thread::spawn(move || worker_loop(&work_rx, &line_tx))
+            })
+            .collect();
+        drop(line_tx);
+
+        let collector = std::thread::spawn(move || {
+            let mut lines: Vec<(u64, String)> = line_rx.iter().collect();
+            lines.sort_by_key(|&(seq, _)| seq);
+            lines
+        });
+
+        Server {
+            submit: Some(submit_tx),
+            scheduler: Some(scheduler),
+            workers,
+            collector: Some(collector),
+        }
+    }
+
+    /// Enqueue one command. Fails only if the event loop is gone.
+    pub fn submit(&self, cmd: StreamCommand) -> Result<(), Closed> {
+        self.submit
+            .as_ref()
+            .ok_or(Closed)?
+            .send(cmd)
+            .map_err(|_| Closed)
+    }
+
+    /// Close the submit channel, drain every stage, and return the report.
+    pub fn finish(mut self) -> ServeReport {
+        self.submit.take();
+        let stats = self
+            .scheduler
+            .take()
+            .expect("finish runs once")
+            .join()
+            .expect("scheduler thread never panics");
+        for w in self.workers.drain(..) {
+            w.join().expect("worker threads never panic");
+        }
+        let lines = self
+            .collector
+            .take()
+            .expect("finish runs once")
+            .join()
+            .expect("collector thread never panics");
+        ServeReport {
+            lines: lines.into_iter().map(|(_, l)| l).collect(),
+            decisions: stats.decisions,
+            errors: stats.errors,
+            allocated: stats.allocated,
+            queued: stats.queued,
+            rebuilds: stats.rebuilds,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the submit side is enough: every stage downstream drains
+        // and exits on channel disconnect. Detached handles finish on their
+        // own; nothing blocks.
+        self.submit.take();
+    }
+}
+
+fn scheduler_loop(
+    mut inc: IncrementalScheduler,
+    probe: &dyn Probe,
+    submit_rx: mpsc::Receiver<StreamCommand>,
+    work_tx: mpsc::Sender<(
+        u64,
+        Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
+    )>,
+) -> LoopStats {
+    let mut decisions = 0u64;
+    let mut errors = 0u64;
+    for (seq, cmd) in submit_rx.into_iter().enumerate() {
+        let result = match cmd {
+            StreamCommand::Request { processor } => inc.request_observed(processor, probe),
+            StreamCommand::Release { processor } => inc.release_observed(processor, probe),
+        };
+        match &result {
+            Ok(_) => decisions += 1,
+            Err(_) => errors += 1,
+        }
+        if work_tx.send((seq as u64, result)).is_err() {
+            break;
+        }
+    }
+    LoopStats {
+        decisions,
+        errors,
+        allocated: inc.allocated_count(),
+        queued: inc.queued_count(),
+        rebuilds: inc.rebuilds(),
+    }
+}
+
+type WorkItem = (
+    u64,
+    Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
+);
+
+fn worker_loop(work_rx: &Mutex<mpsc::Receiver<WorkItem>>, line_tx: &mpsc::Sender<(u64, String)>) {
+    loop {
+        // Hold the lock only for the recv; formatting runs unlocked so
+        // workers overlap.
+        let item = match work_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let (seq, result) = match item {
+            Ok(it) => it,
+            Err(_) => return,
+        };
+        let line = match result {
+            Ok(d) => format_decision(seq, &d),
+            Err(e) => format_error(seq, &e),
+        };
+        if line_tx.send((seq, line)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Run a whole command slice through a fresh server and return the report.
+pub fn serve_commands(
+    net: &Network,
+    config: ServerConfig,
+    commands: &[StreamCommand],
+) -> ServeReport {
+    serve_commands_probed(net, config, commands, Arc::new(NoopProbe))
+}
+
+/// [`serve_commands`] with probe reporting.
+pub fn serve_commands_probed(
+    net: &Network,
+    config: ServerConfig,
+    commands: &[StreamCommand],
+    probe: Arc<dyn Probe + Send + Sync>,
+) -> ServeReport {
+    let server = Server::start_probed(net, config, probe);
+    for &cmd in commands {
+        // The loop outlives the submit side by construction here.
+        server.submit(cmd).expect("event loop is running");
+    }
+    server.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_core::scheduler::StreamDecision;
+    use rsin_obs::{Counter, Telemetry};
+    use rsin_sim::stream::{generate_commands, replay_incremental};
+    use rsin_topology::builders::omega;
+
+    fn cfg(workers: usize, backend: IncrementalBackend) -> ServerConfig {
+        ServerConfig { backend, workers }
+    }
+
+    #[test]
+    fn decision_log_is_byte_identical_across_worker_counts() {
+        let net = omega(8).unwrap();
+        let cmds = generate_commands(8, 400, 0.7, 21, 0);
+        for backend in [IncrementalBackend::MaxFlow, IncrementalBackend::MinCost] {
+            let one = serve_commands(&net, cfg(1, backend), &cmds);
+            for workers in [2, 8] {
+                let many = serve_commands(&net, cfg(workers, backend), &cmds);
+                assert_eq!(one.log(), many.log(), "workers={workers} {backend:?}");
+            }
+            assert_eq!(one.rebuilds, 1);
+            assert_eq!(one.decisions, cmds.len() as u64);
+            assert_eq!(one.errors, 0);
+        }
+    }
+
+    #[test]
+    fn server_log_matches_direct_replay() {
+        let net = omega(8).unwrap();
+        let cmds = generate_commands(8, 200, 0.6, 9, 0);
+        let report = serve_commands(&net, cfg(4, IncrementalBackend::MaxFlow), &cmds);
+        let direct = replay_incremental(&net, IncrementalBackend::MaxFlow, &cmds).unwrap();
+        let want: Vec<String> = direct
+            .iter()
+            .enumerate()
+            .map(|(i, d)| format_decision(i as u64, d))
+            .collect();
+        assert_eq!(report.lines, want);
+    }
+
+    #[test]
+    fn malformed_commands_become_error_lines_and_service_survives() {
+        let net = omega(8).unwrap();
+        let server = Server::start(&net, cfg(2, IncrementalBackend::MaxFlow));
+        server
+            .submit(StreamCommand::Request { processor: 0 })
+            .unwrap();
+        // Duplicate request and out-of-range processor are both rejected.
+        server
+            .submit(StreamCommand::Request { processor: 0 })
+            .unwrap();
+        server
+            .submit(StreamCommand::Request { processor: 99 })
+            .unwrap();
+        server
+            .submit(StreamCommand::Release { processor: 0 })
+            .unwrap();
+        let report = server.finish();
+        assert_eq!(report.decisions, 2);
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.lines.len(), 4);
+        assert!(
+            report.lines[1].starts_with("1 error "),
+            "{}",
+            report.lines[1]
+        );
+        assert!(
+            report.lines[2].starts_with("2 error "),
+            "{}",
+            report.lines[2]
+        );
+        assert!(
+            report.lines[3].starts_with("3 release "),
+            "{}",
+            report.lines[3]
+        );
+        assert_eq!(report.allocated, 0);
+    }
+
+    #[test]
+    fn probes_see_per_decision_counters() {
+        let net = omega(8).unwrap();
+        let cmds = generate_commands(8, 100, 0.7, 33, 0);
+        let telemetry = Arc::new(Telemetry::new());
+        let report = serve_commands_probed(
+            &net,
+            cfg(2, IncrementalBackend::MaxFlow),
+            &cmds,
+            Arc::clone(&telemetry) as Arc<dyn Probe + Send + Sync>,
+        );
+        assert_eq!(
+            telemetry.counter(Counter::StreamDecisions),
+            report.decisions
+        );
+        let allocs = report
+            .lines
+            .iter()
+            .filter(|l| l.contains(" alloc "))
+            .count() as u64;
+        assert_eq!(telemetry.counter(Counter::StreamAllocated), allocs);
+        let hist = telemetry.histogram(rsin_obs::Hist::DecisionLatencyNs);
+        assert_eq!(hist.count, report.decisions);
+    }
+
+    #[test]
+    fn queued_requests_promote_on_release_through_the_service() {
+        // Saturate a tiny crossbar-free scenario: more requests than
+        // resources forces queueing, then a release must promote.
+        let net = omega(4).unwrap();
+        let server = Server::start(&net, cfg(1, IncrementalBackend::MaxFlow));
+        for p in 0..4 {
+            server
+                .submit(StreamCommand::Request { processor: p })
+                .unwrap();
+        }
+        let report = server.finish();
+        let allocated = report
+            .lines
+            .iter()
+            .filter(|l| l.contains(" alloc "))
+            .count();
+        assert_eq!(allocated, report.allocated);
+        assert_eq!(report.allocated + report.queued, 4);
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let net = omega(8).unwrap();
+        let server = Server::start(&net, cfg(4, IncrementalBackend::MaxFlow));
+        server
+            .submit(StreamCommand::Request { processor: 1 })
+            .unwrap();
+        drop(server);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_log() {
+        let net = omega(8).unwrap();
+        let report = serve_commands(&net, ServerConfig::default(), &[]);
+        assert!(report.lines.is_empty());
+        assert_eq!(report.log(), "");
+        assert_eq!(report.rebuilds, 1);
+    }
+
+    #[test]
+    fn decisions_match_decision_enum_shape() {
+        let net = omega(8).unwrap();
+        let direct = replay_incremental(
+            &net,
+            IncrementalBackend::MaxFlow,
+            &[StreamCommand::Request { processor: 3 }],
+        )
+        .unwrap();
+        assert!(matches!(
+            direct[0],
+            StreamDecision::Allocated { processor: 3, .. }
+        ));
+    }
+}

@@ -20,6 +20,9 @@
 //!   per-scheduler comparison rows) runs on;
 //! * [`replicate`] — replicated dynamic runs: independent `(seed, replica)`
 //!   streams of one configuration, merged deterministically;
+//! * [`stream`] — streaming command logs for the incremental scheduler:
+//!   deterministic request/release generators, the `R`/`F` text codec, the
+//!   canonical decision-log line, and warm-start vs batch replay helpers;
 //! * [`metrics`] — sample statistics with confidence intervals;
 //! * [`monitor`] — the centralized monitor architecture of Fig. 6, with
 //!   its exact cycle semantics (mid-cycle arrivals and releases deferred);
@@ -50,6 +53,7 @@ pub mod monitor;
 pub mod packet;
 pub mod pool;
 pub mod replicate;
+pub mod stream;
 pub mod system;
 pub mod workload;
 
@@ -57,6 +61,11 @@ pub use blocking::{
     compare_schedulers_pools, compare_schedulers_threads, run_blocking, run_blocking_threads,
     BlockingConfig, BlockingStats,
 };
+pub use stream::{
+    encode_commands, format_decision, generate_commands, parse_commands, replay_batch,
+    replay_incremental, StreamCommand,
+};
+
 pub use replicate::{
     merge_dynamic, merge_faulted, run_replicated, run_replicated_faulted, run_replicated_probed,
     run_replicated_sweep, ReplicatedFaultedStats, ReplicatedStats,
@@ -64,5 +73,5 @@ pub use replicate::{
 pub use system::{
     fault_plan_seed, run_faulted_trials, run_faulted_trials_policy,
     run_faulted_trials_policy_probed, run_faulted_trials_probed, run_sweep, DegradedPolicy,
-    DynamicConfig, DynamicStats, FaultedStats, SystemSim,
+    DynamicConfig, DynamicStats, FaultedStats, SimError, SystemSim,
 };

@@ -144,14 +144,23 @@ impl Sample {
         }
     }
 
-    /// The `q`-quantile (0 < q <= 1) from the log2 histogram, linearly
-    /// interpolated inside the containing bucket (so within one octave of
-    /// the true order statistic) and clamped to the observed `[min, max]`.
-    /// Returns 0 for an empty sample.
+    /// The `q`-quantile from the log2 histogram, linearly interpolated
+    /// inside the containing bucket (so within one octave of the true order
+    /// statistic) and clamped to the observed `[min, max]`. The extremes are
+    /// exact: `q <= 0` returns the minimum and `q >= 1` the maximum, so
+    /// `quantile(1.0)` is right even when all the mass sits in the top
+    /// occupied octave. Returns 0 for an empty sample.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.n == 0 {
             return 0.0;
         }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Nearest-rank rule: the order statistic at ceil(q * n), 1-based.
         let rank = (q * self.n as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -163,7 +172,12 @@ impl Sample {
                 let into = rank - cum; // 1..=c
                 let lo = bucket_floor(i) as f64;
                 let hi = bucket_ceil(i) as f64;
-                let v = (lo + (hi - lo) * (into as f64 / c as f64)) / BUCKET_SCALE;
+                // Midpoint rule: observation `into` of the c sharing this
+                // bucket sits at fraction (into - 1/2) / c of the octave.
+                // Using into / c instead pins a bucket's last observation to
+                // its ceiling and biases every readout toward the octave top.
+                let frac = (into as f64 - 0.5) / c as f64;
+                let v = (lo + (hi - lo) * frac) / BUCKET_SCALE;
                 return v.clamp(self.min, self.max);
             }
             cum += c;
@@ -391,6 +405,72 @@ mod tests {
         assert_eq!(a.mean().to_bits(), b.mean().to_bits());
         assert_eq!(a.variance().to_bits(), b.variance().to_bits());
         assert_eq!(a.p99().to_bits(), b.p99().to_bits());
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact() {
+        let mut s = Sample::new();
+        for x in [3.0, 7.0, 700.0] {
+            s.push(x);
+        }
+        assert_eq!(s.quantile(0.0), 3.0);
+        assert_eq!(s.quantile(1.0), 700.0);
+        // All mass in one octave: the top quantile must still be the exact
+        // maximum, not the bucket ceiling.
+        let mut one = Sample::new();
+        for _ in 0..50 {
+            one.push(1.5);
+        }
+        assert_eq!(one.quantile(1.0), 1.5);
+        assert_eq!(one.quantile(0.999), 1.5); // clamped to max
+    }
+
+    #[test]
+    fn quantile_of_values_straddling_one_bucket_stays_inside_it() {
+        // 1.0 and 1.9 share the same octave of 1e6-scaled space; every
+        // interior quantile must read out between them.
+        let mut s = Sample::new();
+        for _ in 0..10 {
+            s.push(1.0);
+            s.push(1.9);
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let v = s.quantile(q);
+            assert!((1.0..=1.9).contains(&v), "q={q} v={v}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Histogram quantile vs a sorted-vector oracle: cumulative bucket
+        /// counts agree with cumulative sorted counts (bucketing is monotone
+        /// in the value), so the estimate must land in the same octave as
+        /// the exact nearest-rank order statistic — within a factor of two,
+        /// plus the [min, max] clamp which only tightens it.
+        #[test]
+        fn quantile_matches_sorted_oracle_within_bucket_bounds(
+            values in proptest::collection::vec(1e-3f64..5e3, 1..200),
+            q in 0.01f64..0.99,
+        ) {
+            let mut s = Sample::new();
+            for &x in &values {
+                s.push(x);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+            let exact = sorted[rank - 1];
+            let est = s.quantile(q);
+            let b = bucket_of((exact * BUCKET_SCALE) as u64);
+            let lo = (bucket_floor(b) as f64 / BUCKET_SCALE).max(s.min());
+            let hi = (bucket_ceil(b) as f64 / BUCKET_SCALE).min(s.max());
+            proptest::prop_assert!(
+                (lo * (1.0 - 1e-9)..=hi * (1.0 + 1e-9)).contains(&est),
+                "q={} exact={} est={} bucket=[{}, {}]",
+                q, exact, est, lo, hi
+            );
+        }
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub fn merge_faulted(per_replica: &[FaultedStats]) -> ReplicatedFaultedStats {
     let mut recoveries_observed = 0u64;
     let mut recovery_sum = 0.0f64;
     for f in per_replica {
+        // A replica with no observed recoveries contributes nothing, and its
+        // mean_recovery may be NaN (0/0); weighting by zero would still
+        // poison the sum (NaN * 0 = NaN), so skip it outright.
+        if f.recoveries_observed == 0 {
+            continue;
+        }
         recoveries_observed += f.recoveries_observed;
         recovery_sum += f.mean_recovery * f.recoveries_observed as f64;
     }
@@ -315,6 +321,38 @@ mod tests {
             direct.mean_recovery.to_bits(),
             merged.mean_recovery.to_bits()
         );
+    }
+
+    #[test]
+    fn zero_recovery_replicas_cannot_poison_the_merged_mean() {
+        // Regression: a replica that never observed a recovery carries
+        // `recoveries_observed == 0`, and an upstream 0/0 can leave its
+        // `mean_recovery` as NaN. Weighting it by zero still produced
+        // NaN * 0 = NaN and poisoned the pooled mean.
+        let net = omega(8).unwrap();
+        let cfg = small_cfg();
+        let scheduler = MaxFlowScheduler::default();
+        let fcfg = FaultPlanConfig::links(0.01, 2.0, cfg.sim_time);
+        let per = crate::system::run_faulted_trials(&net, &scheduler, &cfg, &fcfg, 2, 1);
+        let baseline = merge_faulted(&per);
+        let mut poisoned = per[0];
+        poisoned.mean_recovery = f64::NAN;
+        poisoned.recoveries_observed = 0;
+        let merged = merge_faulted(&[poisoned, per[0], per[1]]);
+        assert!(
+            merged.mean_recovery.is_finite(),
+            "NaN leaked into the pooled mean"
+        );
+        // The idle replica contributes nothing: same pooled value as without it.
+        assert_eq!(
+            merged.mean_recovery.to_bits(),
+            baseline.mean_recovery.to_bits()
+        );
+        assert_eq!(merged.recoveries_observed, baseline.recoveries_observed);
+        // All replicas idle: defined zero, not NaN.
+        let idle = merge_faulted(&[poisoned]);
+        assert_eq!(idle.mean_recovery, 0.0);
+        assert_eq!(idle.recoveries_observed, 0);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Streaming command logs for the incremental scheduler.
+//!
+//! A streaming service (`rsin-serve`) consumes a continuous sequence of
+//! [`StreamCommand`]s — one request or one release per line — instead of the
+//! batch snapshots the static experiments use. This module is the single
+//! source of truth for everything every consumer of such a stream shares:
+//!
+//! * [`generate_commands`] — a deterministic workload generator on the
+//!   `(seed, trial)` RNG-stream convention, with a `load` knob steering the
+//!   request/release mix (saturation sweeps vary only the knob);
+//! * [`encode_commands`] / [`parse_commands`] — the `R <p>` / `F <p>` text
+//!   codec the CI determinism job records and replays;
+//! * [`format_decision`] — the canonical decision-log line. The service's
+//!   worker threads, the replay helpers, and the CI byte-comparison all
+//!   format through this one function, so "same decisions" and "same log
+//!   bytes" are the same statement;
+//! * [`replay_incremental`] / [`replay_batch`] — drive a command slice
+//!   through the warm-start scheduler, or re-solve every prefix from zero
+//!   flow (the Theorem 2 oracle and the benchmark's comparison baseline).
+
+use crate::system::SimError;
+use crate::workload::trial_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{
+    IncrementalBackend, IncrementalScheduler, MaxFlowScheduler, ScheduleScratch, Scheduler,
+    StreamDecision,
+};
+use rsin_topology::{CircuitState, Network};
+
+/// One line of a streaming command log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamCommand {
+    /// Processor `processor` requests a resource (`R <p>`).
+    Request {
+        /// Requesting processor.
+        processor: usize,
+    },
+    /// Processor `processor` frees its resource or withdraws (`F <p>`).
+    Release {
+        /// Releasing processor.
+        processor: usize,
+    },
+}
+
+impl StreamCommand {
+    /// The processor the command concerns.
+    pub fn processor(self) -> usize {
+        match self {
+            StreamCommand::Request { processor } | StreamCommand::Release { processor } => {
+                processor
+            }
+        }
+    }
+}
+
+/// Generate a deterministic command stream for `processors` processors.
+///
+/// Every processor is either *idle* or *active* (has an outstanding
+/// request); the generator only ever emits a `Request` for an idle processor
+/// and a `Release` for an active one, so any prefix of the stream is a valid
+/// interleaving. Each event flips a biased coin with `load` = probability of
+/// *preferring* a request: higher load keeps more processors active and
+/// pushes the scheduler toward saturation. When the preferred side has no
+/// eligible processor the other side is used, so exactly `events` commands
+/// are always produced (except `processors == 0`, which yields none).
+///
+/// Determinism: draws come from [`trial_rng`]`(seed, trial)` only — same
+/// arguments, same stream, byte-identical encoded log.
+pub fn generate_commands(
+    processors: usize,
+    events: usize,
+    load: f64,
+    seed: u64,
+    trial: u64,
+) -> Vec<StreamCommand> {
+    if processors == 0 {
+        return Vec::new();
+    }
+    let mut rng: StdRng = trial_rng(seed, trial);
+    let mut active = vec![false; processors];
+    let mut active_count = 0usize;
+    let mut out = Vec::with_capacity(events);
+    for _ in 0..events {
+        let idle_count = processors - active_count;
+        let want_request = if idle_count == 0 {
+            false
+        } else if active_count == 0 {
+            true
+        } else {
+            rng.random_range(0.0..1.0) < load
+        };
+        // Pick uniformly among the eligible side (k-th idle or k-th active;
+        // a linear scan keeps the generator obviously correct — streams are
+        // thousands of events over tens of processors).
+        let (target_state, k) = if want_request {
+            (false, rng.random_range(0..idle_count))
+        } else {
+            (true, rng.random_range(0..active_count))
+        };
+        let p = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == target_state)
+            .nth(k)
+            .map(|(p, _)| p)
+            .expect("eligible side is nonempty");
+        if want_request {
+            active[p] = true;
+            active_count += 1;
+            out.push(StreamCommand::Request { processor: p });
+        } else {
+            active[p] = false;
+            active_count -= 1;
+            out.push(StreamCommand::Release { processor: p });
+        }
+    }
+    out
+}
+
+/// Encode commands as the `R <p>` / `F <p>` line format.
+pub fn encode_commands(commands: &[StreamCommand]) -> String {
+    let mut s = String::new();
+    for c in commands {
+        match *c {
+            StreamCommand::Request { processor } => {
+                s.push_str(&format!("R {processor}\n"));
+            }
+            StreamCommand::Release { processor } => {
+                s.push_str(&format!("F {processor}\n"));
+            }
+        }
+    }
+    s
+}
+
+/// Parse the `R <p>` / `F <p>` line format (blank lines and `#` comment
+/// lines are skipped). Errors name the offending 1-based line.
+pub fn parse_commands(text: &str) -> Result<Vec<StreamCommand>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap_or("");
+        let p: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing processor", i + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad processor: {e}", i + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", i + 1));
+        }
+        match op {
+            "R" => out.push(StreamCommand::Request { processor: p }),
+            "F" => out.push(StreamCommand::Release { processor: p }),
+            other => return Err(format!("line {}: unknown op {other:?}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// The canonical decision-log line for decision `seq` (newline not
+/// included). Everything that writes or compares decision logs goes through
+/// this function.
+pub fn format_decision(seq: u64, decision: &StreamDecision) -> String {
+    match *decision {
+        StreamDecision::Allocated {
+            processor,
+            resource,
+        } => format!("{seq} alloc p{processor} r{resource}"),
+        StreamDecision::Queued { processor } => format!("{seq} queue p{processor}"),
+        StreamDecision::Released {
+            processor,
+            resource,
+            promoted,
+        } => match promoted {
+            Some(pr) => format!(
+                "{seq} release p{processor} r{resource} promote p{} r{}",
+                pr.processor, pr.resource
+            ),
+            None => format!("{seq} release p{processor} r{resource}"),
+        },
+        StreamDecision::Withdrawn { processor } => format!("{seq} withdraw p{processor}"),
+    }
+}
+
+/// Drive `commands` through a fresh warm-start [`IncrementalScheduler`] and
+/// return the decision per command. The transformation graph is built once;
+/// every decision is a single cancel and/or augmentation on the retained
+/// flow.
+pub fn replay_incremental(
+    net: &Network,
+    backend: IncrementalBackend,
+    commands: &[StreamCommand],
+) -> Result<Vec<StreamDecision>, SimError> {
+    let mut inc = IncrementalScheduler::new(net, backend);
+    let mut out = Vec::with_capacity(commands.len());
+    for c in commands {
+        let d = match *c {
+            StreamCommand::Request { processor } => inc.request(processor),
+            StreamCommand::Release { processor } => inc.release(processor),
+        }
+        .map_err(|error| SimError::Schedule {
+            scheduler: backend.name(),
+            error,
+        })?;
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// The batch baseline: after every command, re-solve the active set from
+/// zero flow with the Theorem 2 max-flow scheduler (all resources offered on
+/// the free network) and record the allocation count. This is both the
+/// correctness oracle for the streaming invariant — the retained flow's
+/// allocated count must match every prefix — and the "no warm start"
+/// comparison the streaming benchmark row measures against.
+pub fn replay_batch(net: &Network, commands: &[StreamCommand]) -> Result<Vec<usize>, SimError> {
+    let scheduler = MaxFlowScheduler::default();
+    let mut scratch = ScheduleScratch::new();
+    let cs = CircuitState::new(net);
+    let all: Vec<usize> = (0..net.num_resources()).collect();
+    let mut active = vec![false; net.num_processors()];
+    let mut out = Vec::with_capacity(commands.len());
+    for c in commands {
+        match *c {
+            StreamCommand::Request { processor } => active[processor] = true,
+            StreamCommand::Release { processor } => active[processor] = false,
+        }
+        let requests: Vec<usize> = (0..active.len()).filter(|&p| active[p]).collect();
+        let problem = ScheduleProblem::homogeneous(&cs, &requests, &all);
+        let solved = scheduler
+            .try_schedule_reusing(&problem, &mut scratch)
+            .map_err(|error| SimError::Schedule {
+                scheduler: scheduler.name(),
+                error,
+            })?;
+        out.push(solved.assignments.len());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_topology::builders::omega;
+
+    #[test]
+    fn generator_only_emits_valid_interleavings() {
+        let cmds = generate_commands(8, 300, 0.7, 11, 3);
+        assert_eq!(cmds.len(), 300);
+        let mut active = [false; 8];
+        for c in &cmds {
+            match *c {
+                StreamCommand::Request { processor } => {
+                    assert!(!active[processor], "request while active");
+                    active[processor] = true;
+                }
+                StreamCommand::Release { processor } => {
+                    assert!(active[processor], "release while idle");
+                    active[processor] = false;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_trial_split() {
+        let a = generate_commands(8, 100, 0.5, 42, 0);
+        let b = generate_commands(8, 100, 0.5, 42, 0);
+        assert_eq!(a, b);
+        let other_trial = generate_commands(8, 100, 0.5, 42, 1);
+        assert_ne!(a, other_trial, "trials must draw independent streams");
+    }
+
+    #[test]
+    fn load_knob_steers_the_mix() {
+        let count_requests = |load: f64| {
+            generate_commands(16, 400, load, 7, 0)
+                .iter()
+                .filter(|c| matches!(c, StreamCommand::Request { .. }))
+                .count()
+        };
+        assert!(count_requests(0.9) > count_requests(0.1));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let cmds = generate_commands(8, 64, 0.6, 5, 0);
+        let text = encode_commands(&cmds);
+        assert_eq!(parse_commands(&text).unwrap(), cmds);
+        // Comments and blank lines are transparent.
+        let commented = format!("# recorded stream\n\n{text}");
+        assert_eq!(parse_commands(&commented).unwrap(), cmds);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_commands("R").unwrap_err().contains("line 1"));
+        assert!(parse_commands("R x").unwrap_err().contains("line 1"));
+        assert!(parse_commands("Q 3").unwrap_err().contains("unknown op"));
+        assert!(parse_commands("R 3 4").unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn incremental_replay_matches_batch_counts_on_every_prefix() {
+        let net = omega(8).unwrap();
+        let cmds = generate_commands(8, 200, 0.8, 13, 0);
+        for backend in [IncrementalBackend::MaxFlow, IncrementalBackend::MinCost] {
+            let decisions = replay_incremental(&net, backend, &cmds).unwrap();
+            let batch = replay_batch(&net, &cmds).unwrap();
+            let mut allocated = 0usize;
+            for (d, &want) in decisions.iter().zip(&batch) {
+                match d {
+                    StreamDecision::Allocated { .. } => allocated += 1,
+                    StreamDecision::Released { promoted, .. } => {
+                        allocated -= 1;
+                        if promoted.is_some() {
+                            allocated += 1;
+                        }
+                    }
+                    StreamDecision::Queued { .. } | StreamDecision::Withdrawn { .. } => {}
+                }
+                assert_eq!(allocated, want, "{backend:?} diverged from batch");
+            }
+        }
+    }
+
+    #[test]
+    fn decision_lines_are_stable() {
+        use rsin_core::scheduler::PromotedRequest;
+        assert_eq!(
+            format_decision(
+                3,
+                &StreamDecision::Allocated {
+                    processor: 1,
+                    resource: 4
+                }
+            ),
+            "3 alloc p1 r4"
+        );
+        assert_eq!(
+            format_decision(9, &StreamDecision::Queued { processor: 2 }),
+            "9 queue p2"
+        );
+        assert_eq!(
+            format_decision(
+                10,
+                &StreamDecision::Released {
+                    processor: 2,
+                    resource: 0,
+                    promoted: Some(PromotedRequest {
+                        processor: 5,
+                        resource: 0
+                    })
+                }
+            ),
+            "10 release p2 r0 promote p5 r0"
+        );
+        assert_eq!(
+            format_decision(11, &StreamDecision::Withdrawn { processor: 7 }),
+            "11 withdraw p7"
+        );
+    }
+}

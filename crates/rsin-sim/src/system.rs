@@ -20,10 +20,11 @@ use crate::workload::{exponential, trial_rng};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
-use rsin_core::scheduler::{ScheduleScratch, Scheduler};
+use rsin_core::scheduler::{ScheduleError, ScheduleScratch, Scheduler};
 use rsin_obs::{Counter, NoopProbe, Probe};
 use rsin_topology::{
-    CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, FaultTarget, Network,
+    CircuitError, CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, FaultTarget,
+    Network,
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -110,6 +111,47 @@ impl DegradedPolicy {
         }
     }
 }
+
+/// Typed failure of a dynamic simulation run.
+///
+/// The event loop used to `panic!`/`unwrap` at these sites; every failure is
+/// either a scheduler error bubbling up or a simulator bookkeeping invariant,
+/// and the `try_*` entry points surface them as values instead of tearing a
+/// worker thread down mid-experiment. The panicking entry points remain as
+/// thin boundaries over the `try_*` ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The scheduler returned an error mid-cycle.
+    Schedule {
+        /// [`Scheduler::name`] of the failing scheduler.
+        scheduler: &'static str,
+        /// The underlying scheduling error.
+        error: ScheduleError,
+    },
+    /// A circuit operation the event loop believed safe was rejected.
+    Circuit {
+        /// What the event loop was doing when it failed.
+        context: &'static str,
+        /// The underlying circuit error.
+        error: CircuitError,
+    },
+    /// A simulator bookkeeping invariant broke (queue/assignment mismatch).
+    State(&'static str),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Schedule { scheduler, error } => {
+                write!(f, "{scheduler} failed to schedule: {error}")
+            }
+            SimError::Circuit { context, error } => write!(f, "{context}: {error}"),
+            SimError::State(m) => write!(f, "simulator invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Aggregate results of a dynamic run.
 #[derive(Debug, Clone, Copy)]
@@ -321,6 +363,10 @@ impl<'n> SystemSim<'n> {
 
     /// [`Self::run_faulted_trial_policy`] reporting to a telemetry probe
     /// (see [`Self::run_faulted_trial_probed`] for the probe contract).
+    ///
+    /// Panics on [`SimError`] — the historical boundary behaviour for
+    /// experiment drivers. Use [`Self::try_run_faulted_trial_policy_probed`]
+    /// to handle failures as values.
     pub fn run_faulted_trial_policy_probed(
         &self,
         scheduler: &dyn Scheduler,
@@ -329,6 +375,21 @@ impl<'n> SystemSim<'n> {
         policy: DegradedPolicy,
         probe: &dyn Probe,
     ) -> FaultedStats {
+        self.try_run_faulted_trial_policy_probed(scheduler, plan, trial, policy, probe)
+            .unwrap_or_else(|e| panic!("dynamic simulation failed: {e}"))
+    }
+
+    /// [`Self::run_faulted_trial_policy_probed`] with typed errors: the
+    /// event loop propagates scheduler failures and bookkeeping-invariant
+    /// violations as [`SimError`] instead of panicking mid-run.
+    pub fn try_run_faulted_trial_policy_probed(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+        policy: DegradedPolicy,
+        probe: &dyn Probe,
+    ) -> Result<FaultedStats, SimError> {
         let cfg = &self.cfg;
         let mut rng: StdRng = trial_rng(cfg.seed, trial);
         let np = self.net.num_processors();
@@ -413,7 +474,10 @@ impl<'n> SystemSim<'n> {
                     circuit,
                     arrived,
                 } => {
-                    cs.release(circuit).expect("live circuit");
+                    cs.release(circuit).map_err(|error| SimError::Circuit {
+                        context: "releasing a transmitted task's circuit",
+                        error,
+                    })?;
                     probe.add(Counter::Releases, 1);
                     if probe.enabled() {
                         probe.event(
@@ -470,11 +534,15 @@ impl<'n> SystemSim<'n> {
             }
             // Scheduling cycle whenever requests and resources coexist.
             let requests: Vec<ScheduleRequest> = (0..np)
-                .filter(|&p| !queue[p].is_empty() && !transmitting[p])
-                .map(|p| ScheduleRequest {
-                    processor: p,
-                    priority: 1 + (p as u32) % levels,
-                    resource_type: queue[p].front().unwrap().1,
+                .filter(|&p| !transmitting[p])
+                .filter_map(|p| {
+                    // `front()` folds the non-empty check into the type
+                    // lookup; a drained queue simply contributes no request.
+                    queue[p].front().map(|&(_, ty)| ScheduleRequest {
+                        processor: p,
+                        priority: 1 + (p as u32) % levels,
+                        resource_type: ty,
+                    })
                 })
                 .collect();
             let free: Vec<FreeResource> = (0..nr)
@@ -503,23 +571,23 @@ impl<'n> SystemSim<'n> {
             // faulty; fault-free cycles take the ordinary path so `run()`
             // (empty plan) stays bit-identical to the pre-fault simulator,
             // and all policies agree under an empty plan.
+            let fail = |error: ScheduleError| SimError::Schedule {
+                scheduler: scheduler.name(),
+                error,
+            };
             let (out, recovered, shed, recovery_cost) = if cs.faulty_count() > 0 {
                 match policy {
                     DegradedPolicy::None => {
                         let out = scheduler
                             .try_schedule_observed(&problem, &mut scratch, probe)
-                            .unwrap_or_else(|e| {
-                                panic!("{} failed to schedule: {e}", scheduler.name())
-                            });
+                            .map_err(fail)?;
                         let shed = out.blocked.len() as u64;
                         (out, 0, shed, 0)
                     }
                     DegradedPolicy::Bfs => {
                         let d = scheduler
                             .try_schedule_degraded_observed(&problem, &mut scratch, probe)
-                            .unwrap_or_else(|e| {
-                                panic!("{} failed degraded schedule: {e}", scheduler.name())
-                            });
+                            .map_err(fail)?;
                         (
                             d.outcome,
                             d.recovered as u64,
@@ -530,9 +598,7 @@ impl<'n> SystemSim<'n> {
                     DegradedPolicy::Priced => {
                         let d = scheduler
                             .try_schedule_degraded_priced_observed(&problem, &mut scratch, probe)
-                            .unwrap_or_else(|e| {
-                                panic!("{} failed priced degraded schedule: {e}", scheduler.name())
-                            });
+                            .map_err(fail)?;
                         (
                             d.outcome,
                             d.recovered as u64,
@@ -544,7 +610,7 @@ impl<'n> SystemSim<'n> {
             } else {
                 let out = scheduler
                     .try_schedule_observed(&problem, &mut scratch, probe)
-                    .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", scheduler.name()));
+                    .map_err(fail)?;
                 (out, 0, 0, 0)
             };
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
@@ -572,8 +638,13 @@ impl<'n> SystemSim<'n> {
             }
             allocations += out.assignments.len() as u64;
             for a in &out.assignments {
-                let circuit = cs.establish(&a.path).expect("scheduler paths are free");
-                let (arrived, _ty) = queue[a.processor].pop_front().expect("had a task");
+                let circuit = cs.establish(&a.path).map_err(|error| SimError::Circuit {
+                    context: "establishing a scheduled circuit",
+                    error,
+                })?;
+                let (arrived, _ty) = queue[a.processor].pop_front().ok_or(SimError::State(
+                    "assignment for a processor with an empty queue",
+                ))?;
                 transmitting[a.processor] = true;
                 busy[a.resource] = true;
                 let tx_done = now + exponential(&mut rng, 1.0 / cfg.mean_transmission);
@@ -591,7 +662,7 @@ impl<'n> SystemSim<'n> {
             }
         }
         let horizon = (cfg.sim_time - cfg.warmup).max(f64::MIN_POSITIVE);
-        FaultedStats {
+        Ok(FaultedStats {
             stats: DynamicStats {
                 utilization: busy_integral / horizon / nr as f64,
                 mean_response: response.mean(),
@@ -612,7 +683,7 @@ impl<'n> SystemSim<'n> {
             recoveries_observed: recovery.count(),
             transform_rebuilds: scratch.rebuilds(),
             recovery_cost: recovery_cost_total,
-        }
+        })
     }
 }
 

@@ -31,6 +31,18 @@ pub enum CircuitError {
     BadCircuit,
 }
 
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::LinkOccupied(l) => write!(f, "link {} is already occupied", l.index()),
+            CircuitError::NotAPath => write!(f, "links do not form a processor-to-resource path"),
+            CircuitError::BadCircuit => write!(f, "unknown or already-released circuit"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
 /// Dynamic occupancy overlay for a network.
 #[derive(Debug, Clone)]
 pub struct CircuitState<'a> {

@@ -55,7 +55,7 @@ pub mod perm;
 pub mod routing;
 pub mod switchbox;
 
-pub use circuit::{CircuitId, CircuitState};
+pub use circuit::{CircuitError, CircuitId, CircuitState};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanConfig, FaultTarget};
 pub use network::{LinkId, Network, NetworkBuilder, NetworkError, NodeRef};
 pub use switchbox::Switchbox;

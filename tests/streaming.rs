@@ -1,0 +1,102 @@
+//! Streaming ≡ batch equivalence (proptest).
+//!
+//! The warm-start invariant (DESIGN.md §11): after every accepted command,
+//! the incremental scheduler's retained flow is a maximum flow over the
+//! active request arcs and the full resource set, so its allocated count
+//! equals a Theorem 2 batch fresh-solve on the same active set — for
+//! arbitrary interleaved arrival/release sequences, on both flow backends,
+//! with the transformation graph built exactly once. The retained *mapping*
+//! is only allocation-count-equivalent (arrivals may re-route existing units
+//! through cancellation arcs), so the mapping itself is checked for
+//! validity, not pointwise equality.
+
+use proptest::prelude::*;
+use rsin_core::mapping::verify;
+use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::{
+    IncrementalBackend, IncrementalScheduler, MaxFlowScheduler, ScheduleScratch, Scheduler,
+    StreamDecision,
+};
+use rsin_topology::builders::{generalized_cube, omega};
+use rsin_topology::{CircuitState, Network};
+
+/// A raw interleaving script: processor picks in 0..8. Whether each pick is
+/// an arrival or a release is decided by the live state (idle → request,
+/// active → release), so every generated sequence is a valid stream.
+fn arb_script() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..8, 1..150)
+}
+
+fn check_stream(
+    net: &Network,
+    backend: IncrementalBackend,
+    script: &[usize],
+) -> Result<(), TestCaseError> {
+    let mut inc = IncrementalScheduler::new(net, backend);
+    let mut active = vec![false; net.num_processors()];
+    let oracle = MaxFlowScheduler::default();
+    let mut scratch = ScheduleScratch::new();
+    let cs = CircuitState::new(net);
+    let all: Vec<usize> = (0..net.num_resources()).collect();
+    for &p in script {
+        let decision = if active[p] {
+            active[p] = false;
+            inc.release(p)
+        } else {
+            active[p] = true;
+            inc.request(p)
+        };
+        let decision = decision.expect("valid interleavings never error");
+        // The decision must concern the commanded processor.
+        match decision {
+            StreamDecision::Allocated { processor, .. }
+            | StreamDecision::Queued { processor }
+            | StreamDecision::Released { processor, .. }
+            | StreamDecision::Withdrawn { processor } => prop_assert_eq!(processor, p),
+        }
+        // Oracle: fresh batch solve over the active set on the free network.
+        let requests: Vec<usize> = (0..active.len()).filter(|&q| active[q]).collect();
+        let problem = ScheduleProblem::homogeneous(&cs, &requests, &all);
+        let batch = oracle
+            .try_schedule_reusing(&problem, &mut scratch)
+            .expect("oracle solves");
+        prop_assert_eq!(
+            inc.allocated_count(),
+            batch.assignments.len(),
+            "{:?} diverged from batch after touching p{}",
+            backend,
+            p
+        );
+        prop_assert_eq!(inc.allocated_count() + inc.queued_count(), requests.len());
+        // The retained mapping decomposes into a valid, link-disjoint
+        // assignment of exactly the allocated processors.
+        let assignments = inc.assignments().expect("retained flow decomposes");
+        prop_assert_eq!(assignments.len(), inc.allocated_count());
+        if let Err(e) = verify(&assignments, &problem) {
+            prop_assert!(false, "invalid retained mapping: {}", e);
+        }
+    }
+    // The whole stream ran on one superset graph build.
+    prop_assert_eq!(inc.rebuilds(), 1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Omega-8, both backends.
+    #[test]
+    fn streaming_matches_batch_on_omega(script in arb_script()) {
+        let net = omega(8).unwrap();
+        check_stream(&net, IncrementalBackend::MaxFlow, &script)?;
+        check_stream(&net, IncrementalBackend::MinCost, &script)?;
+    }
+
+    /// Generalized cube-8, both backends.
+    #[test]
+    fn streaming_matches_batch_on_cube(script in arb_script()) {
+        let net = generalized_cube(8).unwrap();
+        check_stream(&net, IncrementalBackend::MaxFlow, &script)?;
+        check_stream(&net, IncrementalBackend::MinCost, &script)?;
+    }
+}
