@@ -16,7 +16,7 @@
 //! normalized time regresses more than 25 % over the baseline's — slow CI
 //! hardware cancels out of the ratio, real hot-path regressions do not.
 //!
-//! Five contracts are asserted on the way:
+//! Six contracts are asserted on the way:
 //!
 //! * determinism — every thread count must produce bit-identical blocking
 //!   statistics;
@@ -34,12 +34,19 @@
 //!   comparison table run on per-scheduler pools
 //!   (`compare_schedulers_pools`) must beat the serial row-after-row table
 //!   by at least that factor (max-of-rows vs. sum-of-rows wall-clock). On
-//!   smaller machines both per-core gates print a skip note instead.
+//!   smaller machines both per-core gates print a skip note instead;
+//! * sharded hierarchy — the hierarchical two-stage scheduler on a 4-shard
+//!   composition must produce bit-identical statistics at every
+//!   thread/shard-pool width, never allocate more than the flat Theorem-2
+//!   oracle on the same snapshots, and (when the baseline carries a
+//!   `min_shard_speedup` and the machine has ≥ 4 cores) beat the flat
+//!   single-solver fresh solve by at least that factor.
 //!
 //! `--telemetry <path>` additionally runs the observed hot path under a live
 //! `rsin_obs::Telemetry` sink and writes its JSON report.
 
 use rsin_core::model::ScheduleProblem;
+use rsin_core::scheduler::InterShardPolicy;
 use rsin_core::scheduler::{
     IncrementalBackend, MaxFlowScheduler, MinCostScheduler, ScheduleScratch, Scheduler,
     StreamDecision,
@@ -50,11 +57,14 @@ use rsin_sim::blocking::{
     compare_schedulers_pools, compare_schedulers_threads, run_blocking_threads, BlockingConfig,
 };
 use rsin_sim::replicate::run_replicated;
+use rsin_sim::sharded::{
+    run_flat_trials, run_paired_trials, run_sharded_trials, ShardedTrialConfig,
+};
 use rsin_sim::stream::{generate_commands, replay_batch, replay_incremental};
 use rsin_sim::system::DynamicConfig;
 use rsin_sim::workload::{random_snapshot, trial_rng};
 use rsin_topology::builders::omega;
-use rsin_topology::Network;
+use rsin_topology::{GlobalTopology, Network, ShardedNetwork, ShardedSpec};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -434,6 +444,86 @@ fn main() {
         normalized: stream_batch_secs / calib,
     });
 
+    // Sharded-hierarchy rows (ISSUE 7): the two-stage scheduler on a
+    // 4-shard × omega-16 composition vs the flat Theorem-2 fresh solve on
+    // the flattened fabric, over the same (seed, trial) snapshots. Three
+    // contracts come first: thread/shard-pool invariance of every
+    // statistic, per-shard rebuilds() == 1, and per-trial hier ≤ flat
+    // conformance; then the hierarchical row runs with pooled trials while
+    // the flat row stays single-solver — the gate below reads
+    // `min_shard_speedup` from the baseline.
+    let snet = ShardedNetwork::new(ShardedSpec::new(4, 16, GlobalTopology::Crossbar))
+        .expect("4x16 crossbar composition is well-formed");
+    let sflat = snet.flatten().expect("composition flattens");
+    let scfg = ShardedTrialConfig {
+        trials: 128,
+        requests: 32,
+        free: 32,
+        seed: 41,
+    };
+    let sref = run_sharded_trials(&snet, InterShardPolicy::TokenRing, &scfg, 1, 1);
+    assert!(
+        sref.rebuilds_ok,
+        "a shard rebuilt its transformation graph mid-run"
+    );
+    for (t, p) in [(4usize, 1usize), (1, 4), (8, 2)] {
+        let r = run_sharded_trials(&snet, InterShardPolicy::TokenRing, &scfg, t, p);
+        for (name, a, b) in [
+            ("blocking.mean", sref.blocking.mean, r.blocking.mean),
+            ("allocated.mean", sref.allocated.mean, r.allocated.mean),
+            ("remote.mean", sref.remote.mean, r.remote.mean),
+            (
+                "stage1_blocked.mean",
+                sref.stage1_blocked.mean,
+                r.stage1_blocked.mean,
+            ),
+        ] {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sharded {name} drifted at {t} threads / shard pool {p}"
+            );
+        }
+    }
+    for (trial, (hier, flat)) in run_paired_trials(
+        &snet,
+        &sflat,
+        InterShardPolicy::TokenRing,
+        &scfg,
+        rep_threads,
+    )
+    .iter()
+    .enumerate()
+    {
+        assert!(
+            hier <= flat,
+            "trial {trial}: hierarchical allocated {hier}, above the flat oracle's {flat}"
+        );
+    }
+    let hier_secs = time_min(|| {
+        black_box(
+            run_sharded_trials(&snet, InterShardPolicy::TokenRing, &scfg, 4, 1)
+                .allocated
+                .mean,
+        );
+    });
+    println!("  sharded_hier: {hier_secs:.4}s");
+    rows.push(Row {
+        name: "sharded_hier".to_string(),
+        secs: hier_secs,
+        normalized: hier_secs / calib,
+    });
+    let flat_secs = time_min(|| {
+        black_box(run_flat_trials(&sflat, &scfg, 1).allocated.mean);
+    });
+    let shard_speedup = flat_secs / hier_secs;
+    println!("  sharded_flat: {flat_secs:.4}s (hierarchical x{shard_speedup:.2} faster)");
+    rows.push(Row {
+        name: "sharded_flat".to_string(),
+        secs: flat_secs,
+        normalized: flat_secs / calib,
+    });
+
     // Zero-overhead-when-off gate: the observed hot path under NoopProbe
     // must stay within the regression limit of the plain one, measured in
     // the same process so machine speed cancels exactly.
@@ -593,6 +683,33 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+    }
+
+    // Sharded-hierarchy gate (ISSUE 7 acceptance): the hierarchical
+    // scheduler with pooled trials must beat the flat single-solver fresh
+    // solve by the baseline floor. The hierarchical row uses 4 worker
+    // threads, so the gate keeps the same ≥ 4-core skip rule as the other
+    // parallel gates.
+    if let Some(min_shard) = parse_floor(&text, "min_shard_speedup") {
+        if cores >= 4 {
+            let hier = rows.iter().find(|r| r.name == "sharded_hier");
+            let flat = rows.iter().find(|r| r.name == "sharded_flat");
+            if let (Some(hier), Some(flat)) = (hier, flat) {
+                let speedup = flat.secs / hier.secs;
+                println!(
+                    "  sharded hierarchy: hierarchical speedup x{speedup:.2} (floor x{min_shard})"
+                );
+                if speedup < min_shard {
+                    eprintln!(
+                        "bench_smoke: sharded hierarchical speedup x{speedup:.2} below floor \
+                         x{min_shard}"
+                    );
+                    failed = true;
+                }
+            }
+        } else {
+            println!("  sharded hierarchy: skipped ({cores} core(s) available, gate needs >= 4)");
         }
     }
 

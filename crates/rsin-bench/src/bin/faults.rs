@@ -3,7 +3,8 @@
 //! Section IV prefers the distributed implementation "for reasons such as
 //! fault tolerance and modularity". This experiment quantifies that claim
 //! dynamically: each trial runs the full Section II system model while a
-//! seed-derived [`FaultPlan`] fails and repairs links mid-run. The reusable
+//! seed-derived [`rsin_topology::FaultPlan`] fails and repairs links
+//! mid-run. The reusable
 //! transformation absorbs every toggle as an incremental capacity patch
 //! (never a rebuild — asserted below), blocked requests are retried over
 //! alternate paths before being shed, and the report compares allocations

@@ -51,6 +51,7 @@ pub mod transform;
 pub use mapping::{Assignment, MappingError};
 pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
 pub use scheduler::{
-    DegradedOutcome, IncrementalBackend, IncrementalScheduler, PricedDegradedOutcome,
-    PromotedRequest, ScheduleError, ScheduleScratch, Scheduler, StreamDecision,
+    DegradedOutcome, GlobalAssignment, HierarchicalOutcome, HierarchicalScheduler,
+    IncrementalBackend, IncrementalScheduler, InterShardPolicy, Placement, PricedDegradedOutcome,
+    PromotedRequest, ScheduleError, ScheduleScratch, Scheduler, ShardPlan, StreamDecision,
 };

@@ -1,0 +1,524 @@
+//! Hierarchical two-stage scheduling over a sharded MRSIN-of-MRSINs.
+//!
+//! A [`ShardedNetwork`] is too large for one Theorem-2 solve per cycle at
+//! production scale, and it does not need one: intra-shard traffic dominates
+//! by construction. [`HierarchicalScheduler`] therefore places every request
+//! in **two stages**:
+//!
+//! 1. **Inter-shard stage** — requests are bucketed by home shard; each
+//!    shard keeps as many as its free capacity covers, and the surplus is
+//!    routed to other shards over the *global* network. The target shard is
+//!    chosen by an [`InterShardPolicy`] — a rotating token over the shard
+//!    ring or a min-cost pick over the global circuit graph — from aggregate
+//!    free capacity, and an actual global circuit is reserved per remote
+//!    placement, so the stage never over-commits a shard's uplinks.
+//! 2. **Per-shard solve** — each shard solves an ordinary homogeneous
+//!    [`ScheduleProblem`] on the *local prototype* network with the paper's
+//!    Transformation-1 max-flow scheduler (Theorem 2), reusing one
+//!    [`ScheduleScratch`] per shard so the transformation graph is built
+//!    exactly once per shard for the scheduler's lifetime
+//!    ([`HierarchicalScheduler::rebuilds_per_shard`] stays all-ones).
+//!
+//! The per-shard solves are independent: [`HierarchicalScheduler::place`]
+//! partitions, [`HierarchicalScheduler::solve_shard`] runs one shard (safe
+//! to call from any thread — each shard's scratch sits behind its own
+//! mutex), and [`HierarchicalScheduler::reduce`] merges outcomes **in
+//! sequential shard order**, so a pool-fanned run is bit-identical to the
+//! serial [`HierarchicalScheduler::schedule`] at any thread count.
+//!
+//! ## Conformance
+//!
+//! Hierarchical placement is deliberately conservative: every allocation it
+//! makes is simultaneously realizable on the flat composed network (home
+//! allocations replay the local-fabric path; remote allocations take the
+//! reserved splitter→uplink→global→downlink→merger path), so its allocation
+//! count never exceeds the flat Theorem-2 fresh solve. The property suite
+//! additionally pins it to a configurable fraction of the flat optimum from
+//! below.
+
+use super::{ScheduleError, ScheduleScratch, Scheduler};
+use crate::model::{ScheduleOutcome, ScheduleProblem};
+use crate::scheduler::MaxFlowScheduler;
+use rsin_topology::{CircuitState, ShardedNetwork};
+use std::sync::Mutex;
+
+/// How the inter-shard stage picks a target shard for a surplus request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterShardPolicy {
+    /// Rotate over the shard ring starting after the home shard and take
+    /// the first shard with spare capacity and a routable global circuit —
+    /// the token-engine discipline: O(S) per placement, naturally spreads
+    /// overflow.
+    TokenRing,
+    /// Among shards with spare capacity, take the one reachable by the
+    /// shortest free path over the global circuit graph (ties broken by
+    /// lowest shard index) — fewer global links per remote circuit, at the
+    /// price of scanning every candidate shard.
+    MinCost,
+}
+
+impl InterShardPolicy {
+    /// Stable lowercase name (used in CLI flags and report rows).
+    pub const fn name(self) -> &'static str {
+        match self {
+            InterShardPolicy::TokenRing => "token",
+            InterShardPolicy::MinCost => "mincost",
+        }
+    }
+}
+
+/// One shard's slice of a [`Placement`]: the requests it will solve (as
+/// `(local_port, origin)` pairs — the local port the solve runs on, and the
+/// *global* port of the request's true origin) plus its free resources as
+/// local ports. For a home request `local_port` is the origin's own local
+/// port; for a borrowed (remote) request it is an idle local port standing
+/// in for the cross-shard entry.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlan {
+    /// Requests assigned to this shard, sorted by local port.
+    pub requests: Vec<(usize, usize)>,
+    /// Free resources of this shard, as local ports, ascending.
+    pub free: Vec<usize>,
+}
+
+/// Output of the inter-shard stage: one [`ShardPlan`] per shard plus the
+/// stage-1 accounting.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-shard plans, indexed by shard.
+    pub shards: Vec<ShardPlan>,
+    /// Surplus requests no shard could take (no spare capacity anywhere, or
+    /// every capable shard unreachable over the global network).
+    pub stage1_blocked: usize,
+    /// Surplus requests placed on a non-home shard (each holds a reserved
+    /// global circuit).
+    pub remote_placed: usize,
+}
+
+/// One allocation of a hierarchical cycle, in global port numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalAssignment {
+    /// Requesting processor (global port of the true origin).
+    pub processor: usize,
+    /// Allocated resource (global port).
+    pub resource: usize,
+    /// True when the resource lives on a different shard than the
+    /// processor (the allocation crosses the global network).
+    pub remote: bool,
+}
+
+/// Merged outcome of one hierarchical scheduling cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchicalOutcome {
+    /// Allocations in global numbering, in shard order then local solve
+    /// order — deterministic for fixed inputs at any thread count.
+    pub assignments: Vec<GlobalAssignment>,
+    /// Requests left unallocated: stage-1 blocked plus per-shard solve
+    /// blocked.
+    pub blocked: usize,
+    /// Requests placed (not necessarily allocated) on a non-home shard.
+    pub remote_placed: usize,
+    /// Requests the inter-shard stage could not place anywhere.
+    pub stage1_blocked: usize,
+}
+
+impl HierarchicalOutcome {
+    /// Number of resources allocated.
+    pub fn allocated(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Two-stage scheduler over a [`ShardedNetwork`]: inter-shard placement
+/// followed by independent per-shard Theorem-2 solves.
+///
+/// Holds one [`ScheduleScratch`] per shard behind a mutex, so
+/// [`solve_shard`](Self::solve_shard) takes `&self` and can be fanned out
+/// across worker threads while every shard still reuses its own
+/// transformation graph (exactly one build per shard, ever).
+#[derive(Debug)]
+pub struct HierarchicalScheduler<'n> {
+    net: &'n ShardedNetwork,
+    policy: InterShardPolicy,
+    scheduler: MaxFlowScheduler,
+    solvers: Vec<Mutex<ScheduleScratch>>,
+}
+
+impl<'n> HierarchicalScheduler<'n> {
+    /// Scheduler over `net` with the given inter-shard policy. Per-shard
+    /// scratches start empty; each is built on its shard's first solve.
+    pub fn new(net: &'n ShardedNetwork, policy: InterShardPolicy) -> Self {
+        HierarchicalScheduler {
+            net,
+            policy,
+            scheduler: MaxFlowScheduler::default(),
+            solvers: (0..net.shards())
+                .map(|_| Mutex::new(ScheduleScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// The sharded network this scheduler places onto.
+    pub fn network(&self) -> &'n ShardedNetwork {
+        self.net
+    }
+
+    /// The inter-shard policy.
+    pub fn policy(&self) -> InterShardPolicy {
+        self.policy
+    }
+
+    /// Number of shards (= number of independent per-shard solvers).
+    pub fn shards(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Report name, e.g. `hier-token/sharded-4xomega-16-crossbar`.
+    pub fn name(&self) -> String {
+        format!("hier-{}/{}", self.policy.name(), self.net.name())
+    }
+
+    /// Transformation-graph build count per shard. Every shard that has
+    /// solved at least once reports exactly 1 for the scheduler's lifetime
+    /// — per-shard solves reconfigure by capacity patching, never rebuild.
+    pub fn rebuilds_per_shard(&self) -> Vec<u64> {
+        self.solvers
+            .iter()
+            .map(|m| m.lock().expect("shard solver mutex poisoned").rebuilds())
+            .collect()
+    }
+
+    /// **Stage 1** — partition `requests` (global ports with a pending
+    /// request) and `free` (global ports of free resources) into per-shard
+    /// plans.
+    ///
+    /// Each shard first keeps its own requests up to its free capacity
+    /// (lowest ports first). Surplus requests are then offered, in
+    /// ascending global-port order, to other shards with spare capacity
+    /// under the [`InterShardPolicy`]; a placement is committed only after
+    /// a global circuit from the home shard's uplinks to the target shard's
+    /// downlinks is actually reserved, and the target lends its lowest idle
+    /// local port as the solve-stage stand-in. Requests that fit nowhere
+    /// are counted in [`Placement::stage1_blocked`].
+    pub fn place(&self, requests: &[usize], free: &[usize]) -> Result<Placement, ScheduleError> {
+        let s_count = self.net.shards();
+        let n = self.net.spec().local_ports;
+        let total = self.net.num_ports();
+
+        let mut reqs: Vec<Vec<usize>> = vec![Vec::new(); s_count];
+        for &p in requests {
+            if p >= total {
+                return Err(ScheduleError::UnknownProcessor(p));
+            }
+            reqs[p / n].push(p % n);
+        }
+        let mut plans: Vec<ShardPlan> = vec![ShardPlan::default(); s_count];
+        for &r in free {
+            if r >= total {
+                return Err(ScheduleError::Internal("free resource port out of range"));
+            }
+            plans[r / n].free.push(r % n);
+        }
+        for s in 0..s_count {
+            reqs[s].sort_unstable();
+            plans[s].free.sort_unstable();
+        }
+
+        // Home placement: shard s keeps its first min(|reqs|, |free|)
+        // requests; `used[s]` marks local ports already standing in for a
+        // request (home or borrowed) so borrows never collide.
+        let mut used: Vec<Vec<bool>> = vec![vec![false; n]; s_count];
+        let mut surplus: Vec<(usize, usize)> = Vec::new(); // (origin_global, shard)
+        for s in 0..s_count {
+            let keep = reqs[s].len().min(plans[s].free.len());
+            for (k, &p) in reqs[s].iter().enumerate() {
+                if k < keep {
+                    plans[s].requests.push((p, s * n + p));
+                    used[s][p] = true;
+                } else {
+                    surplus.push((s * n + p, s));
+                }
+            }
+        }
+
+        // Remote placement over the global network. `spare[t]` is free
+        // capacity not yet claimed by a request; reserving an actual global
+        // circuit per placement keeps the stage honest about uplink width.
+        let mut spare: Vec<usize> = (0..s_count)
+            .map(|t| plans[t].free.len() - plans[t].requests.len())
+            .collect();
+        let mut global = CircuitState::new(self.net.global());
+        let mut stage1_blocked = 0;
+        let mut remote_placed = 0;
+        for &(origin, s) in &surplus {
+            let found = self.pick_target(s, &spare, &global);
+            match found {
+                Some((t, path)) => {
+                    global.establish(&path)?;
+                    let port = used[t]
+                        .iter()
+                        .position(|&u| !u)
+                        .ok_or(ScheduleError::Internal(
+                            "spare capacity implies an idle local port",
+                        ))?;
+                    used[t][port] = true;
+                    spare[t] -= 1;
+                    plans[t].requests.push((port, origin));
+                    remote_placed += 1;
+                }
+                None => stage1_blocked += 1,
+            }
+        }
+        for plan in &mut plans {
+            plan.requests.sort_unstable();
+        }
+        Ok(Placement {
+            shards: plans,
+            stage1_blocked,
+            remote_placed,
+        })
+    }
+
+    /// Pick a target shard (≠ `s`, spare capacity, routable over `global`)
+    /// for one surplus request of shard `s`, returning the shard and the
+    /// reserved-path-to-be. Deterministic: candidate order and tie-breaks
+    /// are fixed by the policy.
+    fn pick_target(
+        &self,
+        s: usize,
+        spare: &[usize],
+        global: &CircuitState<'_>,
+    ) -> Option<(usize, Vec<rsin_topology::LinkId>)> {
+        let s_count = spare.len();
+        let route = |t: usize| -> Option<Vec<rsin_topology::LinkId>> {
+            let down: Vec<usize> = self.net.uplink_slots(t).collect();
+            self.net
+                .uplink_slots(s)
+                .find_map(|up| global.find_path_to_any(up, &down).map(|(_, path)| path))
+        };
+        match self.policy {
+            InterShardPolicy::TokenRing => (1..s_count).find_map(|d| {
+                let t = (s + d) % s_count;
+                if spare[t] == 0 {
+                    return None;
+                }
+                route(t).map(|path| (t, path))
+            }),
+            InterShardPolicy::MinCost => {
+                let mut best: Option<(usize, Vec<rsin_topology::LinkId>)> = None;
+                for (t, &free) in spare.iter().enumerate() {
+                    if t == s || free == 0 {
+                        continue;
+                    }
+                    if let Some(path) = route(t) {
+                        let better = match &best {
+                            Some((_, b)) => path.len() < b.len(),
+                            None => true,
+                        };
+                        if better {
+                            best = Some((t, path));
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// **Stage 2** — solve one shard of a placement: a homogeneous
+    /// Theorem-2 problem on the local prototype with this shard's reusable
+    /// scratch. Runs even when the shard has no requests, so every shard's
+    /// transformation graph is configured (and its rebuild counted) on the
+    /// first cycle. Safe to call concurrently for distinct shards.
+    pub fn solve_shard(
+        &self,
+        placement: &Placement,
+        shard: usize,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let plan = &placement.shards[shard];
+        let cs = CircuitState::new(self.net.local());
+        let ports: Vec<usize> = plan.requests.iter().map(|&(p, _)| p).collect();
+        let problem = ScheduleProblem::homogeneous(&cs, &ports, &plan.free);
+        let mut scratch = self.solvers[shard]
+            .lock()
+            .expect("shard solver mutex poisoned");
+        self.scheduler.try_schedule_reusing(&problem, &mut scratch)
+    }
+
+    /// **Reduction** — merge per-shard outcomes into global numbering, in
+    /// sequential shard order. `outcomes[s]` must be the result of
+    /// [`solve_shard`](Self::solve_shard) for shard `s` of this placement;
+    /// the merge itself is pure, so fanning the solves across any number of
+    /// workers cannot change the reduced result.
+    pub fn reduce(
+        &self,
+        placement: &Placement,
+        outcomes: &[ScheduleOutcome],
+    ) -> Result<HierarchicalOutcome, ScheduleError> {
+        let n = self.net.spec().local_ports;
+        let mut merged = HierarchicalOutcome {
+            stage1_blocked: placement.stage1_blocked,
+            remote_placed: placement.remote_placed,
+            blocked: placement.stage1_blocked,
+            ..Default::default()
+        };
+        for (s, out) in outcomes.iter().enumerate() {
+            let plan = &placement.shards[s];
+            for a in &out.assignments {
+                let origin = plan
+                    .requests
+                    .iter()
+                    .find(|&&(p, _)| p == a.processor)
+                    .map(|&(_, o)| o)
+                    .ok_or(ScheduleError::Internal(
+                        "shard outcome names an unplanned local port",
+                    ))?;
+                merged.assignments.push(GlobalAssignment {
+                    processor: origin,
+                    resource: s * n + a.resource,
+                    remote: origin / n != s,
+                });
+            }
+            merged.blocked += out.blocked.len();
+        }
+        Ok(merged)
+    }
+
+    /// One full cycle, serially: [`place`](Self::place), then
+    /// [`solve_shard`](Self::solve_shard) for every shard in order, then
+    /// [`reduce`](Self::reduce). Pool-fanned runs (rsin-sim) produce
+    /// bit-identical results.
+    pub fn schedule(
+        &self,
+        requests: &[usize],
+        free: &[usize],
+    ) -> Result<HierarchicalOutcome, ScheduleError> {
+        let placement = self.place(requests, free)?;
+        let outcomes: Vec<ScheduleOutcome> = (0..self.shards())
+            .map(|s| self.solve_shard(&placement, s))
+            .collect::<Result<_, _>>()?;
+        self.reduce(&placement, &outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_topology::{GlobalTopology, ShardedSpec};
+
+    fn sharded(shards: usize, local: usize, uplink: usize) -> ShardedNetwork {
+        ShardedNetwork::new(ShardedSpec {
+            shards,
+            local_ports: local,
+            uplink,
+            global: GlobalTopology::Crossbar,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_local_traffic_never_crosses_shards() {
+        let net = sharded(2, 4, 1);
+        let h = HierarchicalScheduler::new(&net, InterShardPolicy::TokenRing);
+        // Each shard has 2 requests and 2 free resources of its own.
+        let out = h.schedule(&[0, 1, 4, 5], &[2, 3, 6, 7]).unwrap();
+        assert_eq!(out.allocated(), 4);
+        assert_eq!(out.remote_placed, 0);
+        assert_eq!(out.stage1_blocked, 0);
+        assert!(out.assignments.iter().all(|a| !a.remote));
+        // Allocations stay on the home shard.
+        for a in &out.assignments {
+            assert_eq!(a.processor / 4, a.resource / 4);
+        }
+    }
+
+    #[test]
+    fn surplus_overflows_to_the_spare_shard_up_to_uplink_width() {
+        for policy in [InterShardPolicy::TokenRing, InterShardPolicy::MinCost] {
+            // All 4 requests on shard 0, all 4 free resources on shard 1,
+            // uplink width 2: exactly 2 remote placements fit.
+            let net = sharded(2, 4, 2);
+            let h = HierarchicalScheduler::new(&net, policy);
+            let out = h.schedule(&[0, 1, 2, 3], &[4, 5, 6, 7]).unwrap();
+            assert_eq!(out.remote_placed, 2, "{policy:?}");
+            assert_eq!(out.stage1_blocked, 2, "{policy:?}");
+            assert_eq!(out.allocated(), 2, "{policy:?}");
+            assert!(out.assignments.iter().all(|a| a.remote), "{policy:?}");
+            assert_eq!(out.allocated() + out.blocked, 4, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn placement_reserves_real_capacity() {
+        // Shard 1 has one free resource but two surplus requests arrive
+        // from shard 0: only one may be placed there.
+        let net = sharded(2, 4, 4);
+        let h = HierarchicalScheduler::new(&net, InterShardPolicy::TokenRing);
+        let placement = h.place(&[0, 1], &[6]).unwrap();
+        assert_eq!(placement.remote_placed, 1);
+        assert_eq!(placement.stage1_blocked, 1);
+        assert_eq!(placement.shards[1].requests.len(), 1);
+        let (port, origin) = placement.shards[1].requests[0];
+        assert_eq!(origin, 0, "lowest surplus request goes first");
+        assert!(port < 4);
+    }
+
+    #[test]
+    fn pooled_order_is_irrelevant_to_the_reduction() {
+        let net = sharded(4, 4, 1);
+        let h = HierarchicalScheduler::new(&net, InterShardPolicy::TokenRing);
+        let requests: Vec<usize> = (0..8).collect(); // shards 0 and 1 saturated
+        let free: Vec<usize> = (8..16).collect(); // shards 2 and 3 all free
+        let placement = h.place(&requests, &free).unwrap();
+        // Solve in reverse shard order (as a pool might), reduce in shard
+        // order: identical to the serial schedule.
+        let mut outcomes = vec![ScheduleOutcome::default(); 4];
+        for s in (0..4).rev() {
+            outcomes[s] = h.solve_shard(&placement, s).unwrap();
+        }
+        let pooled = h.reduce(&placement, &outcomes).unwrap();
+        let serial = h.schedule(&requests, &free).unwrap();
+        assert_eq!(pooled.assignments, serial.assignments);
+        assert_eq!(pooled.blocked, serial.blocked);
+    }
+
+    #[test]
+    fn every_shard_rebuilds_exactly_once() {
+        let net = sharded(3, 4, 1);
+        let h = HierarchicalScheduler::new(&net, InterShardPolicy::MinCost);
+        assert_eq!(h.rebuilds_per_shard(), vec![0, 0, 0]);
+        for _ in 0..5 {
+            h.schedule(&[0, 4, 8], &[1, 2, 5, 9]).unwrap();
+        }
+        assert_eq!(
+            h.rebuilds_per_shard(),
+            vec![1, 1, 1],
+            "repeat cycles must patch, never rebuild"
+        );
+    }
+
+    #[test]
+    fn bad_ports_are_typed_errors() {
+        let net = sharded(2, 4, 1);
+        let h = HierarchicalScheduler::new(&net, InterShardPolicy::TokenRing);
+        assert_eq!(
+            h.schedule(&[8], &[]),
+            Err(ScheduleError::UnknownProcessor(8))
+        );
+        assert!(h.schedule(&[], &[99]).is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let net = sharded(4, 8, 2);
+        let requests: Vec<usize> = (0..16).collect();
+        let free: Vec<usize> = (12..32).collect();
+        for policy in [InterShardPolicy::TokenRing, InterShardPolicy::MinCost] {
+            let h1 = HierarchicalScheduler::new(&net, policy);
+            let h2 = HierarchicalScheduler::new(&net, policy);
+            let a = h1.schedule(&requests, &free).unwrap();
+            let b = h2.schedule(&requests, &free).unwrap();
+            assert_eq!(a, b, "{policy:?}");
+        }
+    }
+}

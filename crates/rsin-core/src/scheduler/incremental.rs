@@ -172,6 +172,20 @@ impl IncrementalScheduler {
         Self::new(net, IncrementalBackend::MaxFlow)
     }
 
+    /// Streaming scheduler over the flat composition of a sharded system:
+    /// flattens `net` (splitters, per-shard fabrics, global network,
+    /// mergers) and builds the superset graph over the result. Global port
+    /// numbering carries over — stream commands address processors by their
+    /// global port. The flattening can fail only on a malformed
+    /// composition, so the error is surfaced rather than panicking.
+    pub fn new_sharded(
+        net: &rsin_topology::ShardedNetwork,
+        backend: IncrementalBackend,
+    ) -> Result<Self, rsin_topology::NetworkError> {
+        let flat = net.flatten()?;
+        Ok(Self::new(&flat, backend))
+    }
+
     /// [`IncrementalBackend::MinCost`] convenience constructor.
     pub fn new_min_cost(net: &Network) -> Self {
         Self::new(net, IncrementalBackend::MinCost)

@@ -17,6 +17,7 @@
 
 mod exhaustive;
 mod heuristic;
+pub mod hierarchical;
 pub mod incremental;
 mod matching;
 mod max_flow;
@@ -25,6 +26,10 @@ mod multicommodity;
 
 pub use exhaustive::ExhaustiveScheduler;
 pub use heuristic::{AddressMappedScheduler, GreedyScheduler, RequestOrder};
+pub use hierarchical::{
+    GlobalAssignment, HierarchicalOutcome, HierarchicalScheduler, InterShardPolicy, Placement,
+    ShardPlan,
+};
 pub use incremental::{IncrementalBackend, IncrementalScheduler, PromotedRequest, StreamDecision};
 pub use matching::MatchingScheduler;
 pub use max_flow::MaxFlowScheduler;

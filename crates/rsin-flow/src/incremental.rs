@@ -127,7 +127,8 @@ impl FlowNetwork {
     /// longer be cost-optimal and the residual graph may contain a negative
     /// cycle. Bellman–Ford still terminates (the pass count is bounded by
     /// the node count), but its predecessor tree may then be cyclic; the
-    /// reconstruction is bounded and falls back to [`augment_one`]
+    /// reconstruction is bounded and falls back to
+    /// [`augment_one`](Self::augment_one)
     /// (allocation-equivalent, cost-suboptimal) if it does not reach `s`.
     pub fn augment_one_cheapest(
         &mut self,

@@ -7,9 +7,12 @@
 //! re-solves.
 //!
 //! Usage:
-//!   serve [--net <name>] [--backend maxflow|mincost] [--workers N]
-//!         [--seed S] [--events N] [--load F] [--trial T]
-//!         [--record FILE] [--replay FILE] [--decisions FILE] [--sweep]
+//!
+//! ```text
+//! serve [--net <name>] [--backend maxflow|mincost] [--workers N]
+//!       [--seed S] [--events N] [--load F] [--trial T]
+//!       [--record FILE] [--replay FILE] [--decisions FILE] [--sweep]
+//! ```
 //!
 //! Modes (in precedence order):
 //!   --record FILE   generate a deterministic command log and write it; no
@@ -20,7 +23,9 @@
 //!   (default)       generate a stream in-process and serve it.
 //!
 //! Networks: `omegaN`, `cubeN`, `benesN`, `baselineN`, `flipN` (N a power
-//! of two), e.g. `omega16` (the default) or `cube8`.
+//! of two), e.g. `omega16` (the default) or `cube8`; plus the sharded
+//! composition `shardedSxN` / `shardedSxNomega` (S omega-N shards under a
+//! global crossbar or omega network, flattened), e.g. `sharded4x16`.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use rsin_core::scheduler::IncrementalBackend;
@@ -30,7 +35,7 @@ use rsin_sim::stream::{
     StreamCommand,
 };
 use rsin_topology::builders::{baseline, benes, flip, generalized_cube, omega};
-use rsin_topology::Network;
+use rsin_topology::{GlobalTopology, Network, ShardedNetwork, ShardedSpec};
 use std::time::Instant;
 
 struct Args {
@@ -96,6 +101,26 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn build_network(spec: &str) -> Result<Network, String> {
+    if let Some(rest) = spec.strip_prefix("sharded") {
+        let (s_str, tail) = rest
+            .split_once('x')
+            .ok_or_else(|| format!("sharded spec {spec:?} wants shardedSxN or shardedSxNomega"))?;
+        let shards: usize = s_str
+            .parse()
+            .map_err(|e| format!("bad shard count in {spec:?}: {e}"))?;
+        let (n_str, global) = match tail.strip_suffix("omega") {
+            Some(n) => (n, GlobalTopology::Omega),
+            None => (tail, GlobalTopology::Crossbar),
+        };
+        let local: usize = n_str
+            .parse()
+            .map_err(|e| format!("bad local size in {spec:?}: {e}"))?;
+        let sn = ShardedNetwork::new(ShardedSpec::new(shards, local, global))
+            .map_err(|e| format!("cannot build {spec}: {e:?}"))?;
+        return sn
+            .flatten()
+            .map_err(|e| format!("cannot flatten {spec}: {e:?}"));
+    }
     let split = spec
         .find(|c: char| c.is_ascii_digit())
         .ok_or_else(|| format!("network spec {spec:?} has no size"))?;
@@ -192,7 +217,7 @@ fn run() -> Result<(), String> {
     let cmds: Vec<StreamCommand> = match &args.replay {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-            parse_commands(&text)?
+            parse_commands(&text).map_err(|e| format!("{path}: {e}"))?
         }
         None => generate_commands(
             net.num_processors(),

@@ -20,6 +20,9 @@
 //!   per-scheduler comparison rows) runs on;
 //! * [`replicate`] — replicated dynamic runs: independent `(seed, replica)`
 //!   streams of one configuration, merged deterministically;
+//! * [`sharded`] — sharded-system experiments: pooled hierarchical
+//!   scheduling cycles, flat-oracle conformance trials, and the streaming
+//!   [`sharded::ShardedSession`] over an MRSIN-of-MRSINs;
 //! * [`stream`] — streaming command logs for the incremental scheduler:
 //!   deterministic request/release generators, the `R`/`F` text codec, the
 //!   canonical decision-log line, and warm-start vs batch replay helpers;
@@ -53,6 +56,7 @@ pub mod monitor;
 pub mod packet;
 pub mod pool;
 pub mod replicate;
+pub mod sharded;
 pub mod stream;
 pub mod system;
 pub mod workload;
@@ -63,12 +67,17 @@ pub use blocking::{
 };
 pub use stream::{
     encode_commands, format_decision, generate_commands, parse_commands, replay_batch,
-    replay_incremental, StreamCommand,
+    replay_incremental, CodecError, CodecErrorKind, StreamCommand,
 };
 
 pub use replicate::{
     merge_dynamic, merge_faulted, run_replicated, run_replicated_faulted, run_replicated_probed,
     run_replicated_sweep, ReplicatedFaultedStats, ReplicatedStats,
+};
+pub use sharded::{
+    compare_sharded_pools, run_flat_trials, run_paired_trials, run_sharded_dynamic,
+    run_sharded_trials, schedule_pooled, sharded_snapshot, ShardedSession, ShardedStats,
+    ShardedTrialConfig,
 };
 pub use system::{
     fault_plan_seed, run_faulted_trials, run_faulted_trials_policy,

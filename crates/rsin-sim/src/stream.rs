@@ -135,29 +135,80 @@ pub fn encode_commands(commands: &[StreamCommand]) -> String {
     s
 }
 
+/// Why a command-log line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecErrorKind {
+    /// The op had no processor token (`R` alone on a line).
+    MissingProcessor,
+    /// The processor token is not a plain decimal number. Strict: only
+    /// ASCII digits are accepted, so sign prefixes (`+3`), separators, and
+    /// overflow all land here with the offending token.
+    BadProcessor(String),
+    /// Extra tokens followed the processor (`R 3 4`).
+    TrailingTokens,
+    /// The op is neither `R` nor `F`.
+    UnknownOp(String),
+}
+
+/// A typed command-log parse error: which 1-based line, and what is wrong
+/// with it. Replaces the earlier stringly-typed errors so the service can
+/// reject malformed replays with a precise diagnostic instead of skipping
+/// or misreading lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What is wrong with the line.
+    pub kind: CodecErrorKind,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            CodecErrorKind::MissingProcessor => write!(f, "missing processor"),
+            CodecErrorKind::BadProcessor(tok) => write!(f, "bad processor {tok:?}"),
+            CodecErrorKind::TrailingTokens => write!(f, "trailing tokens"),
+            CodecErrorKind::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 /// Parse the `R <p>` / `F <p>` line format (blank lines and `#` comment
-/// lines are skipped). Errors name the offending 1-based line.
-pub fn parse_commands(text: &str) -> Result<Vec<StreamCommand>, String> {
+/// lines are skipped). Malformed lines — unknown ops, missing or
+/// non-decimal processor tokens, trailing tokens — are typed
+/// [`CodecError`]s naming the offending 1-based line; nothing is silently
+/// skipped or coerced.
+pub fn parse_commands(text: &str) -> Result<Vec<StreamCommand>, CodecError> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
+        let fail = |kind| CodecError { line: i + 1, kind };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
         let op = parts.next().unwrap_or("");
-        let p: usize = parts
+        let tok = parts
             .next()
-            .ok_or_else(|| format!("line {}: missing processor", i + 1))?
+            .ok_or_else(|| fail(CodecErrorKind::MissingProcessor))?;
+        // Strict decimal: `usize::from_str` would accept a `+` prefix,
+        // silently normalizing a malformed log.
+        if tok.is_empty() || !tok.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(fail(CodecErrorKind::BadProcessor(tok.to_string())));
+        }
+        let p: usize = tok
             .parse()
-            .map_err(|e| format!("line {}: bad processor: {e}", i + 1))?;
+            .map_err(|_| fail(CodecErrorKind::BadProcessor(tok.to_string())))?;
         if parts.next().is_some() {
-            return Err(format!("line {}: trailing tokens", i + 1));
+            return Err(fail(CodecErrorKind::TrailingTokens));
         }
         match op {
             "R" => out.push(StreamCommand::Request { processor: p }),
             "F" => out.push(StreamCommand::Release { processor: p }),
-            other => return Err(format!("line {}: unknown op {other:?}", i + 1)),
+            other => return Err(fail(CodecErrorKind::UnknownOp(other.to_string()))),
         }
     }
     Ok(out)
@@ -300,10 +351,45 @@ mod tests {
 
     #[test]
     fn parser_rejects_malformed_lines() {
-        assert!(parse_commands("R").unwrap_err().contains("line 1"));
-        assert!(parse_commands("R x").unwrap_err().contains("line 1"));
-        assert!(parse_commands("Q 3").unwrap_err().contains("unknown op"));
-        assert!(parse_commands("R 3 4").unwrap_err().contains("trailing"));
+        assert_eq!(
+            parse_commands("R").unwrap_err(),
+            CodecError {
+                line: 1,
+                kind: CodecErrorKind::MissingProcessor
+            }
+        );
+        assert_eq!(
+            parse_commands("R x").unwrap_err(),
+            CodecError {
+                line: 1,
+                kind: CodecErrorKind::BadProcessor("x".to_string())
+            }
+        );
+        assert_eq!(
+            parse_commands("Q 3").unwrap_err(),
+            CodecError {
+                line: 1,
+                kind: CodecErrorKind::UnknownOp("Q".to_string())
+            }
+        );
+        assert_eq!(
+            parse_commands("R 3 4").unwrap_err(),
+            CodecError {
+                line: 1,
+                kind: CodecErrorKind::TrailingTokens
+            }
+        );
+        // `usize::from_str` accepts a sign prefix; the codec must not.
+        assert_eq!(
+            parse_commands("R 0\nF +3").unwrap_err(),
+            CodecError {
+                line: 2,
+                kind: CodecErrorKind::BadProcessor("+3".to_string())
+            }
+        );
+        // Display keeps the `line N: ...` diagnostic contract.
+        let e = parse_commands("# ok\nR 1\nbogus 2").unwrap_err();
+        assert_eq!(e.to_string(), "line 3: unknown op \"bogus\"");
     }
 
     #[test]

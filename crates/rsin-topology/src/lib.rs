@@ -30,7 +30,11 @@
 //! * [`analysis`] — survey metrics per topology (crosspoints, control
 //!   bits, path multiplicity, blocking classification);
 //! * [`perm`] — the wiring permutations (perfect shuffle, bit moves, bit
-//!   reversal) used by the builders.
+//!   reversal) used by the builders;
+//! * [`sharded`] — MRSIN-of-MRSINs composition: N identical shard networks
+//!   under a global crossbar or omega inter-shard network, with typed
+//!   shard-local vs. global port addressing and a flattening that produces
+//!   the equivalent single [`network::Network`].
 //!
 //! ```
 //! use rsin_topology::builders::omega;
@@ -53,9 +57,11 @@ pub mod fault;
 pub mod network;
 pub mod perm;
 pub mod routing;
+pub mod sharded;
 pub mod switchbox;
 
 pub use circuit::{CircuitError, CircuitId, CircuitState};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanConfig, FaultTarget};
 pub use network::{LinkId, Network, NetworkBuilder, NetworkError, NodeRef};
+pub use sharded::{GlobalTopology, ShardPort, ShardedNetwork, ShardedSpec};
 pub use switchbox::Switchbox;

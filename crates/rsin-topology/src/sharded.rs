@@ -1,0 +1,471 @@
+//! Sharded MRSIN-of-MRSINs: N local multistage shard fabrics composed
+//! under a configurable global inter-shard network.
+//!
+//! A single multistage network stops scaling once its port count outgrows
+//! one scheduling domain; the production-scale path is hierarchy — many
+//! identical MRSIN *shards*, each an ordinary [`Network`], stitched
+//! together by a small *global* network that carries overflow traffic
+//! between shards (the local/global switch split studied for multistage
+//! fabrics). This module provides:
+//!
+//! * [`ShardedSpec`] / [`GlobalTopology`] — the shape of the hierarchy:
+//!   shard count, local port count, per-shard uplink width, and the global
+//!   topology family (crossbar or omega);
+//! * [`ShardedNetwork`] — the composed system: one local prototype network
+//!   shared by every shard plus the global inter-shard network, with typed
+//!   conversions between *global* port numbers and *shard-local*
+//!   [`ShardPort`] addresses;
+//! * [`ShardedNetwork::flatten`] — the equivalent flat [`Network`]: every
+//!   shard's boxes embedded side by side, each processor fronted by a 1×2
+//!   splitter (local path vs uplink), each resource backed by a 2×1 merger
+//!   (local path vs downlink), and the global network wired between
+//!   per-shard uplink concentrators and downlink distributors. The flat
+//!   network is what a Theorem-2 fresh solve runs on — the conformance
+//!   oracle hierarchical scheduling is compared against.
+//!
+//! ## Addressing scheme
+//!
+//! Global port `g` of a system with `n`-port shards lives on shard
+//! `g / n` at local port `g % n`; the same rule addresses resources. The
+//! conversions are total over `0..shards*n` and round-trip exactly
+//! ([`ShardedNetwork::to_local`] / [`ShardedNetwork::to_global`]). The
+//! global network's own ports are *uplink slots*: shard `s` owns global
+//! processors `s*w .. (s+1)*w` (its `w` uplinks) and global resources
+//! `s*w .. (s+1)*w` (its `w` downlinks).
+
+use crate::builders::{crossbar, omega};
+use crate::network::{Network, NetworkBuilder, NetworkError, NodeRef};
+
+/// Family of the global inter-shard network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalTopology {
+    /// A single `g×g` crossbar over the uplink slots — nonblocking between
+    /// shards, one box.
+    Crossbar,
+    /// An omega (shuffle-exchange) network over the uplink slots — cheaper
+    /// in crosspoints, internally blocking. Requires the slot count
+    /// (`shards × uplink`) to be a power of two ≥ 2.
+    Omega,
+}
+
+impl GlobalTopology {
+    /// Stable lowercase name (used in CLI flags and report rows).
+    pub const fn name(self) -> &'static str {
+        match self {
+            GlobalTopology::Crossbar => "crossbar",
+            GlobalTopology::Omega => "omega",
+        }
+    }
+}
+
+/// Shape of a sharded system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedSpec {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Processors (= resources) per shard; the local prototype is an
+    /// omega network of this size, so it must be a power of two ≥ 2.
+    pub local_ports: usize,
+    /// Uplink/downlink width per shard: how many concurrent cross-shard
+    /// circuits a shard can originate (and terminate).
+    pub uplink: usize,
+    /// Global inter-shard topology family.
+    pub global: GlobalTopology,
+}
+
+impl ShardedSpec {
+    /// Spec with the default uplink width `max(1, local_ports / 4)`.
+    pub fn new(shards: usize, local_ports: usize, global: GlobalTopology) -> Self {
+        ShardedSpec {
+            shards,
+            local_ports,
+            uplink: (local_ports / 4).max(1),
+            global,
+        }
+    }
+
+    /// Total processors (= total resources) across all shards.
+    pub fn total_ports(&self) -> usize {
+        self.shards * self.local_ports
+    }
+
+    /// Global-network port count (`shards × uplink`).
+    pub fn global_ports(&self) -> usize {
+        self.shards * self.uplink
+    }
+}
+
+/// A shard-local address: which shard, which port within it.
+///
+/// The typed counterpart of a bare global port number — APIs that talk
+/// about one shard's interior take a [`ShardPort`], APIs that talk about
+/// the whole system take a global `usize`, and [`ShardedNetwork`] converts
+/// between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPort {
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Port within the shard, `0..local_ports`.
+    pub port: usize,
+}
+
+/// N identical MRSIN shards under one global inter-shard network.
+#[derive(Debug, Clone)]
+pub struct ShardedNetwork {
+    spec: ShardedSpec,
+    local: Network,
+    global: Network,
+}
+
+impl ShardedNetwork {
+    /// Build the system: an omega local prototype of `spec.local_ports`
+    /// ports plus the global network over `spec.global_ports()` uplink
+    /// slots.
+    pub fn new(spec: ShardedSpec) -> Result<Self, NetworkError> {
+        if spec.shards == 0 {
+            return Err(NetworkError::BadParameter("shards must be >= 1".into()));
+        }
+        if spec.uplink == 0 {
+            return Err(NetworkError::BadParameter("uplink must be >= 1".into()));
+        }
+        if spec.uplink > spec.local_ports {
+            return Err(NetworkError::BadParameter(
+                "uplink wider than the shard".into(),
+            ));
+        }
+        let local = omega(spec.local_ports)?;
+        Self::with_local(local, spec)
+    }
+
+    /// Build the system around an explicit local prototype (any loop-free
+    /// [`Network`] with `spec.local_ports` processors and resources); every
+    /// shard is an identical copy.
+    pub fn with_local(local: Network, spec: ShardedSpec) -> Result<Self, NetworkError> {
+        if local.num_processors() != spec.local_ports || local.num_resources() != spec.local_ports {
+            return Err(NetworkError::BadParameter(format!(
+                "local prototype is {}x{}, spec wants {} ports",
+                local.num_processors(),
+                local.num_resources(),
+                spec.local_ports
+            )));
+        }
+        let g = spec.global_ports();
+        let global = match spec.global {
+            GlobalTopology::Crossbar => crossbar(g, g)?,
+            GlobalTopology::Omega => omega(g)?,
+        };
+        Ok(ShardedNetwork {
+            spec,
+            local,
+            global,
+        })
+    }
+
+    /// The spec this system was built from.
+    pub fn spec(&self) -> &ShardedSpec {
+        &self.spec
+    }
+
+    /// The shared local prototype network (all shards are copies of it).
+    pub fn local(&self) -> &Network {
+        &self.local
+    }
+
+    /// The global inter-shard network over the uplink slots.
+    pub fn global(&self) -> &Network {
+        &self.global
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    /// Total processors (= total resources) across all shards.
+    pub fn num_ports(&self) -> usize {
+        self.spec.total_ports()
+    }
+
+    /// System name, e.g. `sharded-4x omega-16 /crossbar`.
+    pub fn name(&self) -> String {
+        format!(
+            "sharded-{}x{}-{}",
+            self.spec.shards,
+            self.local.name(),
+            self.spec.global.name()
+        )
+    }
+
+    /// Split a global port (processor or resource) number into its typed
+    /// shard-local address. `None` when out of range.
+    pub fn to_local(&self, global: usize) -> Option<ShardPort> {
+        if global >= self.num_ports() {
+            return None;
+        }
+        Some(ShardPort {
+            shard: global / self.spec.local_ports,
+            port: global % self.spec.local_ports,
+        })
+    }
+
+    /// Join a typed shard-local address back into a global port number.
+    /// `None` when either component is out of range.
+    pub fn to_global(&self, addr: ShardPort) -> Option<usize> {
+        if addr.shard >= self.spec.shards || addr.port >= self.spec.local_ports {
+            return None;
+        }
+        Some(addr.shard * self.spec.local_ports + addr.port)
+    }
+
+    /// The global-network processor indices (uplink slots) owned by shard
+    /// `s`: `s*w .. (s+1)*w`. The same range indexes its downlink slots on
+    /// the resource side.
+    pub fn uplink_slots(&self, shard: usize) -> std::ops::Range<usize> {
+        let w = self.spec.uplink;
+        shard * w..(shard + 1) * w
+    }
+
+    /// Compose the equivalent flat [`Network`].
+    ///
+    /// Per shard: every processor feeds a 1×2 splitter (output 0 enters the
+    /// embedded local fabric, output 1 the shard's `n×w` uplink
+    /// concentrator); every resource is fed by a 2×1 merger (input 0 from
+    /// the local fabric, input 1 from the shard's `w×n` downlink
+    /// distributor). The global network's boxes are embedded once, wired
+    /// from uplink outputs to downlink inputs. Global port numbering is
+    /// preserved: flat processor `g` is shard `g / n`, local port `g % n` —
+    /// exactly [`Self::to_local`].
+    pub fn flatten(&self) -> Result<Network, NetworkError> {
+        let s_count = self.spec.shards;
+        let n = self.spec.local_ports;
+        let w = self.spec.uplink;
+        let total = s_count * n;
+        let local_stages = self.local.num_stages();
+        let global_stages = self.global.num_stages();
+        // Stage plan (informational): splitters 0, local fabric and uplinks
+        // from 1, global fabric from 2, downlinks and mergers after both.
+        let down_stage = 2 + global_stages;
+        let merger_stage = (1 + local_stages).max(down_stage + 1);
+
+        let mut b = NetworkBuilder::new(self.name(), total, total);
+        let mut splitter = vec![vec![0usize; n]; s_count];
+        let mut merger = vec![vec![0usize; n]; s_count];
+        let mut uplink = vec![0usize; s_count];
+        let mut downlink = vec![0usize; s_count];
+        let mut local_box = vec![vec![0usize; self.local.num_boxes()]; s_count];
+
+        for s in 0..s_count {
+            for (i, sp_slot) in splitter[s].iter_mut().enumerate() {
+                let sp = b.add_box(0, 1, 2);
+                *sp_slot = sp;
+                b.link_proc_to_box(s * n + i, sp, 0);
+            }
+            let up = b.add_box(1, n, w);
+            uplink[s] = up;
+            for (i, &sp) in splitter[s].iter().enumerate() {
+                b.link_box_to_box(sp, 1, up, i);
+            }
+            for (j, mg_slot) in merger[s].iter_mut().enumerate() {
+                let mg = b.add_box(merger_stage, 2, 1);
+                *mg_slot = mg;
+                b.link_box_to_res(mg, 0, s * n + j);
+            }
+            let dn = b.add_box(down_stage, w, n);
+            downlink[s] = dn;
+            for (j, &mg) in merger[s].iter().enumerate() {
+                b.link_box_to_box(dn, j, mg, 1);
+            }
+            for (lb, slot) in local_box[s].iter_mut().enumerate() {
+                let spec = self.local.box_spec(lb);
+                *slot = b.add_box(1 + spec.stage, spec.inputs, spec.outputs);
+            }
+            // Replay the local prototype's links with this shard's box ids;
+            // processor endpoints become splitter output 0, resource
+            // endpoints become merger input 0.
+            for (_, l) in self.local.links() {
+                let (src, src_port) = match l.src {
+                    NodeRef::Processor(i) => (splitter[s][i], 0),
+                    NodeRef::Box(lb) => (local_box[s][lb], l.src_port),
+                    NodeRef::Resource(_) => {
+                        return Err(NetworkError::BadEndpoint(
+                            "local prototype has a resource-sourced link".into(),
+                        ))
+                    }
+                };
+                let (dst, dst_port) = match l.dst {
+                    NodeRef::Resource(j) => (merger[s][j], 0),
+                    NodeRef::Box(lb) => (local_box[s][lb], l.dst_port),
+                    NodeRef::Processor(_) => {
+                        return Err(NetworkError::BadEndpoint(
+                            "local prototype has a processor-terminated link".into(),
+                        ))
+                    }
+                };
+                b.link_box_to_box(src, src_port, dst, dst_port);
+            }
+        }
+
+        // Embed the global network between the uplink concentrators and the
+        // downlink distributors: global processor s*w+k is uplink output k
+        // of shard s; global resource t*w+k is downlink input k of shard t.
+        let mut global_box = vec![0usize; self.global.num_boxes()];
+        for (gb, slot) in global_box.iter_mut().enumerate() {
+            let spec = self.global.box_spec(gb);
+            *slot = b.add_box(2 + spec.stage, spec.inputs, spec.outputs);
+        }
+        for (_, l) in self.global.links() {
+            let (src, src_port) = match l.src {
+                NodeRef::Processor(g) => (uplink[g / w], g % w),
+                NodeRef::Box(gb) => (global_box[gb], l.src_port),
+                NodeRef::Resource(_) => {
+                    return Err(NetworkError::BadEndpoint(
+                        "global network has a resource-sourced link".into(),
+                    ))
+                }
+            };
+            let (dst, dst_port) = match l.dst {
+                NodeRef::Resource(g) => (downlink[g / w], g % w),
+                NodeRef::Box(gb) => (global_box[gb], l.dst_port),
+                NodeRef::Processor(_) => {
+                    return Err(NetworkError::BadEndpoint(
+                        "global network has a processor-terminated link".into(),
+                    ))
+                }
+            };
+            b.link_box_to_box(src, src_port, dst, dst_port);
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitState;
+
+    fn spec(shards: usize, local: usize, global: GlobalTopology) -> ShardedSpec {
+        ShardedSpec::new(shards, local, global)
+    }
+
+    #[test]
+    fn addressing_round_trips() {
+        let net = ShardedNetwork::new(spec(4, 8, GlobalTopology::Crossbar)).unwrap();
+        for g in 0..net.num_ports() {
+            let a = net.to_local(g).unwrap();
+            assert!(a.shard < 4 && a.port < 8);
+            assert_eq!(net.to_global(a).unwrap(), g);
+        }
+        assert_eq!(net.to_local(32), None);
+        assert_eq!(
+            net.to_global(ShardPort { shard: 4, port: 0 }),
+            None,
+            "shard out of range"
+        );
+        assert_eq!(net.to_global(ShardPort { shard: 0, port: 8 }), None);
+    }
+
+    #[test]
+    fn specs_validate() {
+        assert!(ShardedNetwork::new(ShardedSpec {
+            shards: 0,
+            local_ports: 8,
+            uplink: 1,
+            global: GlobalTopology::Crossbar
+        })
+        .is_err());
+        assert!(ShardedNetwork::new(ShardedSpec {
+            shards: 2,
+            local_ports: 8,
+            uplink: 0,
+            global: GlobalTopology::Crossbar
+        })
+        .is_err());
+        // Omega global needs a power-of-two slot count: 3 shards x 2 = 6.
+        assert!(ShardedNetwork::new(ShardedSpec {
+            shards: 3,
+            local_ports: 8,
+            uplink: 2,
+            global: GlobalTopology::Omega
+        })
+        .is_err());
+        // ... but 4 x 2 = 8 works.
+        assert!(ShardedNetwork::new(ShardedSpec {
+            shards: 4,
+            local_ports: 8,
+            uplink: 2,
+            global: GlobalTopology::Omega
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn flatten_produces_the_composed_network() {
+        for global in [GlobalTopology::Crossbar, GlobalTopology::Omega] {
+            let net = ShardedNetwork::new(spec(2, 4, global)).unwrap();
+            let flat = net.flatten().unwrap();
+            assert_eq!(flat.num_processors(), 8);
+            assert_eq!(flat.num_resources(), 8);
+            // Every processor and resource is wired.
+            for p in 0..8 {
+                assert!(flat.processor_link(p).is_some(), "{global:?} p{p}");
+                assert!(flat.resource_link(p).is_some(), "{global:?} r{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_routes_local_and_cross_shard_circuits() {
+        let net = ShardedNetwork::new(spec(2, 4, GlobalTopology::Crossbar)).unwrap();
+        let flat = net.flatten().unwrap();
+        let mut cs = CircuitState::new(&flat);
+        // Local circuit within shard 0.
+        let path = cs.find_path(0, 3).expect("local path in shard 0");
+        cs.establish(&path).unwrap();
+        // Cross-shard circuit from shard 0 to a shard-1 resource.
+        let path = cs
+            .find_path(1, 6)
+            .expect("cross-shard path via the global net");
+        cs.establish(&path).unwrap();
+        // Shard 1 can still route locally.
+        assert!(cs.find_path(4, 7).is_some());
+    }
+
+    #[test]
+    fn uplink_width_caps_concurrent_cross_shard_circuits() {
+        // uplink = 1: after one outbound cross-shard circuit from shard 0,
+        // a second one cannot be routed (the sole uplink is occupied).
+        let net = ShardedNetwork::new(ShardedSpec {
+            shards: 2,
+            local_ports: 4,
+            uplink: 1,
+            global: GlobalTopology::Crossbar,
+        })
+        .unwrap();
+        let flat = net.flatten().unwrap();
+        let mut cs = CircuitState::new(&flat);
+        let path = cs.find_path(0, 5).expect("first cross-shard circuit");
+        cs.establish(&path).unwrap();
+        assert!(
+            cs.find_path(1, 6).is_none(),
+            "second concurrent cross-shard circuit must be blocked at the uplink"
+        );
+    }
+
+    #[test]
+    fn sixteen_shard_composition_scales() {
+        // The acceptance-scale shape: 16 shards x omega-16 locals. Counted
+        // in box ports (switch crosspoint terminals), the flat composition
+        // is a multi-thousand-port fabric.
+        let net = ShardedNetwork::new(spec(16, 16, GlobalTopology::Omega)).unwrap();
+        let flat = net.flatten().unwrap();
+        assert_eq!(flat.num_processors(), 256);
+        let box_ports: usize = (0..flat.num_boxes())
+            .map(|b| {
+                let s = flat.box_spec(b);
+                s.inputs + s.outputs
+            })
+            .sum();
+        assert!(box_ports >= 4096, "only {box_ports} box ports");
+    }
+}

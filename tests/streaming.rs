@@ -81,6 +81,67 @@ fn check_stream(
     Ok(())
 }
 
+mod codec_regression {
+    //! The `R`/`F` command-log codec must reject malformed replays with a
+    //! typed [`CodecError`] naming the offending line — the serve binary
+    //! used to skip bad lines silently, desynchronizing replayed decision
+    //! logs from the recorded stream.
+
+    use rsin_sim::stream::{
+        encode_commands, generate_commands, parse_commands, CodecError, CodecErrorKind,
+    };
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_line_numbers() {
+        for (text, line, kind) in [
+            ("R\n", 1, CodecErrorKind::MissingProcessor),
+            ("R 0\nF\n", 2, CodecErrorKind::MissingProcessor),
+            (
+                "R zero\n",
+                1,
+                CodecErrorKind::BadProcessor("zero".to_string()),
+            ),
+            // usize::from_str would accept the sign prefix; the codec
+            // insists on plain ASCII decimals.
+            (
+                "R 0\nF +3\n",
+                2,
+                CodecErrorKind::BadProcessor("+3".to_string()),
+            ),
+            ("R 3 4\n", 1, CodecErrorKind::TrailingTokens),
+            (
+                "R 0\n\n# note\nF 0 trailing\n",
+                4,
+                CodecErrorKind::TrailingTokens,
+            ),
+            ("Q 3\n", 1, CodecErrorKind::UnknownOp("Q".to_string())),
+        ] {
+            assert_eq!(parse_commands(text), Err(CodecError { line, kind }));
+        }
+    }
+
+    /// The rendered diagnostic keeps the `line N: ...` contract the serve
+    /// CLI surfaces to operators.
+    #[test]
+    fn codec_errors_render_the_line_number() {
+        let err = parse_commands("R 0\nbogus 1\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2: unknown op \"bogus\"");
+    }
+
+    /// Well-formed logs — including generated ones with comments and blank
+    /// lines — still parse, and encode/parse round-trips exactly.
+    #[test]
+    fn well_formed_logs_round_trip() {
+        let cmds = generate_commands(8, 64, 0.7, 7, 0);
+        let parsed = parse_commands(&encode_commands(&cmds)).expect("round trip");
+        assert_eq!(parsed, cmds);
+        assert_eq!(
+            parse_commands("# header\n\n  R 5\nF 5\n").expect("comments and blanks skip"),
+            parse_commands("R 5\nF 5").expect("bare log parses"),
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
