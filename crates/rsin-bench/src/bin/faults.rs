@@ -11,8 +11,8 @@
 //! against the fault-free baseline of the *same* arrival stream.
 //!
 //! Usage: `faults [--policy none|bfs|priced] [--telemetry <path>]
-//! [--json <path>] [--replicas <n>] [--threads <n>] [trials] [threads]
-//! [json-path]`
+//! [--trace <path>] [--json <path>] [--replicas <n>] [--threads <n>]
+//! [trials] [threads] [json-path]`
 //!
 //! `--policy` selects how blocked requests are handled during faulty
 //! cycles (default `bfs`): shed immediately (`none`), BFS-retried to any
@@ -36,20 +36,23 @@
 //! max-flow, rate 0.005) re-runs after the sweep under a live
 //! `rsin_obs::Telemetry` sink and its JSON report — per-solver phase
 //! counters, cycle-latency histograms, and the fault/repair event trace —
-//! is written to the given path. Probes only observe, so the sweep's
-//! numbers are unaffected.
+//! is written to the given path. With `--trace <path>`, the same capture
+//! configuration re-runs one trial under a flight recorder and the
+//! per-request lifecycle (submit/allocate/release spans plus shed and
+//! recovered markers) is exported as Chrome trace-event JSON for Perfetto.
+//! Probes and tracers only observe, so the sweep's numbers are unaffected.
 
 use rsin_bench::{emit_table, network_by_name};
 use rsin_core::scheduler::{
     AddressMappedScheduler, GreedyScheduler, MaxFlowScheduler, RequestOrder, Scheduler,
 };
-use rsin_obs::Telemetry;
+use rsin_obs::{FlightRecorder, NoopProbe, Telemetry};
 use rsin_sim::replicate::merge_faulted;
 use rsin_sim::system::{
-    run_faulted_trials_policy, run_faulted_trials_policy_probed, DegradedPolicy, DynamicConfig,
-    FaultedStats,
+    fault_plan_seed, run_faulted_trials_policy, run_faulted_trials_policy_probed, DegradedPolicy,
+    DynamicConfig, FaultedStats, SystemSim,
 };
-use rsin_topology::FaultPlanConfig;
+use rsin_topology::{FaultPlan, FaultPlanConfig};
 
 const SEED: u64 = 42;
 const SIM_TIME: f64 = 400.0;
@@ -173,6 +176,7 @@ fn main() {
         }
     };
     let telemetry_path = take_flag(&mut args, "--telemetry");
+    let trace_path = take_flag(&mut args, "--trace");
     let replicas_flag: Option<usize> =
         take_flag(&mut args, "--replicas").and_then(|v| v.parse().ok());
     let threads_flag: Option<usize> =
@@ -312,6 +316,28 @@ fn main() {
             eprintln!("warning: could not write {tpath}: {e}");
         } else {
             println!("telemetry written to {tpath} (omega-8 / max-flow / rate 0.005)");
+        }
+    }
+    if let Some(tpath) = trace_path {
+        // One traced trial of the telemetry capture's configuration: the
+        // request lifecycle of a faulted run, Perfetto-loadable.
+        let recorder = FlightRecorder::new(1 << 20);
+        let net = network_by_name("omega-8").unwrap();
+        let fcfg = FaultPlanConfig::links(0.005, MEAN_REPAIR, SIM_TIME);
+        let plan = FaultPlan::generate(&net, &fcfg, fault_plan_seed(cfg.seed, 0));
+        let sim = SystemSim::new(&net, cfg);
+        sim.try_run_faulted_trial_policy_traced(&optimal, &plan, 0, policy, &NoopProbe, &recorder)
+            .expect("traced capture trial");
+        let snap = recorder.snapshot();
+        let json = snap.to_chrome_json("faults/omega-8/max-flow");
+        if let Err(e) = std::fs::write(&tpath, &json) {
+            eprintln!("warning: could not write {tpath}: {e}");
+        } else {
+            println!(
+                "lifecycle trace written to {tpath} ({} spans, {} dropped)",
+                snap.events.len(),
+                snap.dropped
+            );
         }
     }
     println!(

@@ -11,7 +11,16 @@
 //!
 //! Usage: `sharded [--shards CSV] [--local N] [--global crossbar|omega|both]
 //! [--policy token|mincost|both] [--trials N] [--threads N]
-//! [--shard-pool N] [--seed S] [--json FILE]`
+//! [--shard-pool N] [--seed S] [--json FILE] [--breakdown FILE]`
+//!
+//! With `--breakdown <path>`, one bounded observed capture re-runs after the
+//! sweep at the largest shard count (first global/policy, load 0.9) with a
+//! per-shard [`rsin_obs::Telemetry`] sink attached to every shard
+//! ([`HierarchicalScheduler::observed`]); the merged
+//! [`rsin_core::ShardBreakdown`] report — home/remote placement counters,
+//! per-shard solve-latency histograms, and the occupancy-imbalance ratio —
+//! is written to the given path and summarised on stdout. Sinks only
+//! observe, so the sweep's numbers are unaffected.
 //!
 //! Determinism contract: every statistic in the table and in the `--json`
 //! report is a pure function of `(seed, trial)` with sequential trial-order
@@ -26,8 +35,10 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use rsin_bench::emit_table;
-use rsin_core::scheduler::InterShardPolicy;
-use rsin_sim::sharded::{run_sharded_trials, ShardedStats, ShardedTrialConfig};
+use rsin_core::scheduler::{HierarchicalScheduler, InterShardPolicy};
+use rsin_obs::Counter;
+use rsin_sim::sharded::{run_sharded_trials, sharded_snapshot, ShardedStats, ShardedTrialConfig};
+use rsin_sim::workload::trial_rng;
 use rsin_topology::{GlobalTopology, ShardedNetwork, ShardedSpec};
 use std::time::Instant;
 
@@ -120,6 +131,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(23);
     let json_path = take_flag(&mut args, "--json");
+    let breakdown_path = take_flag(&mut args, "--breakdown");
     if let Some(stray) = args.first() {
         eprintln!("error: unknown argument {stray:?}");
         std::process::exit(2);
@@ -214,5 +226,55 @@ fn main() {
             std::process::exit(2);
         }
         println!("report written to {jpath}");
+    }
+
+    if let Some(bpath) = breakdown_path {
+        // One bounded observed capture: per-shard telemetry sinks on the
+        // sweep's largest composition, re-running its trial snapshots (same
+        // `(seed, trial)` streams) through an observed scheduler.
+        let shards = shard_counts.iter().copied().max().unwrap_or(2);
+        let global = globals[0];
+        let policy = policies[0];
+        let net = ShardedNetwork::new(ShardedSpec::new(shards, local, global))
+            .expect("capture composition is well-formed");
+        let total = net.num_ports();
+        let k = ((total as f64 * 0.9).round() as usize).max(1);
+        let h = HierarchicalScheduler::observed(&net, policy);
+        for trial in 0..trials {
+            let mut rng = trial_rng(seed, trial);
+            let (requests, free) = sharded_snapshot(total, k, k, &mut rng);
+            h.schedule(&requests, &free)
+                .expect("observed cycle failed on a well-formed snapshot");
+        }
+        let report = h.shard_report().expect("observed scheduler carries sinks");
+        println!(
+            "\nshard breakdown — {} / {} / load 0.90 ({trials} cycle(s)), \
+             occupancy imbalance {:.4}",
+            net.name(),
+            policy.name(),
+            report.imbalance
+        );
+        let brows: Vec<Vec<String>> = (0..shards)
+            .map(|s| {
+                vec![
+                    s.to_string(),
+                    report.counter(s, Counter::ShardHomePlaced).to_string(),
+                    report.counter(s, Counter::ShardRemoteIn).to_string(),
+                    report.counter(s, Counter::ShardAllocated).to_string(),
+                    report.counter(s, Counter::Cycles).to_string(),
+                ]
+            })
+            .collect();
+        emit_table(
+            "breakdown",
+            &["shard", "home placed", "remote in", "allocated", "cycles"],
+            &brows,
+        );
+        let json = report.to_json(&format!("sharded/{}", net.name()));
+        if let Err(e) = std::fs::write(&bpath, &json) {
+            eprintln!("error: could not write {bpath}: {e}");
+            std::process::exit(2);
+        }
+        println!("breakdown written to {bpath}");
     }
 }

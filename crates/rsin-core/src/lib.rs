@@ -53,5 +53,6 @@ pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest}
 pub use scheduler::{
     DegradedOutcome, GlobalAssignment, HierarchicalOutcome, HierarchicalScheduler,
     IncrementalBackend, IncrementalScheduler, InterShardPolicy, Placement, PricedDegradedOutcome,
-    PromotedRequest, ScheduleError, ScheduleScratch, Scheduler, ShardPlan, StreamDecision,
+    PromotedRequest, ScheduleError, ScheduleScratch, Scheduler, ShardBreakdown, ShardPlan,
+    StreamDecision,
 };

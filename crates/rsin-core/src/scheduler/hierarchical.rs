@@ -39,6 +39,7 @@
 use super::{ScheduleError, ScheduleScratch, Scheduler};
 use crate::model::{ScheduleOutcome, ScheduleProblem};
 use crate::scheduler::MaxFlowScheduler;
+use rsin_obs::{Counter, Probe, Telemetry, TelemetryReport};
 use rsin_topology::{CircuitState, ShardedNetwork};
 use std::sync::Mutex;
 
@@ -129,6 +130,54 @@ impl HierarchicalOutcome {
     }
 }
 
+/// Per-shard telemetry breakdown of an observed [`HierarchicalScheduler`]
+/// (see [`HierarchicalScheduler::shard_report`]): one [`TelemetryReport`]
+/// per shard, their exact merge, and the shard-occupancy imbalance.
+#[derive(Debug, Clone)]
+pub struct ShardBreakdown {
+    /// One report per shard, indexed by shard.
+    pub per_shard: Vec<TelemetryReport>,
+    /// Exact fold of every per-shard report, in shard order
+    /// ([`TelemetryReport::merge`]).
+    pub merged: TelemetryReport,
+    /// Occupancy imbalance across shards: `(max - min) / mean` of the
+    /// per-shard [`Counter::ShardAllocated`] totals. 0 when allocations are
+    /// spread evenly (or nothing has been allocated at all); grows as hot
+    /// shards pull ahead of cold ones.
+    pub imbalance: f64,
+}
+
+impl ShardBreakdown {
+    /// Shorthand for one shard's value of one counter.
+    pub fn counter(&self, shard: usize, c: Counter) -> u64 {
+        self.per_shard[shard].counters[c.index()]
+    }
+
+    /// Encode the breakdown as JSON: the summary triple (shards, imbalance,
+    /// cross-shard intake totals) plus one full [`TelemetryReport`] per
+    /// shard and the merged report, all via the reports' own encoder.
+    pub fn to_json(&self, source: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("\"source\": \"{source}\",\n"));
+        s.push_str(&format!("\"shards\": {},\n", self.per_shard.len()));
+        s.push_str(&format!("\"imbalance\": {:.6},\n", self.imbalance));
+        s.push_str("\"per_shard\": [\n");
+        for (i, r) in self.per_shard.iter().enumerate() {
+            s.push_str(&r.to_json(&format!("{source}/shard{i}")));
+            s.push_str(if i + 1 < self.per_shard.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("],\n\"merged\": ");
+        s.push_str(&self.merged.to_json(&format!("{source}/merged")));
+        s.push_str("}\n");
+        s
+    }
+}
+
 /// Two-stage scheduler over a [`ShardedNetwork`]: inter-shard placement
 /// followed by independent per-shard Theorem-2 solves.
 ///
@@ -142,6 +191,10 @@ pub struct HierarchicalScheduler<'n> {
     policy: InterShardPolicy,
     scheduler: MaxFlowScheduler,
     solvers: Vec<Mutex<ScheduleScratch>>,
+    /// Optional per-shard telemetry sinks (one [`Telemetry`] per shard,
+    /// index-aligned with `solvers`). `None` keeps scheduling on the
+    /// unobserved path; see [`HierarchicalScheduler::observed`].
+    sinks: Option<Vec<Telemetry>>,
 }
 
 impl<'n> HierarchicalScheduler<'n> {
@@ -155,7 +208,21 @@ impl<'n> HierarchicalScheduler<'n> {
             solvers: (0..net.shards())
                 .map(|_| Mutex::new(ScheduleScratch::new()))
                 .collect(),
+            sinks: None,
         }
+    }
+
+    /// [`new`](Self::new) with one [`Telemetry`] sink per shard: stage-1
+    /// placement ticks each shard's intake counters
+    /// ([`Counter::ShardHomePlaced`] / [`Counter::ShardRemoteIn`]), every
+    /// per-shard solve runs observed (cycle/solve latency histograms,
+    /// per-solver operation counts) and ticks
+    /// [`Counter::ShardAllocated`]. Sinks only record — scheduling results
+    /// are bit-identical to the unobserved scheduler.
+    pub fn observed(net: &'n ShardedNetwork, policy: InterShardPolicy) -> Self {
+        let mut h = Self::new(net, policy);
+        h.sinks = Some((0..net.shards()).map(|_| Telemetry::new()).collect());
+        h
     }
 
     /// The sharded network this scheduler places onto.
@@ -176,6 +243,38 @@ impl<'n> HierarchicalScheduler<'n> {
     /// Report name, e.g. `hier-token/sharded-4xomega-16-crossbar`.
     pub fn name(&self) -> String {
         format!("hier-{}/{}", self.policy.name(), self.net.name())
+    }
+
+    /// Per-shard telemetry breakdown, or `None` for a scheduler built
+    /// without sinks ([`new`](Self::new)). Snapshots every shard's sink in
+    /// shard order, folds them with [`TelemetryReport::merge`] (exact — the
+    /// merged counters and solver totals are independent of how solves were
+    /// fanned across threads), and computes the occupancy imbalance from the
+    /// per-shard [`Counter::ShardAllocated`] totals.
+    pub fn shard_report(&self) -> Option<ShardBreakdown> {
+        let sinks = self.sinks.as_ref()?;
+        let per_shard: Vec<TelemetryReport> = sinks.iter().map(|t| t.report()).collect();
+        let mut merged = per_shard[0].clone();
+        for r in &per_shard[1..] {
+            merged.merge(r);
+        }
+        let occ: Vec<u64> = per_shard
+            .iter()
+            .map(|r| r.counters[Counter::ShardAllocated.index()])
+            .collect();
+        let (min, max) = (occ.iter().min().copied(), occ.iter().max().copied());
+        let total: u64 = occ.iter().sum();
+        let imbalance = if total == 0 {
+            0.0
+        } else {
+            let mean = total as f64 / occ.len() as f64;
+            (max.unwrap_or(0) - min.unwrap_or(0)) as f64 / mean
+        };
+        Some(ShardBreakdown {
+            per_shard,
+            merged,
+            imbalance,
+        })
     }
 
     /// Transformation-graph build count per shard. Every shard that has
@@ -239,6 +338,9 @@ impl<'n> HierarchicalScheduler<'n> {
                     surplus.push((s * n + p, s));
                 }
             }
+            if let Some(sinks) = &self.sinks {
+                sinks[s].add(Counter::ShardHomePlaced, keep as u64);
+            }
         }
 
         // Remote placement over the global network. `spare[t]` is free
@@ -265,6 +367,9 @@ impl<'n> HierarchicalScheduler<'n> {
                     spare[t] -= 1;
                     plans[t].requests.push((port, origin));
                     remote_placed += 1;
+                    if let Some(sinks) = &self.sinks {
+                        sinks[t].add(Counter::ShardRemoteIn, 1);
+                    }
                 }
                 None => stage1_blocked += 1,
             }
@@ -342,7 +447,17 @@ impl<'n> HierarchicalScheduler<'n> {
         let mut scratch = self.solvers[shard]
             .lock()
             .expect("shard solver mutex poisoned");
-        self.scheduler.try_schedule_reusing(&problem, &mut scratch)
+        match &self.sinks {
+            Some(sinks) => {
+                let sink = &sinks[shard];
+                let out = self
+                    .scheduler
+                    .try_schedule_observed(&problem, &mut scratch, sink)?;
+                sink.add(Counter::ShardAllocated, out.assignments.len() as u64);
+                Ok(out)
+            }
+            None => self.scheduler.try_schedule_reusing(&problem, &mut scratch),
+        }
     }
 
     /// **Reduction** — merge per-shard outcomes into global numbering, in
@@ -506,6 +621,77 @@ mod tests {
             Err(ScheduleError::UnknownProcessor(8))
         );
         assert!(h.schedule(&[], &[99]).is_err());
+    }
+
+    #[test]
+    fn observed_scheduler_matches_plain_and_accounts_placement() {
+        let net = sharded(2, 4, 2);
+        for policy in [InterShardPolicy::TokenRing, InterShardPolicy::MinCost] {
+            let plain = HierarchicalScheduler::new(&net, policy);
+            let obs = HierarchicalScheduler::observed(&net, policy);
+            assert!(plain.shard_report().is_none());
+            // Shard 0 saturated (4 requests, 1 free), shard 1 idle with 3
+            // free: home keeps 1, remotes flow to shard 1 up to uplinks.
+            let requests = [0, 1, 2, 3];
+            let free = [3usize, 5, 6, 7];
+            for _ in 0..3 {
+                let a = plain.schedule(&requests, &free).unwrap();
+                let b = obs.schedule(&requests, &free).unwrap();
+                assert_eq!(a, b, "{policy:?}: sinks must not change outcomes");
+            }
+            let report = obs.shard_report().unwrap();
+            assert_eq!(report.per_shard.len(), 2);
+            // 3 cycles: shard 0 kept 1 home request each, shard 1 took 2
+            // remote requests each (uplink width 2).
+            assert_eq!(report.counter(0, Counter::ShardHomePlaced), 3);
+            assert_eq!(report.counter(0, Counter::ShardRemoteIn), 0);
+            assert_eq!(report.counter(1, Counter::ShardHomePlaced), 0);
+            assert_eq!(report.counter(1, Counter::ShardRemoteIn), 6);
+            // Merged allocations equal the scheduled outcome across cycles.
+            let out = plain.schedule(&requests, &free).unwrap();
+            let merged_alloc = report.merged.counters[Counter::ShardAllocated.index()];
+            assert_eq!(merged_alloc as usize, 3 * out.allocated(), "{policy:?}");
+            // Each shard solved once per cycle, and solve latencies landed
+            // in each shard's own histogram.
+            for s in 0..2 {
+                assert_eq!(
+                    report.per_shard[s].counters[Counter::Cycles.index()],
+                    3,
+                    "{policy:?} shard {s}"
+                );
+                assert!(
+                    report.per_shard[s].hists[rsin_obs::Hist::CycleLatencyNs.index()].count >= 3,
+                    "{policy:?} shard {s} missing solve-latency samples"
+                );
+            }
+            let json = report.to_json("unit");
+            for key in [
+                "\"shards\": 2",
+                "\"imbalance\"",
+                "shard_remote_in",
+                "/merged",
+            ] {
+                assert!(json.contains(key), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_is_zero_when_even_and_positive_when_skewed() {
+        let net = sharded(2, 4, 2);
+        let even = HierarchicalScheduler::observed(&net, InterShardPolicy::TokenRing);
+        even.schedule(&[0, 1, 4, 5], &[2, 3, 6, 7]).unwrap();
+        let r = even.shard_report().unwrap();
+        assert_eq!(r.imbalance, 0.0, "2 allocations per shard");
+        assert_eq!(r.counter(0, Counter::ShardAllocated), 2);
+
+        let skew = HierarchicalScheduler::observed(&net, InterShardPolicy::TokenRing);
+        skew.schedule(&[0, 1], &[2, 3]).unwrap(); // everything on shard 0
+        let r = skew.shard_report().unwrap();
+        assert!(r.imbalance > 1.9, "max=2 min=0 mean=1 -> imbalance 2");
+
+        let idle = HierarchicalScheduler::observed(&net, InterShardPolicy::TokenRing);
+        assert_eq!(idle.shard_report().unwrap().imbalance, 0.0, "no traffic");
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::model::ScheduleProblem;
 use crate::transform::reusable::ReusableTransform;
 use crate::transform::Transformed;
 use rsin_flow::{ArcId, Cost, SolveScratch};
-use rsin_obs::{Counter, Hist, NoopProbe, Probe};
+use rsin_obs::{Counter, Hist, NoopProbe, NoopTracer, Probe, SpanPhase, Tracer};
 use rsin_topology::{CircuitState, Network};
 
 /// Which flow discipline the incremental scheduler augments with.
@@ -129,6 +129,12 @@ pub struct IncrementalScheduler {
     cancel_buf: Vec<ArcId>,
     allocated: usize,
     queued: usize,
+    /// Next request id to hand out (fresh, monotonically increasing — ids
+    /// are assigned whether or not a tracer is attached, so traced and
+    /// untraced runs agree on them).
+    next_req: u64,
+    /// Id of the open request per processor (valid while not `Idle`).
+    req_ids: Vec<u64>,
 }
 
 impl IncrementalScheduler {
@@ -164,6 +170,8 @@ impl IncrementalScheduler {
             cancel_buf: Vec::new(),
             allocated: 0,
             queued: 0,
+            next_req: 1,
+            req_ids: vec![0; np],
         }
     }
 
@@ -250,11 +258,33 @@ impl IncrementalScheduler {
         processor: usize,
         probe: &dyn Probe,
     ) -> Result<StreamDecision, ScheduleError> {
+        self.request_traced(processor, probe, &NoopTracer)
+    }
+
+    /// [`request`](Self::request) with probe reporting *and* lifecycle
+    /// tracing: the accepted arrival is assigned a fresh request id and
+    /// emits a `Submit` span followed by its decision span
+    /// (`Allocate`/`Queue`), as one [`Tracer::span_pair`] sharing a
+    /// timestamp (in-call decision latency lives in the
+    /// `DecisionLatencyNs` histogram, not the trace). Tracers only
+    /// record — the decision is bit-identical under any tracer (a
+    /// property test pins this).
+    pub fn request_traced(
+        &mut self,
+        processor: usize,
+        probe: &dyn Probe,
+        tracer: &dyn Tracer,
+    ) -> Result<StreamDecision, ScheduleError> {
         match self.state.get(processor) {
             None => return Err(ScheduleError::UnknownProcessor(processor)),
             Some(ProcState::Idle) => {}
             Some(_) => return Err(ScheduleError::DuplicateRequest(processor)),
         }
+        // Ids advance on every accepted arrival, traced or not, so a tracer
+        // attached mid-stream still sees globally unique ids.
+        let req = self.next_req;
+        self.next_req += 1;
+        self.req_ids[processor] = req;
         let span = probe.start();
         let backend = self.backend;
         let scratch = &mut self.scratch;
@@ -279,6 +309,10 @@ impl IncrementalScheduler {
             ))?;
             self.state[processor] = ProcState::Allocated;
             self.allocated += 1;
+            tracer.span_pair(
+                (req, SpanPhase::Submit, processor as u64, 0),
+                (req, SpanPhase::Allocate, processor as u64, resource as u64),
+            );
             StreamDecision::Allocated {
                 processor,
                 resource,
@@ -286,6 +320,10 @@ impl IncrementalScheduler {
         } else {
             self.state[processor] = ProcState::Queued;
             self.queued += 1;
+            tracer.span_pair(
+                (req, SpanPhase::Submit, processor as u64, 0),
+                (req, SpanPhase::Queue, processor as u64, 0),
+            );
             StreamDecision::Queued { processor }
         };
         record_decision(probe, span, &decision);
@@ -306,10 +344,25 @@ impl IncrementalScheduler {
         processor: usize,
         probe: &dyn Probe,
     ) -> Result<StreamDecision, ScheduleError> {
+        self.release_traced(processor, probe, &NoopTracer)
+    }
+
+    /// [`release`](Self::release) with probe reporting *and* lifecycle
+    /// tracing: the closing request emits its terminal span
+    /// (`Release`/`Withdraw`), and a promotion emits `Promote` under the
+    /// promoted request's id, paired with the `Release` that caused it.
+    /// Same contract as [`request_traced`](Self::request_traced).
+    pub fn release_traced(
+        &mut self,
+        processor: usize,
+        probe: &dyn Probe,
+        tracer: &dyn Tracer,
+    ) -> Result<StreamDecision, ScheduleError> {
         let state = *self
             .state
             .get(processor)
             .ok_or(ScheduleError::UnknownProcessor(processor))?;
+        let req = self.req_ids.get(processor).copied().unwrap_or(0);
         let span = probe.start();
         match state {
             ProcState::Idle => Err(ScheduleError::ReleaseIdle(processor)),
@@ -319,6 +372,7 @@ impl IncrementalScheduler {
                 t.flow.set_cap(arc, 0);
                 self.state[processor] = ProcState::Idle;
                 self.queued -= 1;
+                tracer.span(req, SpanPhase::Withdraw, processor as u64, 0);
                 let decision = StreamDecision::Withdrawn { processor };
                 record_decision(probe, span, &decision);
                 Ok(decision)
@@ -381,6 +435,21 @@ impl IncrementalScheduler {
                         processor: q,
                         resource,
                     });
+                }
+                // The release and the promotion it admitted are one causal
+                // step — one span pair, one timestamp.
+                let release = (req, SpanPhase::Release, processor as u64, freed as u64);
+                match promoted {
+                    Some(p) => tracer.span_pair(
+                        release,
+                        (
+                            self.req_ids[p.processor],
+                            SpanPhase::Promote,
+                            p.processor as u64,
+                            p.resource as u64,
+                        ),
+                    ),
+                    None => tracer.span(release.0, release.1, release.2, release.3),
                 }
                 let decision = StreamDecision::Released {
                     processor,
@@ -553,5 +622,45 @@ mod tests {
             panic!("expected allocation, got {d:?}");
         };
         assert_eq!(resource, 5, "cheapest augmenting path prefers r5");
+    }
+
+    #[test]
+    fn traced_stream_is_decision_identical_and_emits_well_formed_spans() {
+        use rsin_obs::{validate_spans, FlightRecorder, SpanPhase};
+        let net = omega(8).unwrap();
+        let mut plain = IncrementalScheduler::new_max_flow(&net);
+        let mut traced = IncrementalScheduler::new_max_flow(&net);
+        let fr = FlightRecorder::new(1024);
+        // Saturate, churn a few releases/re-requests, then drain two.
+        let script: &[(bool, usize)] = &[
+            (true, 0),
+            (true, 1),
+            (true, 2),
+            (true, 3),
+            (false, 1),
+            (true, 1),
+            (false, 0),
+            (false, 2),
+        ];
+        for &(arrive, p) in script {
+            let (a, b) = if arrive {
+                (plain.request(p), traced.request_traced(p, &NoopProbe, &fr))
+            } else {
+                (plain.release(p), traced.release_traced(p, &NoopProbe, &fr))
+            };
+            assert_eq!(a, b, "tracing changed a decision at p{p}");
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.dropped, 0);
+        validate_spans(&snap.events).expect("span chain grammar holds");
+        // Every accepted arrival contributed a Submit with a fresh id.
+        let submits: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|e| e.phase == SpanPhase::Submit)
+            .map(|e| e.req)
+            .collect();
+        assert_eq!(submits, vec![1, 2, 3, 4, 5]);
+        assert_eq!(traced.allocated_count(), plain.allocated_count());
     }
 }

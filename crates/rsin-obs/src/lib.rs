@@ -21,6 +21,13 @@
 //!   accumulators, histograms, and the event ring behind one [`Probe`]
 //!   implementation, snapshot-exported as a [`TelemetryReport`] with a
 //!   hand-rolled JSON encoder (the workspace is offline; no serde).
+//! * [`trace`] — per-request causal spans ([`trace::SpanPhase`]) behind the
+//!   [`Tracer`] seam: a [`NoopTracer`] ZST for the off path, a bounded
+//!   [`FlightRecorder`] for the on path, exportable as Chrome trace-event
+//!   JSON or a canonical timestamp-free text form.
+//! * [`window`] — epoch-rotated windowed counters/histograms and EWMA rate
+//!   estimators for "what happened recently" readouts, merged exactly
+//!   across lockstep replicas.
 //!
 //! ## The probe contract
 //!
@@ -38,8 +45,14 @@ pub mod hist;
 pub mod probe;
 pub mod ring;
 pub mod telemetry;
+pub mod trace;
+pub mod window;
 
 pub use hist::{bucket_ceil, bucket_floor, bucket_of, AtomicHistogram, HistogramSnapshot, BUCKETS};
 pub use probe::{Counter, EventKind, Hist, NoopProbe, Probe, SolveCounts, SolverId, Span};
 pub use ring::{EventRing, TraceEvent};
 pub use telemetry::{Telemetry, TelemetryReport};
+pub use trace::{
+    validate_spans, FlightRecorder, NoopTracer, SpanEvent, SpanPhase, TraceSnapshot, Tracer,
+};
+pub use window::{EwmaRate, WindowedCounter, WindowedHistogram};

@@ -57,14 +57,23 @@ pub enum Counter {
     /// cancelled).
     StreamReleased,
     /// Queued requests promoted to allocated by the re-augmentation that
-    /// follows a release. Appended last: `index()` is the declaration
-    /// order, so new counters must never reorder existing ones.
+    /// follows a release.
     StreamPromoted,
+    /// Requests an inter-shard placement seated on their home shard (each
+    /// shard's telemetry sink counts its own intake).
+    ShardHomePlaced,
+    /// Requests seated cross-shard *into* this shard (remote intake — the
+    /// uplink traffic the sharded composition tries to minimize).
+    ShardRemoteIn,
+    /// Assignments produced by this shard's local solves. Appended last:
+    /// `index()` is the declaration order, so new counters must never
+    /// reorder existing ones.
+    ShardAllocated,
 }
 
 impl Counter {
     /// All variants, in report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Cycles,
         Counter::DegradedCycles,
         Counter::Recovered,
@@ -87,6 +96,9 @@ impl Counter {
         Counter::StreamQueued,
         Counter::StreamReleased,
         Counter::StreamPromoted,
+        Counter::ShardHomePlaced,
+        Counter::ShardRemoteIn,
+        Counter::ShardAllocated,
     ];
 
     /// Dense array index (== position in [`Counter::ALL`]).
@@ -119,6 +131,9 @@ impl Counter {
             Counter::StreamQueued => "stream_queued",
             Counter::StreamReleased => "stream_released",
             Counter::StreamPromoted => "stream_promoted",
+            Counter::ShardHomePlaced => "shard_home_placed",
+            Counter::ShardRemoteIn => "shard_remote_in",
+            Counter::ShardAllocated => "shard_allocated",
         }
     }
 }

@@ -18,20 +18,29 @@ pub struct TraceEvent {
 
 /// A bounded event trace. Pushing beyond capacity overwrites the oldest
 /// entry; [`EventRing::to_vec`] returns survivors oldest-first.
+///
+/// Generic over the element so the same eviction/accounting machinery backs
+/// both the simulation event trace ([`TraceEvent`], the default) and the
+/// request-lifecycle flight recorder
+/// ([`SpanEvent`](crate::trace::SpanEvent)).
+///
+/// Edge cases are first-class: a capacity-0 ring retains nothing and counts
+/// every push as dropped (it used to silently clamp to capacity 1, holding
+/// one event and under-reporting drops by one); a capacity-1 ring holds
+/// exactly the latest event.
 #[derive(Debug)]
-pub struct EventRing {
-    buf: Vec<TraceEvent>,
+pub struct EventRing<T = TraceEvent> {
+    buf: Vec<T>,
     capacity: usize,
     /// Index the next overwrite lands on once the buffer is full.
     next: usize,
     pushed: u64,
 }
 
-impl EventRing {
-    /// A ring holding at most `capacity` events (capacity 0 is clamped
-    /// to 1).
+impl<T: Copy> EventRing<T> {
+    /// A ring holding at most `capacity` events. Capacity 0 is a valid
+    /// "count but keep nothing" trace: every push is accounted as dropped.
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
         EventRing {
             buf: Vec::with_capacity(capacity.min(4096)),
             capacity,
@@ -41,14 +50,17 @@ impl EventRing {
     }
 
     /// Append an event, evicting the oldest when full.
-    pub fn push(&mut self, ev: TraceEvent) {
+    pub fn push(&mut self, ev: T) {
+        self.pushed += 1;
+        if self.capacity == 0 {
+            return;
+        }
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
             self.buf[self.next] = ev;
             self.next = (self.next + 1) % self.capacity;
         }
-        self.pushed += 1;
     }
 
     /// Events currently held.
@@ -56,7 +68,7 @@ impl EventRing {
         self.buf.len()
     }
 
-    /// Whether nothing has been traced yet.
+    /// Whether nothing is currently held.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
@@ -66,13 +78,13 @@ impl EventRing {
         self.pushed
     }
 
-    /// Events evicted by wraparound.
+    /// Events evicted by wraparound (or never retained, at capacity 0).
     pub fn dropped(&self) -> u64 {
         self.pushed - self.buf.len() as u64
     }
 
     /// Surviving events, oldest first.
-    pub fn to_vec(&self) -> Vec<TraceEvent> {
+    pub fn to_vec(&self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.next..]);
         out.extend_from_slice(&self.buf[..self.next]);
@@ -133,11 +145,37 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_clamps_to_one() {
+    fn zero_capacity_retains_nothing_and_accounts_every_drop() {
         let mut r = EventRing::new(0);
+        for i in 0..5 {
+            r.push(ev(i as f64));
+        }
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.dropped(), 5, "nothing retained: every push is a drop");
+        assert!(r.to_vec().is_empty());
+    }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_latest() {
+        let mut r = EventRing::new(1);
+        assert_eq!(r.dropped(), 0);
         r.push(ev(1.0));
+        assert_eq!((r.len(), r.dropped()), (1, 0));
         r.push(ev(2.0));
-        assert_eq!(r.len(), 1);
-        assert_eq!(r.to_vec()[0].time, 2.0);
+        r.push(ev(3.0));
+        assert_eq!((r.len(), r.pushed(), r.dropped()), (1, 3, 2));
+        assert_eq!(r.to_vec()[0].time, 3.0);
+    }
+
+    #[test]
+    fn generic_ring_works_for_non_trace_elements() {
+        let mut r: EventRing<u32> = EventRing::new(2);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![3, 4]);
+        assert_eq!(r.dropped(), 3);
     }
 }

@@ -12,6 +12,7 @@
 //! serve [--net <name>] [--backend maxflow|mincost] [--workers N]
 //!       [--seed S] [--events N] [--load F] [--trial T]
 //!       [--record FILE] [--replay FILE] [--decisions FILE] [--sweep]
+//!       [--json] [--stats-every N] [--stats-latency] [--trace FILE]
 //! ```
 //!
 //! Modes (in precedence order):
@@ -19,8 +20,21 @@
 //!                   scheduling happens (CI records once, replays twice).
 //!   --replay FILE   read a command log and serve it.
 //!   --sweep         saturation sweep: decisions/sec vs offered load,
-//!                   incremental vs batch (feeds EXPERIMENTS.md).
+//!                   incremental vs batch, plus decision-latency
+//!                   p50/p90/p99 (feeds EXPERIMENTS.md). `--json` emits the
+//!                   sweep as JSON rows instead of the text table.
 //!   (default)       generate a stream in-process and serve it.
+//!
+//! Observability:
+//!   --stats-every N interleave an in-band `S` stats probe after every N
+//!                   commands (applies to --record, --replay, and the
+//!                   generated default stream; the probes ride the recorded
+//!                   log, so replays reproduce them byte-for-byte).
+//!   --stats-latency append wall-clock p50/p90/p99 decision-latency fields
+//!                   to each stats line (nondeterministic; off for CI).
+//!   --trace FILE    run with a flight recorder and export the request
+//!                   lifecycle as Chrome trace-event JSON (load in
+//!                   Perfetto / chrome://tracing).
 //!
 //! Networks: `omegaN`, `cubeN`, `benesN`, `baselineN`, `flipN` (N a power
 //! of two), e.g. `omega16` (the default) or `cube8`; plus the sharded
@@ -29,13 +43,15 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use rsin_core::scheduler::IncrementalBackend;
-use rsin_serve::{serve_commands, ServeReport, ServerConfig};
+use rsin_obs::{FlightRecorder, Hist, NoopProbe, Probe, Telemetry, Tracer};
+use rsin_serve::{serve_commands_probed, serve_commands_traced, ServeReport, ServerConfig};
 use rsin_sim::stream::{
     encode_commands, generate_commands, parse_commands, replay_batch, replay_incremental,
-    StreamCommand,
+    with_stats_every, StreamCommand,
 };
 use rsin_topology::builders::{baseline, benes, flip, generalized_cube, omega};
 use rsin_topology::{GlobalTopology, Network, ShardedNetwork, ShardedSpec};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -50,6 +66,10 @@ struct Args {
     replay: Option<String>,
     decisions: Option<String>,
     sweep: bool,
+    json: bool,
+    stats_every: usize,
+    stats_latency: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +85,10 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         decisions: None,
         sweep: false,
+        json: false,
+        stats_every: 0,
+        stats_latency: false,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +117,12 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value(&mut i)?),
             "--decisions" => args.decisions = Some(value(&mut i)?),
             "--sweep" => args.sweep = true,
+            "--json" => args.json = true,
+            "--stats-every" => {
+                args.stats_every = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--stats-latency" => args.stats_latency = true,
+            "--trace" => args.trace = Some(value(&mut i)?),
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -154,19 +184,26 @@ fn summarize(report: &ServeReport, secs: f64) {
 }
 
 /// Saturation sweep: decisions/sec of the warm-start service vs per-event
-/// batch re-solves, across offered load.
+/// batch re-solves, across offered load, plus the service's per-decision
+/// latency quantiles (from `decision_latency_ns`, recorded by a probed
+/// serve run at each point).
 fn sweep(net: &Network, args: &Args) {
-    println!(
-        "SERVE SWEEP — {} {} events per point, backend {}",
-        args.net,
-        args.events,
-        args.backend.name()
-    );
-    println!(
-        "{:>6} {:>14} {:>14} {:>9}",
-        "load", "inc dec/s", "batch dec/s", "speedup"
-    );
-    for load in [0.2, 0.35, 0.5, 0.65, 0.8, 0.9] {
+    if args.json {
+        println!("[");
+    } else {
+        println!(
+            "SERVE SWEEP — {} {} events per point, backend {}",
+            args.net,
+            args.events,
+            args.backend.name()
+        );
+        println!(
+            "{:>6} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9}",
+            "load", "inc dec/s", "batch dec/s", "speedup", "p50 ns", "p90 ns", "p99 ns"
+        );
+    }
+    let loads = [0.2, 0.35, 0.5, 0.65, 0.8, 0.9];
+    for (i, &load) in loads.iter().enumerate() {
         let cmds = generate_commands(
             net.num_processors(),
             args.events,
@@ -181,14 +218,51 @@ fn sweep(net: &Network, args: &Args) {
         let batch = replay_batch(net, &cmds).expect("valid stream");
         let batch_secs = t1.elapsed().as_secs_f64();
         assert_eq!(inc.len(), batch.len());
-        let per = cmds.len() as f64;
-        println!(
-            "{:>6.2} {:>14.0} {:>14.0} {:>8.2}x",
-            load,
-            per / inc_secs.max(1e-9),
-            per / batch_secs.max(1e-9),
-            batch_secs / inc_secs.max(1e-9)
+        let telemetry = Arc::new(Telemetry::new());
+        let config = ServerConfig {
+            backend: args.backend,
+            workers: args.workers,
+            stats_latency: false,
+        };
+        serve_commands_probed(
+            net,
+            config,
+            &cmds,
+            Arc::clone(&telemetry) as Arc<dyn Probe + Send + Sync>,
         );
+        let lat = telemetry.histogram(Hist::DecisionLatencyNs);
+        let per = cmds.len() as f64;
+        let (inc_rate, batch_rate) = (per / inc_secs.max(1e-9), per / batch_secs.max(1e-9));
+        let speedup = batch_secs / inc_secs.max(1e-9);
+        if args.json {
+            println!(
+                "  {{\"net\": \"{}\", \"backend\": \"{}\", \"load\": {load:.2}, \
+                 \"events\": {}, \"inc_dec_per_sec\": {inc_rate:.0}, \
+                 \"batch_dec_per_sec\": {batch_rate:.0}, \"speedup\": {speedup:.3}, \
+                 \"decision_latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}}}{}",
+                args.net,
+                args.backend.name(),
+                cmds.len(),
+                lat.p50(),
+                lat.p90(),
+                lat.p99(),
+                if i + 1 < loads.len() { "," } else { "" }
+            );
+        } else {
+            println!(
+                "{:>6.2} {:>14.0} {:>14.0} {:>8.2}x {:>9} {:>9} {:>9}",
+                load,
+                inc_rate,
+                batch_rate,
+                speedup,
+                lat.p50(),
+                lat.p90(),
+                lat.p99()
+            );
+        }
+    }
+    if args.json {
+        println!("]");
     }
 }
 
@@ -197,12 +271,15 @@ fn run() -> Result<(), String> {
     let net = build_network(&args.net)?;
 
     if let Some(path) = &args.record {
-        let cmds = generate_commands(
-            net.num_processors(),
-            args.events,
-            args.load,
-            args.seed,
-            args.trial,
+        let cmds = with_stats_every(
+            &generate_commands(
+                net.num_processors(),
+                args.events,
+                args.load,
+                args.seed,
+                args.trial,
+            ),
+            args.stats_every,
         );
         std::fs::write(path, encode_commands(&cmds)).map_err(|e| format!("write {path}: {e}"))?;
         println!("recorded {} commands to {path}", cmds.len());
@@ -219,21 +296,33 @@ fn run() -> Result<(), String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             parse_commands(&text).map_err(|e| format!("{path}: {e}"))?
         }
-        None => generate_commands(
-            net.num_processors(),
-            args.events,
-            args.load,
-            args.seed,
-            args.trial,
+        None => with_stats_every(
+            &generate_commands(
+                net.num_processors(),
+                args.events,
+                args.load,
+                args.seed,
+                args.trial,
+            ),
+            args.stats_every,
         ),
     };
 
     let config = ServerConfig {
         backend: args.backend,
         workers: args.workers,
+        stats_latency: args.stats_latency,
+    };
+    let recorder = args
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new(rsin_obs::trace::DEFAULT_TRACE_CAPACITY)));
+    let tracer: Arc<dyn Tracer + Send + Sync> = match &recorder {
+        Some(r) => Arc::clone(r) as Arc<dyn Tracer + Send + Sync>,
+        None => Arc::new(rsin_obs::NoopTracer),
     };
     let t0 = Instant::now();
-    let report = serve_commands(&net, config, &cmds);
+    let report = serve_commands_traced(&net, config, &cmds, Arc::new(NoopProbe), tracer);
     let secs = t0.elapsed().as_secs_f64();
 
     match &args.decisions {
@@ -242,6 +331,17 @@ fn run() -> Result<(), String> {
             println!("wrote {} decision lines to {path}", report.lines.len());
         }
         None => print!("{}", report.log()),
+    }
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        let snap = recorder.snapshot();
+        let source = format!("serve/{}/{}", args.net, args.backend.name());
+        std::fs::write(path, snap.to_chrome_json(&source))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "traced {} spans ({} dropped) to {path}",
+            snap.events.len(),
+            snap.dropped
+        );
     }
     summarize(&report, secs);
     Ok(())

@@ -12,9 +12,15 @@
 //! The scheduler thread is the single decision maker and stamps every
 //! decision with a sequence number in submission order; worker threads only
 //! *format* already-made decisions, and the collector sorts the finished
-//! lines by sequence number. The emitted log is therefore byte-identical
-//! for any worker count — the CI `determinism` job replays a recorded
-//! command log at 1 and 8 workers and `cmp`s the logs.
+//! lines by sequence number. In-band `S` probes are snapshotted *and
+//! rendered* on the scheduler thread (a stats line quotes live occupancy,
+//! which only that thread sees consistently) and merely pass through the
+//! sorted pipeline. The emitted log — decision, error, and stats lines
+//! alike — is therefore byte-identical for any worker count; the CI
+//! `determinism` job replays a recorded command log (with interleaved `S`
+//! probes) at 1 and 8 workers and `cmp`s the logs. Wall-clock latency
+//! quantiles are the one nondeterministic readout, so they only appear
+//! under [`ServerConfig::stats_latency`], which CI leaves off.
 //!
 //! ## Error handling
 //!
@@ -25,7 +31,7 @@
 //! cancel/augment invariants the scheduler relies on.
 
 use rsin_core::scheduler::{IncrementalBackend, IncrementalScheduler, ScheduleError};
-use rsin_obs::{NoopProbe, Probe};
+use rsin_obs::{NoopProbe, NoopTracer, Probe, Tracer, WindowedHistogram};
 use rsin_sim::stream::{format_decision, StreamCommand};
 use rsin_topology::Network;
 use std::sync::mpsc;
@@ -41,6 +47,11 @@ pub struct ServerConfig {
     /// decision *log* is worker-count-invariant; workers only parallelize
     /// rendering.
     pub workers: usize,
+    /// Append wall-clock decision-latency quantiles (`p50_ns=`/`p90_ns=`/
+    /// `p99_ns=`, over the window since the previous `S` probe) to every
+    /// stats line. Off by default: latency values vary run to run, so the
+    /// determinism contract covers only the event-count fields.
+    pub stats_latency: bool,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +59,7 @@ impl Default for ServerConfig {
         ServerConfig {
             backend: IncrementalBackend::MaxFlow,
             workers: 1,
+            stats_latency: false,
         }
     }
 }
@@ -55,12 +67,15 @@ impl Default for ServerConfig {
 /// Final accounting of a served stream.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Decision-log lines in sequence order (one per submitted command).
+    /// Log lines in sequence order (one per submitted command — decisions,
+    /// errors, and `stats` lines alike).
     pub lines: Vec<String>,
     /// Commands that produced a decision.
     pub decisions: u64,
     /// Commands rejected with a typed error (rendered as `error` lines).
     pub errors: u64,
+    /// In-band `S` probes served (rendered as `stats` lines).
+    pub stats_probes: u64,
     /// Processors still holding an allocation at shutdown.
     pub allocated: usize,
     /// Processors still queued at shutdown.
@@ -101,10 +116,58 @@ pub fn format_error(seq: u64, e: &ScheduleError) -> String {
     format!("{seq} error {e}")
 }
 
+/// What one in-band `S` probe sees: cumulative event counts plus the live
+/// occupancy, all snapshotted on the scheduler thread at the probe's
+/// position in the stream. Every field is a deterministic function of the
+/// command prefix, so the rendered line is part of the byte-identical
+/// determinism contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Commands decided so far (excluding errors and probes).
+    pub decisions: u64,
+    /// Commands rejected so far.
+    pub errors: u64,
+    /// Processors currently holding an allocation.
+    pub allocated: usize,
+    /// Processors currently queued.
+    pub queued: usize,
+    /// `alloc` decisions so far.
+    pub allocs: u64,
+    /// `queue` decisions so far.
+    pub queues: u64,
+    /// `release` decisions so far.
+    pub releases: u64,
+    /// Promotions riding on those releases.
+    pub promotes: u64,
+    /// `withdraw` decisions so far.
+    pub withdraws: u64,
+}
+
+/// The canonical stats line for probe `seq` (newline not included). Only
+/// deterministic event-count fields — wall-clock quantiles are appended
+/// separately (and only under [`ServerConfig::stats_latency`]) so this
+/// rendering is byte-identical at any worker count.
+pub fn format_stats(seq: u64, s: &StatsSnapshot) -> String {
+    format!(
+        "{seq} stats decisions={} errors={} allocated={} queued={} allocs={} \
+         queues={} releases={} promotes={} withdraws={}",
+        s.decisions,
+        s.errors,
+        s.allocated,
+        s.queued,
+        s.allocs,
+        s.queues,
+        s.releases,
+        s.promotes,
+        s.withdraws
+    )
+}
+
 /// What the scheduler thread hands back at shutdown.
 struct LoopStats {
     decisions: u64,
     errors: u64,
+    stats_probes: u64,
     allocated: usize,
     queued: usize,
     rebuilds: u64,
@@ -136,16 +199,35 @@ impl Server {
         config: ServerConfig,
         probe: Arc<dyn Probe + Send + Sync>,
     ) -> Server {
+        Self::start_traced(net, config, probe, Arc::new(NoopTracer))
+    }
+
+    /// [`start_probed`](Self::start_probed) plus per-request lifecycle
+    /// spans: every decision emits its submit/allocate/queue/promote/
+    /// release span into `tracer` (typically a flight recorder the caller
+    /// exports after [`finish`](Self::finish)). Tracing never changes
+    /// decisions or log bytes.
+    pub fn start_traced(
+        net: &Network,
+        config: ServerConfig,
+        probe: Arc<dyn Probe + Send + Sync>,
+        tracer: Arc<dyn Tracer + Send + Sync>,
+    ) -> Server {
         let inc = IncrementalScheduler::new(net, config.backend);
         let (submit_tx, submit_rx) = mpsc::channel::<StreamCommand>();
-        let (work_tx, work_rx) = mpsc::channel::<(
-            u64,
-            Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
-        )>();
+        let (work_tx, work_rx) = mpsc::channel::<(u64, Work)>();
         let (line_tx, line_rx) = mpsc::channel::<(u64, String)>();
 
-        let scheduler =
-            std::thread::spawn(move || scheduler_loop(inc, &*probe, submit_rx, work_tx));
+        let scheduler = std::thread::spawn(move || {
+            scheduler_loop(
+                inc,
+                &*probe,
+                &*tracer,
+                config.stats_latency,
+                submit_rx,
+                work_tx,
+            )
+        });
 
         let work_rx = Arc::new(Mutex::new(work_rx));
         let workers = (0..config.workers.max(1))
@@ -202,6 +284,7 @@ impl Server {
             lines: lines.into_iter().map(|(_, l)| l).collect(),
             decisions: stats.decisions,
             errors: stats.errors,
+            stats_probes: stats.stats_probes,
             allocated: stats.allocated,
             queued: stats.queued,
             rebuilds: stats.rebuilds,
@@ -218,45 +301,94 @@ impl Drop for Server {
     }
 }
 
+/// What the scheduler thread hands a worker: an undecided rendering job, or
+/// a line it had to render itself. `S` probes snapshot live scheduler state,
+/// so their lines are formatted on the scheduler thread at the probe's exact
+/// position in the stream and only *pass through* the seq-sorted pipeline.
+enum Work {
+    Decision(Result<rsin_core::scheduler::StreamDecision, ScheduleError>),
+    Rendered(String),
+}
+
 fn scheduler_loop(
     mut inc: IncrementalScheduler,
     probe: &dyn Probe,
+    tracer: &dyn Tracer,
+    stats_latency: bool,
     submit_rx: mpsc::Receiver<StreamCommand>,
-    work_tx: mpsc::Sender<(
-        u64,
-        Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
-    )>,
+    work_tx: mpsc::Sender<(u64, Work)>,
 ) -> LoopStats {
-    let mut decisions = 0u64;
-    let mut errors = 0u64;
+    let mut snap = StatsSnapshot::default();
+    let mut stats_probes = 0u64;
+    let mut latency = WindowedHistogram::new();
     for (seq, cmd) in submit_rx.into_iter().enumerate() {
-        let result = match cmd {
-            StreamCommand::Request { processor } => inc.request_observed(processor, probe),
-            StreamCommand::Release { processor } => inc.release_observed(processor, probe),
-        };
-        match &result {
-            Ok(_) => decisions += 1,
-            Err(_) => errors += 1,
+        let seq = seq as u64;
+        if matches!(cmd, StreamCommand::Stats) {
+            stats_probes += 1;
+            snap.allocated = inc.allocated_count();
+            snap.queued = inc.queued_count();
+            let mut line = format_stats(seq, &snap);
+            if stats_latency {
+                // Close the window that accumulated since the last probe
+                // and quote it. Wall-clock values: never part of the
+                // deterministic byte contract, hence behind the flag.
+                latency.rotate();
+                let w = latency.previous();
+                line.push_str(&format!(
+                    " p50_ns={} p90_ns={} p99_ns={}",
+                    w.p50(),
+                    w.p90(),
+                    w.p99()
+                ));
+            }
+            if work_tx.send((seq, Work::Rendered(line))).is_err() {
+                break;
+            }
+            continue;
         }
-        if work_tx.send((seq as u64, result)).is_err() {
+        let started = stats_latency.then(std::time::Instant::now);
+        let result = match cmd {
+            StreamCommand::Request { processor } => inc.request_traced(processor, probe, tracer),
+            StreamCommand::Release { processor } => inc.release_traced(processor, probe, tracer),
+            StreamCommand::Stats => unreachable!("handled above"),
+        };
+        if let Some(t) = started {
+            latency.record(t.elapsed().as_nanos() as u64);
+        }
+        match &result {
+            Ok(d) => {
+                snap.decisions += 1;
+                use rsin_core::scheduler::StreamDecision as D;
+                match d {
+                    D::Allocated { .. } => snap.allocs += 1,
+                    D::Queued { .. } => snap.queues += 1,
+                    D::Released { promoted, .. } => {
+                        snap.releases += 1;
+                        snap.promotes += u64::from(promoted.is_some());
+                    }
+                    D::Withdrawn { .. } => snap.withdraws += 1,
+                }
+            }
+            Err(_) => snap.errors += 1,
+        }
+        if work_tx.send((seq, Work::Decision(result))).is_err() {
             break;
         }
     }
     LoopStats {
-        decisions,
-        errors,
+        decisions: snap.decisions,
+        errors: snap.errors,
+        stats_probes,
         allocated: inc.allocated_count(),
         queued: inc.queued_count(),
         rebuilds: inc.rebuilds(),
     }
 }
 
-type WorkItem = (
-    u64,
-    Result<rsin_core::scheduler::StreamDecision, ScheduleError>,
-);
-
-fn worker_loop(work_rx: &Mutex<mpsc::Receiver<WorkItem>>, line_tx: &mpsc::Sender<(u64, String)>) {
+fn worker_loop(
+    work_rx: &Mutex<mpsc::Receiver<(u64, Work)>>,
+    line_tx: &mpsc::Sender<(u64, String)>,
+) {
     loop {
         // Hold the lock only for the recv; formatting runs unlocked so
         // workers overlap.
@@ -264,13 +396,14 @@ fn worker_loop(work_rx: &Mutex<mpsc::Receiver<WorkItem>>, line_tx: &mpsc::Sender
             Ok(rx) => rx.recv(),
             Err(_) => return,
         };
-        let (seq, result) = match item {
+        let (seq, work) = match item {
             Ok(it) => it,
             Err(_) => return,
         };
-        let line = match result {
-            Ok(d) => format_decision(seq, &d),
-            Err(e) => format_error(seq, &e),
+        let line = match work {
+            Work::Decision(Ok(d)) => format_decision(seq, &d),
+            Work::Decision(Err(e)) => format_error(seq, &e),
+            Work::Rendered(line) => line,
         };
         if line_tx.send((seq, line)).is_err() {
             return;
@@ -294,7 +427,18 @@ pub fn serve_commands_probed(
     commands: &[StreamCommand],
     probe: Arc<dyn Probe + Send + Sync>,
 ) -> ServeReport {
-    let server = Server::start_probed(net, config, probe);
+    serve_commands_traced(net, config, commands, probe, Arc::new(NoopTracer))
+}
+
+/// [`serve_commands`] with probe and lifecycle-span reporting.
+pub fn serve_commands_traced(
+    net: &Network,
+    config: ServerConfig,
+    commands: &[StreamCommand],
+    probe: Arc<dyn Probe + Send + Sync>,
+    tracer: Arc<dyn Tracer + Send + Sync>,
+) -> ServeReport {
+    let server = Server::start_traced(net, config, probe, tracer);
     for &cmd in commands {
         // The loop outlives the submit side by construction here.
         server.submit(cmd).expect("event loop is running");
@@ -311,7 +455,11 @@ mod tests {
     use rsin_topology::builders::omega;
 
     fn cfg(workers: usize, backend: IncrementalBackend) -> ServerConfig {
-        ServerConfig { backend, workers }
+        ServerConfig {
+            backend,
+            workers,
+            stats_latency: false,
+        }
     }
 
     #[test]
@@ -406,6 +554,97 @@ mod tests {
         assert_eq!(telemetry.counter(Counter::StreamAllocated), allocs);
         let hist = telemetry.histogram(rsin_obs::Hist::DecisionLatencyNs);
         assert_eq!(hist.count, report.decisions);
+    }
+
+    #[test]
+    fn stats_lines_snapshot_the_stream_position_at_any_worker_count() {
+        let net = omega(8).unwrap();
+        let cmds = rsin_sim::stream::with_stats_every(&generate_commands(8, 300, 0.7, 21, 0), 50);
+        let one = serve_commands(&net, cfg(1, IncrementalBackend::MaxFlow), &cmds);
+        for workers in [2, 8] {
+            let many = serve_commands(&net, cfg(workers, IncrementalBackend::MaxFlow), &cmds);
+            assert_eq!(one.log(), many.log(), "stats lines broke determinism");
+        }
+        assert_eq!(one.stats_probes, 6, "one probe per 50-command chunk");
+        assert_eq!(one.decisions, 300);
+        let stats: Vec<&String> = one.lines.iter().filter(|l| l.contains(" stats ")).collect();
+        assert_eq!(stats.len(), 6);
+        // The first probe sits at seq 50 and has seen exactly 50 decisions.
+        assert!(
+            stats[0].starts_with("50 stats decisions=50 errors=0 "),
+            "{}",
+            stats[0]
+        );
+        // The last probe's cumulative per-kind counts add up to the final
+        // report, and its occupancy matches shutdown occupancy (no commands
+        // follow it).
+        let last = stats.last().unwrap();
+        assert!(
+            last.contains(&format!(
+                "allocated={} queued={}",
+                one.allocated, one.queued
+            )),
+            "{last}"
+        );
+        assert!(last.contains("decisions=300"), "{last}");
+        // No wall-clock fields without the flag.
+        assert!(!last.contains("p50_ns="), "{last}");
+    }
+
+    #[test]
+    fn stats_latency_fields_appear_only_behind_the_flag() {
+        let net = omega(8).unwrap();
+        let mut cmds = generate_commands(8, 40, 0.7, 3, 0);
+        cmds.push(StreamCommand::Stats);
+        let mut config = cfg(2, IncrementalBackend::MaxFlow);
+        config.stats_latency = true;
+        let report = serve_commands(&net, config, &cmds);
+        let stats_line = report
+            .lines
+            .iter()
+            .find(|l| l.contains(" stats "))
+            .expect("one probe submitted");
+        for field in ["p50_ns=", "p90_ns=", "p99_ns="] {
+            assert!(stats_line.contains(field), "{stats_line}");
+        }
+        // The deterministic prefix is unchanged by the flag.
+        let plain = serve_commands(&net, cfg(2, IncrementalBackend::MaxFlow), &cmds);
+        let plain_line = plain.lines.iter().find(|l| l.contains(" stats ")).unwrap();
+        assert!(stats_line.starts_with(plain_line.as_str()), "{stats_line}");
+    }
+
+    #[test]
+    fn traced_serve_keeps_log_bytes_and_emits_well_formed_spans() {
+        use rsin_obs::{validate_spans, FlightRecorder, SpanPhase};
+        let net = omega(8).unwrap();
+        let cmds = generate_commands(8, 200, 0.8, 17, 0);
+        let plain = serve_commands(&net, cfg(4, IncrementalBackend::MaxFlow), &cmds);
+        let recorder = Arc::new(FlightRecorder::new(rsin_obs::trace::DEFAULT_TRACE_CAPACITY));
+        let traced = serve_commands_traced(
+            &net,
+            cfg(4, IncrementalBackend::MaxFlow),
+            &cmds,
+            Arc::new(NoopProbe),
+            Arc::clone(&recorder) as Arc<dyn Tracer + Send + Sync>,
+        );
+        assert_eq!(plain.log(), traced.log(), "tracing must not change the log");
+        let snap = recorder.snapshot();
+        assert_eq!(snap.dropped, 0);
+        validate_spans(&snap.events).expect("span chains well-formed");
+        let submits = snap
+            .events
+            .iter()
+            .filter(|e| e.phase == SpanPhase::Submit)
+            .count() as u64;
+        let requests = cmds
+            .iter()
+            .filter(|c| matches!(c, StreamCommand::Request { .. }))
+            .count() as u64;
+        assert_eq!(submits, requests);
+        // The chrome export is loadable-shaped: one async begin per submit.
+        let json = snap.to_chrome_json("serve-test");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"b\""));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! * [`generate_commands`] — a deterministic workload generator on the
 //!   `(seed, trial)` RNG-stream convention, with a `load` knob steering the
 //!   request/release mix (saturation sweeps vary only the knob);
-//! * [`encode_commands`] / [`parse_commands`] — the `R <p>` / `F <p>` text
-//!   codec the CI determinism job records and replays;
+//! * [`encode_commands`] / [`parse_commands`] — the `R <p>` / `F <p>` / `S`
+//!   text codec the CI determinism job records and replays (`S` is the
+//!   in-band stats probe; [`with_stats_every`] interleaves them);
 //! * [`format_decision`] — the canonical decision-log line. The service's
 //!   worker threads, the replay helpers, and the CI byte-comparison all
 //!   format through this one function, so "same decisions" and "same log
@@ -42,15 +43,22 @@ pub enum StreamCommand {
         /// Releasing processor.
         processor: usize,
     },
+    /// In-band introspection (`S`): the service emits one canonical stats
+    /// line at this point in the stream. Not a scheduling command — the
+    /// replay helpers skip it, and it consumes no generator randomness.
+    Stats,
 }
 
 impl StreamCommand {
-    /// The processor the command concerns.
-    pub fn processor(self) -> usize {
+    /// The processor the command concerns (`None` for [`Stats`]).
+    ///
+    /// [`Stats`]: StreamCommand::Stats
+    pub fn processor(self) -> Option<usize> {
         match self {
             StreamCommand::Request { processor } | StreamCommand::Release { processor } => {
-                processor
+                Some(processor)
             }
+            StreamCommand::Stats => None,
         }
     }
 }
@@ -119,7 +127,23 @@ pub fn generate_commands(
     out
 }
 
-/// Encode commands as the `R <p>` / `F <p>` line format.
+/// Interleave a [`StreamCommand::Stats`] probe after every `every`
+/// commands of `commands` (and one final probe if the stream is nonempty
+/// and does not already end on a boundary). `every == 0` returns the
+/// stream unchanged.
+pub fn with_stats_every(commands: &[StreamCommand], every: usize) -> Vec<StreamCommand> {
+    if every == 0 {
+        return commands.to_vec();
+    }
+    let mut out = Vec::with_capacity(commands.len() + commands.len() / every + 1);
+    for chunk in commands.chunks(every) {
+        out.extend_from_slice(chunk);
+        out.push(StreamCommand::Stats);
+    }
+    out
+}
+
+/// Encode commands as the `R <p>` / `F <p>` / `S` line format.
 pub fn encode_commands(commands: &[StreamCommand]) -> String {
     let mut s = String::new();
     for c in commands {
@@ -130,6 +154,7 @@ pub fn encode_commands(commands: &[StreamCommand]) -> String {
             StreamCommand::Release { processor } => {
                 s.push_str(&format!("F {processor}\n"));
             }
+            StreamCommand::Stats => s.push_str("S\n"),
         }
     }
     s
@@ -176,8 +201,8 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Parse the `R <p>` / `F <p>` line format (blank lines and `#` comment
-/// lines are skipped). Malformed lines — unknown ops, missing or
+/// Parse the `R <p>` / `F <p>` / `S` line format (blank lines and `#`
+/// comment lines are skipped). Malformed lines — unknown ops, missing or
 /// non-decimal processor tokens, trailing tokens — are typed
 /// [`CodecError`]s naming the offending 1-based line; nothing is silently
 /// skipped or coerced.
@@ -191,6 +216,13 @@ pub fn parse_commands(text: &str) -> Result<Vec<StreamCommand>, CodecError> {
         }
         let mut parts = line.split_whitespace();
         let op = parts.next().unwrap_or("");
+        if op == "S" {
+            if parts.next().is_some() {
+                return Err(fail(CodecErrorKind::TrailingTokens));
+            }
+            out.push(StreamCommand::Stats);
+            continue;
+        }
         let tok = parts
             .next()
             .ok_or_else(|| fail(CodecErrorKind::MissingProcessor))?;
@@ -240,9 +272,10 @@ pub fn format_decision(seq: u64, decision: &StreamDecision) -> String {
 }
 
 /// Drive `commands` through a fresh warm-start [`IncrementalScheduler`] and
-/// return the decision per command. The transformation graph is built once;
-/// every decision is a single cancel and/or augmentation on the retained
-/// flow.
+/// return the decision per scheduling command ([`StreamCommand::Stats`]
+/// probes are introspection, not scheduling — they are skipped and produce
+/// no decision). The transformation graph is built once; every decision is
+/// a single cancel and/or augmentation on the retained flow.
 pub fn replay_incremental(
     net: &Network,
     backend: IncrementalBackend,
@@ -254,6 +287,7 @@ pub fn replay_incremental(
         let d = match *c {
             StreamCommand::Request { processor } => inc.request(processor),
             StreamCommand::Release { processor } => inc.release(processor),
+            StreamCommand::Stats => continue,
         }
         .map_err(|error| SimError::Schedule {
             scheduler: backend.name(),
@@ -281,6 +315,7 @@ pub fn replay_batch(net: &Network, commands: &[StreamCommand]) -> Result<Vec<usi
         match *c {
             StreamCommand::Request { processor } => active[processor] = true,
             StreamCommand::Release { processor } => active[processor] = false,
+            StreamCommand::Stats => continue,
         }
         let requests: Vec<usize> = (0..active.len()).filter(|&p| active[p]).collect();
         let problem = ScheduleProblem::homogeneous(&cs, &requests, &all);
@@ -315,6 +350,7 @@ mod tests {
                     assert!(active[processor], "release while idle");
                     active[processor] = false;
                 }
+                StreamCommand::Stats => panic!("generator never emits probes"),
             }
         }
     }
@@ -347,6 +383,31 @@ mod tests {
         // Comments and blank lines are transparent.
         let commented = format!("# recorded stream\n\n{text}");
         assert_eq!(parse_commands(&commented).unwrap(), cmds);
+        // Stats probes round-trip as bare `S` lines.
+        let probed = with_stats_every(&cmds, 16);
+        let text = encode_commands(&probed);
+        assert!(text.contains("\nS\n"));
+        assert_eq!(parse_commands(&text).unwrap(), probed);
+    }
+
+    #[test]
+    fn stats_interleaving_is_periodic_and_replay_transparent() {
+        let cmds = generate_commands(8, 100, 0.7, 5, 0);
+        let probed = with_stats_every(&cmds, 25);
+        assert_eq!(probed.len(), 104, "one probe per 25 commands");
+        assert_eq!(probed[25], StreamCommand::Stats);
+        assert_eq!(*probed.last().unwrap(), StreamCommand::Stats);
+        assert_eq!(with_stats_every(&cmds, 0), cmds, "0 disables probing");
+        assert_eq!(StreamCommand::Stats.processor(), None);
+        // Replays make the same decisions with and without probes.
+        let net = omega(8).unwrap();
+        let plain = replay_incremental(&net, IncrementalBackend::MaxFlow, &cmds).unwrap();
+        let with_probes = replay_incremental(&net, IncrementalBackend::MaxFlow, &probed).unwrap();
+        assert_eq!(plain, with_probes);
+        assert_eq!(
+            replay_batch(&net, &cmds).unwrap(),
+            replay_batch(&net, &probed).unwrap()
+        );
     }
 
     #[test]
@@ -374,6 +435,14 @@ mod tests {
         );
         assert_eq!(
             parse_commands("R 3 4").unwrap_err(),
+            CodecError {
+                line: 1,
+                kind: CodecErrorKind::TrailingTokens
+            }
+        );
+        // `S` takes no operand.
+        assert_eq!(
+            parse_commands("S 3").unwrap_err(),
             CodecError {
                 line: 1,
                 kind: CodecErrorKind::TrailingTokens

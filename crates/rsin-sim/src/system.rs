@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{ScheduleError, ScheduleScratch, Scheduler};
-use rsin_obs::{Counter, NoopProbe, Probe};
+use rsin_obs::{Counter, NoopProbe, NoopTracer, Probe, SpanPhase, Tracer};
 use rsin_topology::{
     CircuitError, CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, FaultTarget,
     Network,
@@ -229,6 +229,9 @@ enum EventKind {
         resource: usize,
         circuit: CircuitId,
         arrived: f64,
+        /// Lifecycle-trace request id of the transmitting task (0 when the
+        /// run is untraced).
+        req: u64,
     },
     ServiceDone {
         resource: usize,
@@ -390,6 +393,25 @@ impl<'n> SystemSim<'n> {
         policy: DegradedPolicy,
         probe: &dyn Probe,
     ) -> Result<FaultedStats, SimError> {
+        self.try_run_faulted_trial_policy_traced(scheduler, plan, trial, policy, probe, &NoopTracer)
+    }
+
+    /// [`Self::try_run_faulted_trial_policy_probed`] plus per-request
+    /// lifecycle spans: every task emits `submit` at arrival, `allocate`
+    /// when its circuit is established, and `release` when transmission
+    /// completes, with `shed` / `recovered` markers on degraded cycles.
+    /// Request ids are globally unique within the run. The tracer follows
+    /// the probe contract — it only records, so statistics are
+    /// bit-identical to the untraced run.
+    pub fn try_run_faulted_trial_policy_traced(
+        &self,
+        scheduler: &dyn Scheduler,
+        plan: &FaultPlan,
+        trial: u64,
+        policy: DegradedPolicy,
+        probe: &dyn Probe,
+        tracer: &dyn Tracer,
+    ) -> Result<FaultedStats, SimError> {
         let cfg = &self.cfg;
         let mut rng: StdRng = trial_rng(cfg.seed, trial);
         let np = self.net.num_processors();
@@ -418,8 +440,9 @@ impl<'n> SystemSim<'n> {
         // same transformation graph and solver buffers (the topology never
         // changes mid-run).
         let mut scratch = ScheduleScratch::new();
-        // Each queued task is (arrival time, resource type).
-        let mut queue: Vec<VecDeque<(f64, usize)>> = vec![VecDeque::new(); np];
+        // Each queued task is (arrival time, resource type, trace req id).
+        let mut queue: Vec<VecDeque<(f64, usize, u64)>> = vec![VecDeque::new(); np];
+        let mut next_req = 0u64;
         let mut transmitting = vec![false; np];
         let mut busy = vec![false; nr];
 
@@ -464,7 +487,9 @@ impl<'n> SystemSim<'n> {
                     } else {
                         0
                     };
-                    queue[processor].push_back((now, ty));
+                    next_req += 1;
+                    tracer.span(next_req, SpanPhase::Submit, processor as u64, ty as u64);
+                    queue[processor].push_back((now, ty, next_req));
                     let next = now + exponential(&mut rng, cfg.arrival_rate);
                     push(&mut heap, &mut seq, next, EventKind::Arrival { processor });
                 }
@@ -473,12 +498,14 @@ impl<'n> SystemSim<'n> {
                     resource,
                     circuit,
                     arrived,
+                    req,
                 } => {
                     cs.release(circuit).map_err(|error| SimError::Circuit {
                         context: "releasing a transmitted task's circuit",
                         error,
                     })?;
                     probe.add(Counter::Releases, 1);
+                    tracer.span(req, SpanPhase::Release, processor as u64, resource as u64);
                     if probe.enabled() {
                         probe.event(
                             now,
@@ -538,7 +565,7 @@ impl<'n> SystemSim<'n> {
                 .filter_map(|p| {
                     // `front()` folds the non-empty check into the type
                     // lookup; a drained queue simply contributes no request.
-                    queue[p].front().map(|&(_, ty)| ScheduleRequest {
+                    queue[p].front().map(|&(_, ty, _)| ScheduleRequest {
                         processor: p,
                         priority: 1 + (p as u32) % levels,
                         resource_type: ty,
@@ -627,6 +654,14 @@ impl<'n> SystemSim<'n> {
                     probe.event(now, rsin_obs::EventKind::Shed, shed, 0);
                 }
             }
+            if tracer.enabled() {
+                if recovered > 0 {
+                    tracer.span(0, SpanPhase::Recovered, recovered, 0);
+                }
+                if shed > 0 {
+                    tracer.span(0, SpanPhase::Shed, shed, 0);
+                }
+            }
             if shed == 0 {
                 if let Some(t0) = pending_recovery.take() {
                     recovery.push(now - t0);
@@ -642,9 +677,15 @@ impl<'n> SystemSim<'n> {
                     context: "establishing a scheduled circuit",
                     error,
                 })?;
-                let (arrived, _ty) = queue[a.processor].pop_front().ok_or(SimError::State(
+                let (arrived, _ty, req) = queue[a.processor].pop_front().ok_or(SimError::State(
                     "assignment for a processor with an empty queue",
                 ))?;
+                tracer.span(
+                    req,
+                    SpanPhase::Allocate,
+                    a.processor as u64,
+                    a.resource as u64,
+                );
                 transmitting[a.processor] = true;
                 busy[a.resource] = true;
                 let tx_done = now + exponential(&mut rng, 1.0 / cfg.mean_transmission);
@@ -657,6 +698,7 @@ impl<'n> SystemSim<'n> {
                         resource: a.resource,
                         circuit,
                         arrived,
+                        req,
                     },
                 );
             }
@@ -852,6 +894,63 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.cycles, b.cycles);
         assert!((a.mean_response - b.mean_response).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_faulted_run_is_bit_identical_and_spans_are_well_formed() {
+        use rsin_obs::{validate_spans, FlightRecorder};
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 300.0,
+            ..DynamicConfig::default()
+        };
+        let sim = SystemSim::new(&net, cfg);
+        let fcfg = FaultPlanConfig::links(0.002, 30.0, cfg.sim_time);
+        let plan = FaultPlan::generate(&net, &fcfg, fault_plan_seed(cfg.seed, 0));
+        let scheduler = MaxFlowScheduler::default();
+        let plain = sim
+            .try_run_faulted_trial_policy_probed(
+                &scheduler,
+                &plan,
+                0,
+                DegradedPolicy::Bfs,
+                &NoopProbe,
+            )
+            .unwrap();
+        let recorder = FlightRecorder::new(1 << 20);
+        let traced = sim
+            .try_run_faulted_trial_policy_traced(
+                &scheduler,
+                &plan,
+                0,
+                DegradedPolicy::Bfs,
+                &NoopProbe,
+                &recorder,
+            )
+            .unwrap();
+        assert_eq!(plain.stats.completed, traced.stats.completed);
+        assert_eq!(plain.stats.cycles, traced.stats.cycles);
+        assert_eq!(plain.allocations, traced.allocations);
+        assert_eq!(plain.shed_total, traced.shed_total);
+        assert!((plain.stats.mean_response - traced.stats.mean_response).abs() < 1e-12);
+
+        let snap = recorder.snapshot();
+        assert_eq!(snap.dropped, 0, "ring sized for the whole run");
+        validate_spans(&snap.events).expect("span chains well-formed");
+        let count = |phase| snap.events.iter().filter(|e| e.phase == phase).count() as u64;
+        assert!(count(SpanPhase::Submit) > 100, "arrivals traced");
+        assert_eq!(
+            count(SpanPhase::Allocate),
+            traced.allocations,
+            "one allocate span per established circuit"
+        );
+        // Every release span closes an allocated task; transmissions still
+        // in flight at the horizon stay open.
+        assert!(count(SpanPhase::Release) <= traced.allocations);
+        if traced.shed_total > 0 {
+            assert!(count(SpanPhase::Shed) > 0, "degraded cycles marked");
+        }
     }
 
     #[test]

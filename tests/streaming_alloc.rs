@@ -51,6 +51,7 @@ fn drive(inc: &mut IncrementalScheduler, cmds: &[StreamCommand]) {
             StreamCommand::Release { processor } => {
                 inc.release(processor).expect("valid stream");
             }
+            StreamCommand::Stats => {}
         }
     }
 }
@@ -69,6 +70,7 @@ fn steady_state_is_allocation_free(backend: IncrementalBackend) {
         match c {
             StreamCommand::Request { processor } => active[processor] = true,
             StreamCommand::Release { processor } => active[processor] = false,
+            StreamCommand::Stats => {}
         }
     }
     for (p, &a) in active.iter().enumerate() {
