@@ -37,8 +37,7 @@ fn bench_dynamic(c: &mut Criterion) {
         sim_time: 200.0,
         warmup: 20.0,
         seed: 6,
-        types: 1,
-        priority_levels: 1,
+        ..DynamicConfig::default()
     };
     c.bench_function("dynamic_200tu_omega8", |b| {
         b.iter(|| {

@@ -7,7 +7,14 @@
 //! utilization and response time (mean and tail p99).
 //!
 //! Usage: `dynamic [--telemetry <path>] [--json <path>] [--replicas <n>]
-//! [--threads <n>] [horizon] [threads]`
+//! [--threads <n>] [--heavy] [horizon] [threads]`
+//!
+//! With `--heavy`, a second table runs the heavy-traffic regime: the
+//! utilization-targeting ρ knob sweeps {0.9, 0.95, 0.99, 1.05} with bursty
+//! batch-4 arrivals and a 64-deep bounded per-processor queue, reporting
+//! queue growth (horizon-end backlog), shed rate, and response-time p99 per
+//! scheduler. Heavy rows ride the same replication machinery, so they are
+//! bit-identical for any `--threads` value and join the `--json` report.
 //!
 //! Every sweep point runs `--replicas` independent `(seed, replica)`
 //! replications (default 1, which reproduces the single-run sweep
@@ -28,6 +35,20 @@ use rsin_sim::replicate::{run_replicated_probed, run_replicated_sweep, Replicate
 use rsin_sim::system::DynamicConfig;
 
 const LOADS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Heavy-traffic utilization targets: near-critical to past saturation.
+const RHOS: [f64; 4] = [0.9, 0.95, 0.99, 1.05];
+
+/// Pop a bare `--flag` out of `args`; returns whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
 
 /// Pop `--flag value` out of `args`; returns the value.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -60,10 +81,39 @@ fn json_row(load: f64, scheduler: &str, s: &ReplicatedStats) -> String {
     )
 }
 
+/// Fraction of offered tasks dropped at a full bounded queue. The
+/// denominator counts every task that reached a verdict by the horizon:
+/// completed, still queued, or shed.
+fn shed_rate(s: &ReplicatedStats) -> f64 {
+    let offered = s.completed + s.final_queue.mean as u64 * s.replicas + s.shed_arrivals;
+    if offered == 0 {
+        0.0
+    } else {
+        s.shed_arrivals as f64 / offered as f64
+    }
+}
+
+fn heavy_json_row(rho: f64, scheduler: &str, s: &ReplicatedStats) -> String {
+    format!(
+        "    {{\"rho\": {rho}, \"scheduler\": \"{scheduler}\", \
+         \"utilization\": {}, \"response_p99\": {}, \
+         \"mean_queue\": {}, \"final_queue\": {}, \
+         \"shed_arrivals\": {}, \"shed_rate\": {}, \"completed\": {}}}",
+        s.utilization.mean,
+        s.response.p99,
+        s.mean_queue.mean,
+        s.final_queue.mean,
+        s.shed_arrivals,
+        shed_rate(s),
+        s.completed,
+    )
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_path = take_flag(&mut args, "--telemetry");
     let json_path = take_flag(&mut args, "--json");
+    let heavy = take_switch(&mut args, "--heavy");
     let replicas: usize = take_flag(&mut args, "--replicas")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
@@ -94,8 +144,7 @@ fn main() {
             sim_time: horizon,
             warmup: horizon * 0.1,
             seed: 42,
-            types: 1,
-            priority_levels: 1,
+            ..DynamicConfig::default()
         })
         .collect();
     let mut rows = Vec::new();
@@ -136,14 +185,77 @@ fn main() {
         ],
         &rows,
     );
+    let mut heavy_json_rows = Vec::new();
+    if heavy {
+        // Heavy-traffic regime: utilization-targeted ρ from near-critical
+        // to past saturation, bursty batch-4 arrivals, 64-deep bounded
+        // queues. Same replication machinery as the main sweep, so every
+        // number is thread-count independent.
+        let heavy_configs: Vec<DynamicConfig> = RHOS
+            .iter()
+            .map(|&rho| DynamicConfig {
+                rho,
+                batch_size: 4,
+                queue_capacity: 64,
+                mean_transmission: 0.2,
+                mean_service: 1.0,
+                sim_time: horizon,
+                warmup: horizon * 0.1,
+                seed: 42,
+                ..DynamicConfig::default()
+            })
+            .collect();
+        let mut heavy_rows = Vec::new();
+        for s in &schedulers {
+            let sweep = run_replicated_sweep(&net, *s, &heavy_configs, replicas, threads);
+            for (rho, stats) in RHOS.iter().zip(&sweep) {
+                heavy_rows.push(vec![
+                    format!("{rho:.2}"),
+                    s.name().to_string(),
+                    format!("{:.3}", stats.utilization.mean),
+                    format!("{:.3}", stats.response.p99),
+                    format!("{:.2}", stats.mean_queue.mean),
+                    format!("{:.1}", stats.final_queue.mean),
+                    stats.shed_arrivals.to_string(),
+                    format!("{:.4}", shed_rate(stats)),
+                    stats.completed.to_string(),
+                ]);
+                heavy_json_rows.push(heavy_json_row(*rho, s.name(), stats));
+            }
+        }
+        println!();
+        emit_table(
+            "dynamic-heavy",
+            &[
+                "rho",
+                "scheduler",
+                "utilization",
+                "resp p99",
+                "queue",
+                "final queue",
+                "shed",
+                "shed rate",
+                "completed",
+            ],
+            &heavy_rows,
+        );
+    }
     if let Some(jpath) = json_path {
         // No thread count in here: the report must be byte-identical
         // however many workers produced it (the CI determinism job diffs
         // it across --threads values).
+        let heavy_block = if heavy_json_rows.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ",\n  \"heavy_rows\": [\n{}\n  ]",
+                heavy_json_rows.join(",\n")
+            )
+        };
         let json = format!(
             "{{\n  \"source\": \"dynamic\",\n  \"network\": \"omega-8\",\n  \
              \"horizon\": {horizon},\n  \"replicas\": {replicas},\n  \"seed\": 42,\n  \
-             \"rows\": [\n{}\n  ]\n}}\n",
+             \"rows\": [\n{}\n  ]{heavy_block}\n}}\n",
             json_rows.join(",\n"),
         );
         if let Err(e) = std::fs::write(&jpath, &json) {
@@ -164,8 +276,7 @@ fn main() {
             sim_time: horizon,
             warmup: horizon * 0.1,
             seed: 42,
-            types: 1,
-            priority_levels: 1,
+            ..DynamicConfig::default()
         };
         let (_, report) = run_replicated_probed(&net, &optimal, &cfg, replicas, threads);
         let json = report.to_json("dynamic");

@@ -215,6 +215,7 @@ fn main() {
         // only the cost accounting and the priced recovery's choice of
         // alternate depend on it).
         priority_levels: 4,
+        ..DynamicConfig::default()
     };
     println!(
         "FAULTS — dynamic fail/repair sweep ({} trials, horizon {SIM_TIME}, mean repair \

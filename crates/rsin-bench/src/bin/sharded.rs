@@ -132,6 +132,13 @@ fn main() {
         .unwrap_or(23);
     let json_path = take_flag(&mut args, "--json");
     let breakdown_path = take_flag(&mut args, "--breakdown");
+    let heavy = match args.iter().position(|a| a == "--heavy") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     if let Some(stray) = args.first() {
         eprintln!("error: unknown argument {stray:?}");
         std::process::exit(2);
@@ -214,6 +221,62 @@ fn main() {
          traffic appears once home shards saturate and is capped by the \
          uplink width."
     );
+
+    if heavy {
+        // Heavy-traffic regime on the flattened composition: the dynamic
+        // discrete-event model at utilization targets up to past
+        // saturation (bursty batch-4 arrivals, 64-deep bounded queues),
+        // via `run_sharded_dynamic` on the smallest sweep composition.
+        use rsin_core::scheduler::MaxFlowScheduler;
+        use rsin_sim::sharded::run_sharded_dynamic;
+        use rsin_sim::system::DynamicConfig;
+        let shards = *shard_counts.first().expect("--shards is nonempty");
+        let net = ShardedNetwork::new(ShardedSpec::new(shards, local, globals[0]))
+            .expect("sweep composition is well-formed");
+        let mut hrows = Vec::new();
+        for &rho in &[0.9, 0.95, 0.99, 1.05] {
+            let cfg = DynamicConfig {
+                rho,
+                batch_size: 4,
+                queue_capacity: 64,
+                sim_time: 400.0,
+                warmup: 40.0,
+                seed,
+                ..DynamicConfig::default()
+            };
+            let stats = run_sharded_dynamic(&net, &MaxFlowScheduler::default(), cfg)
+                .expect("flattenable composition");
+            let offered = stats.completed + stats.final_queue + stats.shed_arrivals;
+            hrows.push(vec![
+                format!("{rho:.2}"),
+                format!("{:.3}", stats.utilization),
+                format!("{:.3}", stats.response_p99),
+                format!("{:.2}", stats.mean_queue),
+                stats.final_queue.to_string(),
+                stats.shed_arrivals.to_string(),
+                format!(
+                    "{:.4}",
+                    stats.shed_arrivals as f64 / (offered.max(1)) as f64
+                ),
+                stats.completed.to_string(),
+            ]);
+        }
+        println!();
+        emit_table(
+            "sharded-heavy",
+            &[
+                "rho",
+                "utilization",
+                "resp p99",
+                "queue",
+                "final queue",
+                "shed",
+                "shed rate",
+                "completed",
+            ],
+            &hrows,
+        );
+    }
 
     if let Some(jpath) = json_path {
         let json = format!(

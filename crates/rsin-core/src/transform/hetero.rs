@@ -124,6 +124,7 @@ fn build(problem: &ScheduleProblem, with_priorities: bool) -> HeteroTransformed 
             costs: None,
         });
     }
+    flow.ensure_csr();
     HeteroTransformed {
         flow,
         types,

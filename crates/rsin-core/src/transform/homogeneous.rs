@@ -46,6 +46,7 @@ pub fn transform(problem: &ScheduleProblem) -> Transformed {
         img.arc_link.push(None);
         resource_arcs.push((r, a));
     }
+    flow.ensure_csr();
     Transformed {
         flow,
         source,

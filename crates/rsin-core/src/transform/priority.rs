@@ -79,6 +79,7 @@ pub fn transform(problem: &ScheduleProblem) -> (Transformed, Flow) {
     flow.add_arc(bypass, sink, problem.requests.len() as Flow, bypass_cost);
     img.arc_link.push(None);
 
+    flow.ensure_csr();
     (
         Transformed {
             flow,

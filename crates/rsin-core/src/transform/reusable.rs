@@ -135,6 +135,7 @@ fn build(net: &Network, priced: bool, fp: u64) -> Inner {
         img.arc_link.push(None);
         a
     });
+    flow.ensure_csr();
     Inner {
         t: Transformed {
             flow,

@@ -100,6 +100,7 @@ mod tests {
         let s = g.add_node("s");
         let t = g.add_node("t");
         g.add_arc(s, t, 2, 0);
+        g.ensure_csr();
         // Zero flow is legal but not maximum.
         assert!(verify_max_flow(&g, s, t).is_err());
     }
@@ -125,6 +126,7 @@ mod tests {
         let mut g = FlowNetwork::new();
         let s = g.add_node("s");
         let t = g.add_node("t");
+        g.ensure_csr();
         assert_eq!(verify_max_flow(&g, s, t).unwrap(), 0);
     }
 }

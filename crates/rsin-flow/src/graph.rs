@@ -7,6 +7,29 @@
 //! which keeps residual capacities consistent without special cases — the
 //! same "advance flow forward or cancel flow backward" rule the paper's
 //! augmenting paths use (Section III-B, Fig. 3).
+//!
+//! # Data layout (DESIGN.md §14)
+//!
+//! Arc attributes live in structs-of-arrays (`tail`/`head`/`cap`/`flow`/
+//! `cost`, indexed by [`ArcId`]) and adjacency is a **CSR** (compressed
+//! sparse row) pair — `csr_offsets: Vec<u32>` of length `n + 1` plus one
+//! flat `csr_arcs` arc-id array — instead of one heap-allocated `Vec<ArcId>`
+//! per node. A solver walking `out_arcs` therefore streams one contiguous
+//! array with no per-node pointer chase, and a capacity/flow scan touches
+//! 8-byte lanes instead of 40-byte structs.
+//!
+//! The CSR cache is rebuilt **lazily**: every topology mutation
+//! ([`FlowNetwork::add_node`] / [`FlowNetwork::add_arc`]) folds into an
+//! FNV-1a topology fingerprint, and [`FlowNetwork::ensure_csr`] rebuilds the
+//! adjacency (counting sort, `O(V + E)`) only when the fingerprint differs
+//! from the one the cache was built at. Capacity patches
+//! ([`FlowNetwork::set_cap`] / [`FlowNetwork::patch_caps`]), cost updates,
+//! pushes, and resets touch only the SoA lanes — never the fingerprint — so
+//! the PR 1 zero-rebuild contract (patch caps between solves, `rebuilds()
+//! == 1`) is preserved by construction. Arc ids ascend in insertion order,
+//! so the counting sort reproduces exactly the per-node arc order the
+//! nested `Vec<Vec<ArcId>>` layout used to produce: traversal order, and
+//! with it every solver's `OpStats`, is bit-identical to the old layout.
 
 use crate::{Cost, Flow};
 use std::fmt::Write as _;
@@ -44,8 +67,10 @@ impl ArcId {
     }
 }
 
-/// One directed arc of the network.
-#[derive(Debug, Clone)]
+/// One directed arc of the network, materialized from the SoA lanes by
+/// [`FlowNetwork::arc`]. A plain value: cheap to copy, detached from the
+/// network (mutating the network does not update copies already taken).
+#[derive(Debug, Clone, Copy)]
 pub struct Arc {
     /// Tail node.
     pub from: NodeId,
@@ -66,17 +91,93 @@ impl Arc {
     }
 }
 
+/// FNV-1a step over one 64-bit word (the topology fingerprint accumulator).
+#[inline]
+fn fp_mix(fp: u64, word: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    (fp ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a offset basis: the fingerprint of the empty topology.
+const FP_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// One CSR slot of the hot scan lane: everything a solver inner loop needs
+/// to *reject or take* an arc, packed into exactly 16 bytes and laid out in
+/// adjacency (CSR) order, so scanning a node's out-arcs is one contiguous
+/// forward walk with no random access. The residual stored here is the
+/// canonical one — [`FlowNetwork::push`] writes through the `arc_pos`
+/// permutation into these slots.
+#[derive(Debug, Clone, Copy)]
+pub struct HotArc {
+    /// Residual capacity (`cap - flow`; for twins, the forward flow).
+    pub res: Flow,
+    /// Head (target node) of the arc.
+    pub head: NodeId,
+    /// The arc's [`ArcId`], for parent pointers and write-back.
+    pub id: ArcId,
+}
+
 /// A directed flow network with named nodes.
 ///
 /// Node names exist so that networks derived from interconnection networks
 /// keep a human-readable correspondence (`"p3"`, `"sb(1,2)"`, `"r5"`, …) for
 /// debugging, DOT dumps, and the worked paper examples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FlowNetwork {
     names: Vec<String>,
-    arcs: Vec<Arc>,
-    /// Outgoing arc ids per node (both forward arcs and residual twins).
-    adj: Vec<Vec<ArcId>>,
+    /// Cold SoA arc lanes, indexed by [`ArcId`] (even forward, odd twin).
+    tail: Vec<NodeId>,
+    head: Vec<NodeId>,
+    cap: Vec<Flow>,
+    cost: Vec<Cost>,
+    /// CSR adjacency cache: `csr_arcs[csr_offsets[n] .. csr_offsets[n + 1]]`
+    /// are the outgoing arc ids of node `n`, in insertion order.
+    csr_offsets: Vec<u32>,
+    csr_arcs: Vec<ArcId>,
+    /// Hot scan lane in CSR order, parallel to `csr_arcs`: `(residual,
+    /// head, id)` per slot. The residual here is canonical (flow is derived
+    /// as `cap - res`); storing it in adjacency order turns every solver's
+    /// out-arc scan into a sequential 16-byte-stride walk.
+    hot: Vec<HotArc>,
+    /// Arc costs in CSR order, parallel to `hot`, so cost-aware scans
+    /// (SSP, cycle canceling) zip a second sequential lane instead of
+    /// random-accessing `cost`.
+    cost_csr: Vec<Cost>,
+    /// Arc capacities in CSR order, parallel to `hot` (twins carry 0), so
+    /// [`Self::clear_flow`] restores `res = cap` as one sequential zip.
+    cap_csr: Vec<Flow>,
+    /// Permutation `ArcId -> hot/cost_csr/csr_arcs slot`, for id-addressed
+    /// reads and writes (`push`, `residual`, bottleneck walks).
+    arc_pos: Vec<u32>,
+    /// Fingerprint of the current topology (mutated by `add_node`/`add_arc`).
+    topo_fp: u64,
+    /// Fingerprint the CSR cache was built at (`!= topo_fp` ⇒ stale).
+    csr_fp: u64,
+    /// How many times the CSR cache has actually been rebuilt.
+    csr_rebuilds: u64,
+}
+
+impl Default for FlowNetwork {
+    fn default() -> Self {
+        FlowNetwork {
+            names: Vec::new(),
+            tail: Vec::new(),
+            head: Vec::new(),
+            cap: Vec::new(),
+            cost: Vec::new(),
+            csr_offsets: Vec::new(),
+            csr_arcs: Vec::new(),
+            hot: Vec::new(),
+            cost_csr: Vec::new(),
+            cap_csr: Vec::new(),
+            arc_pos: Vec::new(),
+            topo_fp: FP_SEED,
+            // Deliberately != topo_fp: a fresh network has a stale (empty)
+            // CSR cache until the first ensure_csr().
+            csr_fp: 0,
+            csr_rebuilds: 0,
+        }
+    }
 }
 
 impl FlowNetwork {
@@ -89,8 +190,17 @@ impl FlowNetwork {
     pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
         FlowNetwork {
             names: Vec::with_capacity(nodes),
-            arcs: Vec::with_capacity(2 * arcs),
-            adj: Vec::with_capacity(nodes),
+            tail: Vec::with_capacity(2 * arcs),
+            head: Vec::with_capacity(2 * arcs),
+            cap: Vec::with_capacity(2 * arcs),
+            cost: Vec::with_capacity(2 * arcs),
+            csr_offsets: Vec::with_capacity(nodes + 1),
+            csr_arcs: Vec::with_capacity(2 * arcs),
+            hot: Vec::with_capacity(2 * arcs),
+            cost_csr: Vec::with_capacity(2 * arcs),
+            cap_csr: Vec::with_capacity(2 * arcs),
+            arc_pos: Vec::with_capacity(2 * arcs),
+            ..Self::default()
         }
     }
 
@@ -98,7 +208,7 @@ impl FlowNetwork {
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.names.len() as u32);
         self.names.push(name.into());
-        self.adj.push(Vec::new());
+        self.topo_fp = fp_mix(self.topo_fp, 0x4E00_0000_0000_0000 | u64::from(id.0));
         id
     }
 
@@ -108,24 +218,104 @@ impl FlowNetwork {
     pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: Flow, cost: Cost) -> ArcId {
         assert!(cap >= 0, "negative capacity");
         assert!(from.index() < self.names.len() && to.index() < self.names.len());
-        let id = ArcId(self.arcs.len() as u32);
-        self.arcs.push(Arc {
-            from,
-            to,
-            cap,
-            flow: 0,
-            cost,
-        });
-        self.arcs.push(Arc {
-            from: to,
-            to: from,
-            cap: 0,
-            flow: 0,
-            cost: -cost,
-        });
-        self.adj[from.index()].push(id);
-        self.adj[to.index()].push(id.twin());
+        let id = ArcId(self.tail.len() as u32);
+        self.tail.push(from);
+        self.head.push(to);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.tail.push(to);
+        self.head.push(from);
+        self.cap.push(0);
+        self.cost.push(-cost);
+        self.topo_fp = fp_mix(
+            self.topo_fp,
+            0xA000_0000_0000_0000 | (u64::from(from.0) << 30) | u64::from(to.0),
+        );
         id
+    }
+
+    /// True when the CSR adjacency cache matches the current topology.
+    pub fn csr_is_fresh(&self) -> bool {
+        self.csr_fp == self.topo_fp
+    }
+
+    /// How many times the CSR adjacency has been (re)built over this
+    /// network's lifetime. The zero-rebuild hot path — reset, patch caps,
+    /// re-solve — keeps this at 1 for arbitrarily many solves; a second
+    /// rebuild means some caller mutated topology mid-reuse.
+    pub fn csr_rebuilds(&self) -> u64 {
+        self.csr_rebuilds
+    }
+
+    /// Rebuild the CSR adjacency cache if (and only if) the topology
+    /// fingerprint has moved since the last build. Counting sort over arc
+    /// tails, `O(V + E)`; arc ids ascend in insertion order, so each node's
+    /// slice lists its outgoing arcs in exactly the order `add_arc` created
+    /// them — the order the nested `Vec<Vec<ArcId>>` layout exposed.
+    ///
+    /// Every solver entry point calls this; only code inspecting adjacency
+    /// *between* building a network and the first solve (tests, mostly)
+    /// needs to call it explicitly.
+    pub fn ensure_csr(&mut self) {
+        if self.csr_is_fresh() {
+            return;
+        }
+        let n = self.names.len();
+        let m = self.tail.len();
+        // Residuals by arc id: carried over from the previous hot lane for
+        // arcs that already existed (so flow survives a topology extension,
+        // exactly as a flow lane would), full capacity for new arcs.
+        let old_m = self.arc_pos.len();
+        let mut res_by_id: Vec<Flow> = Vec::with_capacity(m);
+        for i in 0..m {
+            if i < old_m {
+                res_by_id.push(self.hot[self.arc_pos[i] as usize].res);
+            } else {
+                res_by_id.push(self.cap[i]);
+            }
+        }
+        self.csr_offsets.clear();
+        self.csr_offsets.resize(n + 1, 0);
+        for &f in &self.tail {
+            self.csr_offsets[f.index() + 1] += 1;
+        }
+        for i in 0..n {
+            self.csr_offsets[i + 1] += self.csr_offsets[i];
+        }
+        self.csr_arcs.clear();
+        self.csr_arcs.resize(m, ArcId(0));
+        self.hot.clear();
+        self.hot.resize(
+            m,
+            HotArc {
+                res: 0,
+                head: NodeId(0),
+                id: ArcId(0),
+            },
+        );
+        self.cost_csr.clear();
+        self.cost_csr.resize(m, 0);
+        self.cap_csr.clear();
+        self.cap_csr.resize(m, 0);
+        self.arc_pos.clear();
+        self.arc_pos.resize(m, 0);
+        let mut cursor = self.csr_offsets.clone();
+        for (i, &f) in self.tail.iter().enumerate() {
+            let c = &mut cursor[f.index()];
+            let slot = *c as usize;
+            self.csr_arcs[slot] = ArcId(i as u32);
+            self.hot[slot] = HotArc {
+                res: res_by_id[i],
+                head: self.head[i],
+                id: ArcId(i as u32),
+            };
+            self.cost_csr[slot] = self.cost[i];
+            self.cap_csr[slot] = self.cap[i];
+            self.arc_pos[i] = slot as u32;
+            *c += 1;
+        }
+        self.csr_fp = self.topo_fp;
+        self.csr_rebuilds += 1;
     }
 
     /// Number of nodes.
@@ -135,7 +325,7 @@ impl FlowNetwork {
 
     /// Number of forward (user-created) arcs.
     pub fn num_arcs(&self) -> usize {
-        self.arcs.len() / 2
+        self.tail.len() / 2
     }
 
     /// Node name.
@@ -151,23 +341,112 @@ impl FlowNetwork {
             .map(|i| NodeId(i as u32))
     }
 
-    /// Arc data.
-    pub fn arc(&self, a: ArcId) -> &Arc {
-        &self.arcs[a.index()]
+    /// Arc data, materialized from the SoA lanes. Hot loops that need a
+    /// single attribute should prefer [`Self::head`] / [`Self::arc_flow`] /
+    /// [`Self::arc_cost`] / [`Self::residual`], which read one lane each.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> Arc {
+        let i = a.index();
+        Arc {
+            from: self.tail[i],
+            to: self.head[i],
+            cap: self.cap[i],
+            flow: self.cap[i] - self.res_of(i),
+            cost: self.cost[i],
+        }
     }
 
-    /// Outgoing arc ids of `n` (forward and residual).
+    /// Residual of arc id `i`, tolerating a stale CSR cache: arcs added
+    /// since the last rebuild have no hot slot yet and carry zero flow, so
+    /// their residual is their capacity.
+    #[inline]
+    fn res_of(&self, i: usize) -> Flow {
+        if i < self.arc_pos.len() {
+            self.hot[self.arc_pos[i] as usize].res
+        } else {
+            self.cap[i]
+        }
+    }
+
+    /// Head (target node) of an arc.
+    #[inline]
+    pub fn head(&self, a: ArcId) -> NodeId {
+        self.head[a.index()]
+    }
+
+    /// Tail (source node) of an arc.
+    #[inline]
+    pub fn tail(&self, a: ArcId) -> NodeId {
+        self.tail[a.index()]
+    }
+
+    /// Current flow on an arc (twins report the negative).
+    #[inline]
+    pub fn arc_flow(&self, a: ArcId) -> Flow {
+        let i = a.index();
+        self.cap[i] - self.res_of(i)
+    }
+
+    /// Per-unit cost of an arc (twins report the negative).
+    #[inline]
+    pub fn arc_cost(&self, a: ArcId) -> Cost {
+        self.cost[a.index()]
+    }
+
+    /// Outgoing arc ids of `n` (forward and residual), from the CSR cache.
+    ///
+    /// Debug builds assert the cache is fresh; call
+    /// [`Self::ensure_csr`] after topology mutations (solver entry points
+    /// do this for you).
+    #[inline]
     pub fn out_arcs(&self, n: NodeId) -> &[ArcId] {
-        &self.adj[n.index()]
+        debug_assert!(
+            self.csr_is_fresh(),
+            "adjacency read on a stale CSR cache: call ensure_csr() after add_node/add_arc"
+        );
+        let lo = self.csr_offsets[n.index()] as usize;
+        let hi = self.csr_offsets[n.index() + 1] as usize;
+        &self.csr_arcs[lo..hi]
+    }
+
+    /// CSR slot range of `n`'s outgoing arcs, for indexing the parallel
+    /// [`Self::hot_arcs`] / [`Self::csr_costs`] lanes directly. Same
+    /// freshness contract as [`Self::out_arcs`].
+    #[inline]
+    pub fn out_range(&self, n: NodeId) -> std::ops::Range<usize> {
+        debug_assert!(
+            self.csr_is_fresh(),
+            "adjacency read on a stale CSR cache: call ensure_csr() after add_node/add_arc"
+        );
+        self.csr_offsets[n.index()] as usize..self.csr_offsets[n.index() + 1] as usize
+    }
+
+    /// The CSR-ordered hot scan lane (`residual`, `head`, `id` per slot).
+    /// Index it with [`Self::out_range`]; solver inner loops iterate this
+    /// contiguously instead of chasing per-arc lanes through the id
+    /// permutation.
+    #[inline]
+    pub fn hot_arcs(&self) -> &[HotArc] {
+        &self.hot
+    }
+
+    /// Arc costs in CSR order, parallel to [`Self::hot_arcs`].
+    #[inline]
+    pub fn csr_costs(&self) -> &[Cost] {
+        &self.cost_csr
+    }
+
+    /// True when any forward arc has a negative per-unit cost (one
+    /// sequential scan of the cost lane; no arc materialization).
+    pub fn has_negative_cost(&self) -> bool {
+        self.cost.iter().step_by(2).any(|&c| c < 0)
     }
 
     /// Iterate all forward arcs with their ids.
-    pub fn forward_arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> {
-        self.arcs
-            .iter()
-            .enumerate()
+    pub fn forward_arcs(&self) -> impl Iterator<Item = (ArcId, Arc)> + '_ {
+        (0..self.tail.len())
             .step_by(2)
-            .map(|(i, a)| (ArcId(i as u32), a))
+            .map(|i| (ArcId(i as u32), self.arc(ArcId(i as u32))))
     }
 
     /// All node ids.
@@ -175,24 +454,38 @@ impl FlowNetwork {
         (0..self.names.len() as u32).map(NodeId)
     }
 
-    /// Residual capacity of an arc.
+    /// Residual capacity of an arc (id-addressed: one hop through the
+    /// `arc_pos` permutation into the hot lane).
+    #[inline]
     pub fn residual(&self, a: ArcId) -> Flow {
-        self.arcs[a.index()].residual()
+        debug_assert!(
+            self.csr_is_fresh(),
+            "residual read on a stale CSR cache: call ensure_csr() after add_node/add_arc"
+        );
+        self.hot[self.arc_pos[a.index()] as usize].res
     }
 
     /// Push `d` units of flow over `a` (and pull them from its twin).
     ///
     /// Panics in debug builds if `d` exceeds the residual capacity.
+    #[inline]
     pub fn push(&mut self, a: ArcId, d: Flow) {
-        debug_assert!(d <= self.residual(a), "push exceeds residual capacity");
-        self.arcs[a.index()].flow += d;
-        self.arcs[a.index() ^ 1].flow -= d;
+        self.ensure_csr();
+        let i = a.index();
+        let p = self.arc_pos[i] as usize;
+        let q = self.arc_pos[i ^ 1] as usize;
+        debug_assert!(d <= self.hot[p].res, "push exceeds residual capacity");
+        self.hot[p].res -= d;
+        self.hot[q].res += d;
     }
 
     /// Reset all flow to zero, keeping topology and capacities.
     pub fn clear_flow(&mut self) {
-        for a in &mut self.arcs {
-            a.flow = 0;
+        self.ensure_csr();
+        // Zero flow ⇔ residual == capacity on every slot (twins have cap 0);
+        // both lanes are in CSR order, so this is a sequential zip.
+        for (h, &c) in self.hot.iter_mut().zip(&self.cap_csr) {
+            h.res = c;
         }
     }
 
@@ -200,27 +493,39 @@ impl FlowNetwork {
     /// nodes/arcs/capacities/costs untouched. This is the entry point of the
     /// reuse protocol — reset, retune capacities with [`Self::set_cap`] /
     /// [`Self::set_cost`], re-solve — that lets successive snapshots share
-    /// one transformation graph instead of rebuilding it per solve.
+    /// one transformation graph instead of rebuilding it per solve. Also
+    /// freshens the CSR adjacency cache, so the first solve of a reuse loop
+    /// pays the one and only rebuild here.
     pub fn reset(&mut self) {
+        self.ensure_csr();
         self.clear_flow();
     }
 
     /// Replace the capacity of a forward arc. The residual twin keeps
     /// capacity 0; any flow must have been cleared first (capacities may
-    /// shrink below the current flow otherwise).
+    /// shrink below the current flow otherwise). A pure SoA-lane write:
+    /// never touches the topology fingerprint, so the CSR cache stays valid
+    /// (this is why patch-caps stays `O(patches)` with zero rebuilds).
     pub fn set_cap(&mut self, a: ArcId, cap: Flow) {
         assert!(a.is_forward(), "set_cap addresses forward arcs only");
         assert!(cap >= 0, "negative capacity");
+        self.ensure_csr();
+        let i = a.index();
+        let p = self.arc_pos[i] as usize;
+        let flow = self.cap[i] - self.hot[p].res;
         debug_assert!(
-            self.arcs[a.index()].flow <= cap,
+            flow <= cap,
             "set_cap below current flow; call reset() first"
         );
-        self.arcs[a.index()].cap = cap;
+        self.cap[i] = cap;
+        self.cap_csr[p] = cap;
+        self.hot[p].res = cap - flow;
     }
 
     /// Current capacity of an arc (residual twins report 0).
+    #[inline]
     pub fn cap(&self, a: ArcId) -> Flow {
-        self.arcs[a.index()].cap
+        self.cap[a.index()]
     }
 
     /// Apply a batch of capacity patches, skipping no-ops. Returns how many
@@ -235,7 +540,7 @@ impl FlowNetwork {
     pub fn patch_caps(&mut self, patches: impl IntoIterator<Item = (ArcId, Flow)>) -> usize {
         let mut changed = 0;
         for (a, cap) in patches {
-            if self.arcs[a.index()].cap != cap {
+            if self.cap[a.index()] != cap {
                 self.set_cap(a, cap);
                 changed += 1;
             }
@@ -247,26 +552,29 @@ impl FlowNetwork {
     /// cancellation stays consistent.
     pub fn set_cost(&mut self, a: ArcId, cost: Cost) {
         assert!(a.is_forward(), "set_cost addresses forward arcs only");
-        self.arcs[a.index()].cost = cost;
-        self.arcs[a.index() ^ 1].cost = -cost;
+        self.ensure_csr();
+        let i = a.index();
+        self.cost[i] = cost;
+        self.cost[i ^ 1] = -cost;
+        self.cost_csr[self.arc_pos[i] as usize] = cost;
+        self.cost_csr[self.arc_pos[i ^ 1] as usize] = -cost;
     }
 
     /// Net flow out of a node (positive at the source, negative at the sink,
-    /// zero elsewhere for a conserved flow).
+    /// zero elsewhere for a conserved flow). Full forward-arc scan; needs no
+    /// adjacency, so it works on a stale CSR cache too.
     pub fn net_out_flow(&self, n: NodeId) -> Flow {
-        self.adj[n.index()]
-            .iter()
-            .filter(|a| a.is_forward())
-            .map(|a| self.arcs[a.index()].flow)
-            .sum::<Flow>()
-            - self
-                .arcs
-                .iter()
-                .enumerate()
-                .step_by(2)
-                .filter(|(_, arc)| arc.to == n)
-                .map(|(_, arc)| arc.flow)
-                .sum::<Flow>()
+        let mut net = 0;
+        for i in (0..self.tail.len()).step_by(2) {
+            let f = self.cap[i] - self.res_of(i);
+            if self.tail[i] == n {
+                net += f;
+            }
+            if self.head[i] == n {
+                net -= f;
+            }
+        }
+        net
     }
 
     /// Check the two legality conditions of the paper's Section III-A:
@@ -366,6 +674,7 @@ mod tests {
         g.add_arc(s, b, 1, 0);
         g.add_arc(a, t, 1, 0);
         g.add_arc(b, t, 1, 0);
+        g.ensure_csr();
         (g, s, t)
     }
 
@@ -495,5 +804,56 @@ mod tests {
         let a = g.add_arc(s, t, 2, 5);
         g.push(a, 2);
         assert_eq!(g.flow_cost(), 10);
+    }
+
+    #[test]
+    fn csr_rebuilds_lazily_and_only_on_topology_change() {
+        let mut g = FlowNetwork::new();
+        assert!(!g.csr_is_fresh(), "fresh network has a stale empty cache");
+        assert_eq!(g.csr_rebuilds(), 0);
+        let s = g.add_node("s");
+        let t = g.add_node("t");
+        let a = g.add_arc(s, t, 2, 0);
+        g.ensure_csr();
+        assert!(g.csr_is_fresh());
+        assert_eq!(g.csr_rebuilds(), 1);
+        // Idempotent: freshness short-circuits.
+        g.ensure_csr();
+        assert_eq!(g.csr_rebuilds(), 1);
+        // Flow/capacity/cost mutations never stale the cache.
+        g.push(a, 1);
+        g.reset();
+        g.set_cap(a, 5);
+        g.set_cost(a, 3);
+        assert_eq!(g.patch_caps([(a, 2)]), 1);
+        assert!(g.csr_is_fresh());
+        assert_eq!(g.csr_rebuilds(), 1);
+        // Topology mutation stales it; the next ensure rebuilds once.
+        let u = g.add_node("u");
+        assert!(!g.csr_is_fresh());
+        g.add_arc(s, u, 1, 0);
+        g.add_arc(u, t, 1, 0);
+        g.ensure_csr();
+        assert_eq!(g.csr_rebuilds(), 2);
+        assert_eq!(g.out_arcs(u).len(), 2, "u: forward u->t plus twin of s->u");
+    }
+
+    #[test]
+    fn csr_order_matches_insertion_order_per_node() {
+        // The CSR slices must list each node's outgoing arcs in exactly the
+        // order add_arc created them — forward arcs and twins interleaved —
+        // because solver traversal order (hence OpStats) depends on it.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node("s");
+        let a = g.add_node("a");
+        let t = g.add_node("t");
+        let sa = g.add_arc(s, a, 1, 0); // ArcId(0), twin 1 out of a
+        let st = g.add_arc(s, t, 1, 0); // ArcId(2), twin 3 out of t
+        let at = g.add_arc(a, t, 1, 0); // ArcId(4), twin 5 out of t
+        let sa2 = g.add_arc(s, a, 1, 0); // ArcId(6), twin 7 out of a
+        g.ensure_csr();
+        assert_eq!(g.out_arcs(s), &[sa, st, sa2]);
+        assert_eq!(g.out_arcs(a), &[sa.twin(), at, sa2.twin()]);
+        assert_eq!(g.out_arcs(t), &[st.twin(), at.twin()]);
     }
 }

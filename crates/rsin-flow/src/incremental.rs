@@ -69,6 +69,7 @@ impl FlowNetwork {
         t: NodeId,
         scratch: &mut SolveScratch,
     ) -> Option<Augmentation> {
+        self.ensure_csr();
         let n = self.num_nodes();
         scratch.ensure_nodes(n);
         scratch.level[..n].fill(UNLEVELLED);
@@ -77,16 +78,17 @@ impl FlowNetwork {
         scratch.parent[s.index()] = None;
         scratch.queue.push_back(s);
         'bfs: while let Some(u) = scratch.queue.pop_front() {
-            for &a in self.out_arcs(u) {
-                if self.residual(a) <= 0 {
+            let range = self.out_range(u);
+            for h in &self.hot_arcs()[range] {
+                if h.res <= 0 {
                     continue;
                 }
-                let v = self.arc(a).to;
+                let v = h.head;
                 if scratch.level[v.index()] != UNLEVELLED {
                     continue;
                 }
                 scratch.level[v.index()] = scratch.level[u.index()] + 1;
-                scratch.parent[v.index()] = Some(a);
+                scratch.parent[v.index()] = Some(h.id);
                 if v == t {
                     break 'bfs;
                 }
@@ -103,9 +105,9 @@ impl FlowNetwork {
             let a = scratch.parent[v.index()].expect("BFS tree reaches back to s");
             bottleneck = bottleneck.min(self.residual(a));
             scratch.path.push(a);
-            v = self.arc(a).from;
+            v = self.tail(a);
         }
-        let per_unit: Cost = scratch.path.iter().map(|&a| self.arc(a).cost).sum();
+        let per_unit: Cost = scratch.path.iter().map(|&a| self.arc_cost(a)).sum();
         for &a in &scratch.path {
             self.push(a, bottleneck);
         }
@@ -136,6 +138,7 @@ impl FlowNetwork {
         t: NodeId,
         scratch: &mut SolveScratch,
     ) -> Option<Augmentation> {
+        self.ensure_csr();
         let n = self.num_nodes();
         scratch.ensure_nodes(n);
         scratch.dist[..n].fill(UNREACHED);
@@ -151,15 +154,15 @@ impl FlowNetwork {
                 if self.residual(a) <= 0 {
                     continue;
                 }
-                let arc = self.arc(a);
-                let du = scratch.dist[arc.from.index()];
+                let du = scratch.dist[self.tail(a).index()];
                 if du >= UNREACHED {
                     continue;
                 }
-                let nd = du + arc.cost;
-                if nd < scratch.dist[arc.to.index()] {
-                    scratch.dist[arc.to.index()] = nd;
-                    scratch.parent[arc.to.index()] = Some(a);
+                let nd = du + self.arc_cost(a);
+                let to = self.head(a);
+                if nd < scratch.dist[to.index()] {
+                    scratch.dist[to.index()] = nd;
+                    scratch.parent[to.index()] = Some(a);
                     changed = true;
                 }
             }
@@ -183,9 +186,9 @@ impl FlowNetwork {
             };
             bottleneck = bottleneck.min(self.residual(a));
             scratch.path.push(a);
-            v = self.arc(a).from;
+            v = self.tail(a);
         }
-        let per_unit: Cost = scratch.path.iter().map(|&a| self.arc(a).cost).sum();
+        let per_unit: Cost = scratch.path.iter().map(|&a| self.arc_cost(a)).sum();
         for &a in &scratch.path {
             self.push(a, bottleneck);
         }
@@ -222,13 +225,14 @@ impl FlowNetwork {
         t: NodeId,
         path: &mut Vec<ArcId>,
     ) -> Result<(), String> {
+        self.ensure_csr();
         if !first.is_forward() {
             return Err(format!(
                 "cancel_path: arc {} is a residual twin, not a forward arc",
                 first.index()
             ));
         }
-        if self.arc(first).flow < 1 {
+        if self.arc_flow(first) < 1 {
             return Err(format!(
                 "cancel_path: arc {} carries no flow to cancel",
                 first.index()
@@ -236,7 +240,7 @@ impl FlowNetwork {
         }
         path.clear();
         path.push(first);
-        let mut u = self.arc(first).to;
+        let mut u = self.head(first);
         let mut steps = 0usize;
         while u != t {
             steps += 1;
@@ -247,7 +251,7 @@ impl FlowNetwork {
                 .out_arcs(u)
                 .iter()
                 .copied()
-                .find(|&a| a.is_forward() && self.arc(a).flow > 0)
+                .find(|&a| a.is_forward() && self.arc_flow(a) > 0)
                 .ok_or_else(|| {
                     format!(
                         "cancel_path: flow conservation violated at node {}",
@@ -255,7 +259,7 @@ impl FlowNetwork {
                     )
                 })?;
             path.push(next);
-            u = self.arc(next).to;
+            u = self.head(next);
         }
         for &a in path.iter() {
             self.push(a.twin(), 1);

@@ -50,6 +50,7 @@ impl LayeredNetwork {
         let mut sink_level: Option<u32> = if s == t { Some(0) } else { None };
         while let Some(u) = queue.pop_front() {
             stats.node_visits += 1;
+            stats.level_node_visits += 1;
             let lu = level[u.index()].unwrap();
             // Do not expand nodes at or beyond the sink layer.
             if let Some(sl) = sink_level {
@@ -59,6 +60,7 @@ impl LayeredNetwork {
             }
             for &a in g.out_arcs(u) {
                 stats.arc_scans += 1;
+                stats.level_arc_scans += 1;
                 let arc = g.arc(a);
                 if arc.residual() > 0 && level[arc.to.index()].is_none() {
                     let lv = lu + 1;
@@ -140,21 +142,26 @@ fn level_residual(
     let mut sink_level = if s == t { 0 } else { UNLEVELLED };
     while let Some(u) = queue.pop_front() {
         stats.node_visits += 1;
+        stats.level_node_visits += 1;
         let lu = level[u.index()];
         // Do not expand nodes at or beyond the sink layer.
         if lu >= sink_level {
             continue;
         }
-        for &a in g.out_arcs(u) {
+        let r = g.out_range(u);
+        for h in &g.hot_arcs()[r] {
             stats.arc_scans += 1;
-            let arc = g.arc(a);
-            if arc.residual() > 0 && level[arc.to.index()] == UNLEVELLED {
-                let lv = lu + 1;
-                level[arc.to.index()] = lv;
-                if arc.to == t {
-                    sink_level = lv;
+            stats.level_arc_scans += 1;
+            if h.res > 0 {
+                let to = h.head;
+                if level[to.index()] == UNLEVELLED {
+                    let lv = lu + 1;
+                    level[to.index()] = lv;
+                    if to == t {
+                        sink_level = lv;
+                    }
+                    queue.push_back(to);
                 }
-                queue.push_back(arc.to);
             }
         }
     }
@@ -184,14 +191,6 @@ fn blocking_flow(
     let mut total = 0;
     // DFS stack of arcs taken from the source to the current node.
     path.clear();
-    // A layered-network ("useful") arc: positive residual, pointing to the
-    // next layer — exactly `LayeredNetwork::contains_arc`.
-    let admissible = |g: &FlowNetwork, a: ArcId| {
-        let arc = g.arc(a);
-        arc.residual() > 0
-            && level[arc.from.index()] != UNLEVELLED
-            && level[arc.to.index()] == level[arc.from.index()] + 1
-    };
     let mut u = s;
     loop {
         if u == t {
@@ -215,21 +214,26 @@ fn blocking_flow(
             }
             path.truncate(retreat_to);
             u = if let Some(&a) = path.last() {
-                g.arc(a).to
+                g.head(a)
             } else {
                 s
             };
             continue;
         }
-        // Advance over the next admissible arc out of u.
-        let arcs = g.out_arcs(u);
+        // Advance over the next admissible ("useful") arc out of u: positive
+        // residual, pointing to the next layer — exactly
+        // `LayeredNetwork::contains_arc`. Walks the hot lane by current-arc
+        // pointer, so each probe is one 16-byte slot.
+        let range = g.out_range(u);
+        let hots = &g.hot_arcs()[range];
+        let lu = level[u.index()];
         let mut advanced = false;
-        while next_arc[u.index()] < arcs.len() {
-            let a = arcs[next_arc[u.index()]];
+        while next_arc[u.index()] < hots.len() {
+            let h = hots[next_arc[u.index()]];
             stats.arc_scans += 1;
-            if admissible(g, a) {
-                path.push(a);
-                u = g.arc(a).to;
+            if h.res > 0 && lu != UNLEVELLED && level[h.head.index()] == lu + 1 {
+                path.push(h.id);
+                u = h.head;
                 advanced = true;
                 break;
             }
@@ -244,7 +248,7 @@ fn blocking_flow(
         }
         stats.node_visits += 1;
         let a = path.pop().expect("retreat below source");
-        let prev = g.arc(a).from;
+        let prev = g.tail(a);
         // Exhaust the arc we came through so we never retry this dead end.
         next_arc[prev.index()] += 1;
         u = prev;
@@ -265,6 +269,24 @@ pub fn solve_with(
     t: NodeId,
     scratch: &mut SolveScratch,
 ) -> MaxFlowResult {
+    solve_probed(g, s, t, scratch, &rsin_obs::NoopProbe)
+}
+
+/// [`solve_with`] reporting each of Dinic's two alternating phases to a
+/// telemetry probe: every level-graph construction is timed into
+/// [`rsin_obs::Hist::DinicLevelPhaseNs`] and every blocking-flow pass into
+/// [`rsin_obs::Hist::DinicBlockingPhaseNs`], so the BFS-vs-DFS split of a
+/// solve is visible per phase, not just in aggregate. Identical results and
+/// [`OpStats`] to [`solve_with`]; under [`rsin_obs::NoopProbe`] the spans
+/// never read the clock and this monomorphizes to plain [`solve_with`].
+pub fn solve_probed<P: rsin_obs::Probe + ?Sized>(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut SolveScratch,
+    probe: &P,
+) -> MaxFlowResult {
+    g.ensure_csr();
     let mut stats = OpStats::new();
     let mut value = 0;
     if s == t {
@@ -272,10 +294,15 @@ pub fn solve_with(
     }
     scratch.ensure_nodes(g.num_nodes());
     loop {
-        if !level_residual(g, s, t, scratch, &mut stats) {
+        let span = probe.start();
+        let reached = level_residual(g, s, t, scratch, &mut stats);
+        probe.finish(span, rsin_obs::Hist::DinicLevelPhaseNs);
+        if !reached {
             break;
         }
+        let span = probe.start();
         value += blocking_flow(g, s, t, scratch, &mut stats);
+        probe.finish(span, rsin_obs::Hist::DinicBlockingPhaseNs);
     }
     MaxFlowResult { value, stats }
 }
@@ -295,6 +322,7 @@ mod tests {
         g.add_arc(a, b, 1, 0);
         g.add_arc(b, t, 1, 0);
         g.add_arc(s, b, 1, 0); // shortcut
+        g.ensure_csr();
         let mut st = OpStats::new();
         let ln = LayeredNetwork::build(&g, s, t, &mut st);
         assert_eq!(ln.level(s), Some(0));
@@ -315,6 +343,7 @@ mod tests {
         let far = g.add_node("far");
         g.add_arc(s, t, 1, 0);
         g.add_arc(t, far, 1, 0);
+        g.ensure_csr();
         let mut st = OpStats::new();
         let ln = LayeredNetwork::build(&g, s, t, &mut st);
         assert_eq!(ln.level(t), Some(1));
@@ -330,6 +359,7 @@ mod tests {
         let sa = g.add_arc(s, a, 1, 0);
         let st_arc = g.add_arc(s, t, 1, 0);
         let at = g.add_arc(a, t, 1, 0);
+        g.ensure_csr();
         let mut st = OpStats::new();
         let ln = LayeredNetwork::build(&g, s, t, &mut st);
         // t is at level 1, a at level 1: s->a in LN, s->t in LN, a->t not.
@@ -344,6 +374,7 @@ mod tests {
         let s = g.add_node("s");
         let t = g.add_node("t");
         let a = g.add_arc(s, t, 1, 0);
+        g.ensure_csr();
         g.push(a, 1);
         let mut st = OpStats::new();
         let ln = LayeredNetwork::build(&g, s, t, &mut st);
@@ -437,6 +468,7 @@ mod tests {
         for &r in &[r1, r3, r4] {
             g.add_arc(r, t, 1, 0);
         }
+        g.ensure_csr();
         // Initial flow: p1 -> 4 -> 7 -> r4 and p4 -> 5 -> 6 -> r1.
         for &(arc, path_head) in &[
             (a_p1_4, s),

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 /// Compute a maximum `s`→`t` flow by repeated BFS augmentation.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    g.ensure_csr();
     let mut stats = OpStats::new();
     let mut value = 0;
     if s == t {
@@ -23,17 +24,20 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
         let mut found = false;
         'bfs: while let Some(u) = queue.pop_front() {
             stats.node_visits += 1;
-            for &a in g.out_arcs(u) {
+            let range = g.out_range(u);
+            for h in &g.hot_arcs()[range] {
                 stats.arc_scans += 1;
-                let arc = g.arc(a);
-                if arc.residual() > 0 && !visited[arc.to.index()] {
-                    visited[arc.to.index()] = true;
-                    parent[arc.to.index()] = Some(a);
-                    if arc.to == t {
-                        found = true;
-                        break 'bfs;
+                if h.res > 0 {
+                    let to = h.head;
+                    if !visited[to.index()] {
+                        visited[to.index()] = true;
+                        parent[to.index()] = Some(h.id);
+                        if to == t {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(to);
                     }
-                    queue.push_back(arc.to);
                 }
             }
         }
@@ -45,13 +49,13 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
         while v != s {
             let a = parent[v.index()].unwrap();
             bottleneck = bottleneck.min(g.residual(a));
-            v = g.arc(a).from;
+            v = g.tail(a);
         }
         let mut v = t;
         while v != s {
             let a = parent[v.index()].unwrap();
             g.push(a, bottleneck);
-            v = g.arc(a).from;
+            v = g.tail(a);
         }
         value += bottleneck;
         stats.augmentations += 1;

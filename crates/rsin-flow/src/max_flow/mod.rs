@@ -124,9 +124,24 @@ pub fn solve_observed(
     probe: &dyn rsin_obs::Probe,
 ) -> MaxFlowResult {
     let span = probe.start();
-    let r = solve_with(g, s, t, algo, scratch);
+    // Dinic goes through the phase-probed entry so each level-graph /
+    // blocking-flow alternation is timed individually.
+    let r = match algo {
+        Algorithm::Dinic => dinic::solve_probed(g, s, t, scratch, probe),
+        _ => solve_with(g, s, t, algo, scratch),
+    };
     probe.finish(span, rsin_obs::Hist::SolveLatencyNs);
     probe.solver(algo.solver_id(), r.stats.probe_counts());
+    if algo == Algorithm::Dinic && r.stats.arc_scans > 0 {
+        probe.add(
+            rsin_obs::Counter::DinicLevelArcScans,
+            r.stats.level_arc_scans,
+        );
+        probe.add(
+            rsin_obs::Counter::DinicBlockingArcScans,
+            r.stats.arc_scans - r.stats.level_arc_scans,
+        );
+    }
     r
 }
 

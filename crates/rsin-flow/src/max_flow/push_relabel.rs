@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 
 /// Compute a maximum `s`→`t` flow by FIFO push–relabel.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    g.ensure_csr();
     let n = g.num_nodes();
     let mut stats = OpStats::new();
     if s == t || n < 2 {
@@ -37,7 +38,7 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
     for a in source_arcs {
         let r = g.residual(a);
         if r > 0 {
-            let to = g.arc(a).to;
+            let to = g.head(a);
             g.push(a, r);
             excess[to.index()] += r;
             excess[s.index()] -= r;
@@ -60,9 +61,8 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
                 if excess[u.index()] == 0 {
                     break;
                 }
-                let arc = g.arc(a);
-                let to = arc.to;
-                if arc.residual() > 0 && height[u.index()] == height[to.index()] + 1 {
+                let to = g.head(a);
+                if g.residual(a) > 0 && height[u.index()] == height[to.index()] + 1 {
                     let d = excess[u.index()].min(g.residual(a));
                     g.push(a, d);
                     excess[u.index()] -= d;
@@ -84,9 +84,8 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
                 let mut min_h = usize::MAX;
                 for &a in g.out_arcs(u) {
                     stats.arc_scans += 1;
-                    let arc = g.arc(a);
-                    if arc.residual() > 0 {
-                        min_h = min_h.min(height[arc.to.index()]);
+                    if g.residual(a) > 0 {
+                        min_h = min_h.min(height[g.head(a).index()]);
                     }
                 }
                 if min_h == usize::MAX {
@@ -132,6 +131,7 @@ pub fn solve_with(
     t: NodeId,
     scratch: &mut SolveScratch,
 ) -> MaxFlowResult {
+    g.ensure_csr();
     let n = g.num_nodes();
     let mut stats = OpStats::new();
     if s == t || n < 2 {
@@ -158,7 +158,7 @@ pub fn solve_with(
     for &a in arc_buf.iter() {
         let r = g.residual(a);
         if r > 0 {
-            let to = g.arc(a).to;
+            let to = g.head(a);
             g.push(a, r);
             excess[to.index()] += r;
             excess[s.index()] -= r;
@@ -182,9 +182,8 @@ pub fn solve_with(
                 if excess[u.index()] == 0 {
                     break;
                 }
-                let arc = g.arc(a);
-                let to = arc.to;
-                if arc.residual() > 0 && height[u.index()] == height[to.index()] + 1 {
+                let to = g.head(a);
+                if g.residual(a) > 0 && height[u.index()] == height[to.index()] + 1 {
                     let d = excess[u.index()].min(g.residual(a));
                     g.push(a, d);
                     excess[u.index()] -= d;
@@ -206,9 +205,8 @@ pub fn solve_with(
                 let mut min_h = usize::MAX;
                 for &a in g.out_arcs(u) {
                     stats.arc_scans += 1;
-                    let arc = g.arc(a);
-                    if arc.residual() > 0 {
-                        min_h = min_h.min(height[arc.to.index()]);
+                    if g.residual(a) > 0 {
+                        min_h = min_h.min(height[g.head(a).index()]);
                     }
                 }
                 if min_h == usize::MAX {

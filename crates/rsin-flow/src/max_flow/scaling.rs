@@ -14,6 +14,7 @@ use crate::Flow;
 
 /// Compute a maximum `s`→`t` flow by capacity scaling.
 pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
+    g.ensure_csr();
     let mut stats = OpStats::new();
     let mut value = 0;
     if s == t {
@@ -42,13 +43,16 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
                     found = true;
                     break;
                 }
-                for &a in g.out_arcs(u) {
+                let range = g.out_range(u);
+                for h in &g.hot_arcs()[range] {
                     stats.arc_scans += 1;
-                    let arc = g.arc(a);
-                    if arc.residual() >= delta && !visited[arc.to.index()] {
-                        visited[arc.to.index()] = true;
-                        parent[arc.to.index()] = Some(a);
-                        stack.push(arc.to);
+                    if h.res >= delta {
+                        let to = h.head;
+                        if !visited[to.index()] {
+                            visited[to.index()] = true;
+                            parent[to.index()] = Some(h.id);
+                            stack.push(to);
+                        }
                     }
                 }
             }
@@ -60,13 +64,13 @@ pub fn solve(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> MaxFlowResult {
             while v != s {
                 let a = parent[v.index()].unwrap();
                 bottleneck = bottleneck.min(g.residual(a));
-                v = g.arc(a).from;
+                v = g.tail(a);
             }
             let mut v = t;
             while v != s {
                 let a = parent[v.index()].unwrap();
                 g.push(a, bottleneck);
-                v = g.arc(a).from;
+                v = g.tail(a);
             }
             value += bottleneck;
             stats.augmentations += 1;

@@ -37,15 +37,21 @@ fn negative_cycle_with(
     for _round in 0..n {
         changed_node = None;
         for u in g.nodes() {
-            for &a in g.out_arcs(u) {
+            let range = g.out_range(u);
+            let hots = &g.hot_arcs()[range.clone()];
+            let costs = &g.csr_costs()[range];
+            // NB: `dist[u]` is re-read per arc on purpose — a self-loop arc
+            // could relax it mid-scan, and hoisting would change which
+            // cycle later arcs chain off.
+            for (h, &c) in hots.iter().zip(costs) {
                 stats.arc_scans += 1;
-                let arc = g.arc(a);
-                if arc.residual() > 0 && dist[u.index()] < INF {
-                    let nd = dist[u.index()] + arc.cost;
-                    if nd < dist[arc.to.index()] {
-                        dist[arc.to.index()] = nd;
-                        parent[arc.to.index()] = Some(a);
-                        changed_node = Some(arc.to);
+                if h.res > 0 && dist[u.index()] < INF {
+                    let nd = dist[u.index()] + c;
+                    let to = h.head;
+                    if nd < dist[to.index()] {
+                        dist[to.index()] = nd;
+                        parent[to.index()] = Some(h.id);
+                        changed_node = Some(to);
                     }
                 }
             }
@@ -63,7 +69,7 @@ fn negative_cycle_with(
         let Some(a) = parent[v.index()] else {
             return false;
         };
-        v = g.arc(a).from;
+        v = g.tail(a);
     }
     // Collect the cycle.
     let start = v;
@@ -73,7 +79,7 @@ fn negative_cycle_with(
             return false;
         };
         cycle.push(a);
-        v = g.arc(a).from;
+        v = g.tail(a);
         if v == start {
             break;
         }
@@ -105,6 +111,7 @@ pub fn solve_with(
     target: Flow,
     scratch: &mut SolveScratch,
 ) -> MinCostResult {
+    g.ensure_csr();
     let mut stats = OpStats::new();
     if s == t || target <= 0 {
         g.clear_flow();

@@ -28,6 +28,7 @@ pub fn solve_with(
     target: Flow,
     scratch: &mut SolveScratch,
 ) -> MinCostResult {
+    g.ensure_csr();
     let n = g.num_nodes();
     let mut stats = OpStats::new();
     let mut flow = 0;
@@ -49,7 +50,7 @@ pub fn solve_with(
 
     // Initial potentials via Bellman-Ford when negative costs exist.
     pot[..n].fill(0);
-    if g.forward_arcs().any(|(_, a)| a.cost < 0) {
+    if g.has_negative_cost() {
         dist[..n].fill(INF);
         dist[s.index()] = 0;
         for _ in 0..n {
@@ -86,19 +87,25 @@ pub fn solve_with(
                 continue;
             }
             stats.node_visits += 1;
-            for &a in g.out_arcs(u) {
+            let pot_u = pot[u.index()];
+            // Zip the hot lane with the CSR cost lane: two sequential
+            // streams, no per-arc random access.
+            let range = g.out_range(u);
+            let hots = &g.hot_arcs()[range.clone()];
+            let costs = &g.csr_costs()[range];
+            for (h, &c) in hots.iter().zip(costs) {
                 stats.arc_scans += 1;
-                let arc = g.arc(a);
-                if arc.residual() <= 0 {
+                if h.res <= 0 {
                     continue;
                 }
-                let rc = arc.cost + pot[u.index()] - pot[arc.to.index()];
+                let to = h.head;
+                let rc = c + pot_u - pot[to.index()];
                 debug_assert!(rc >= 0, "reduced cost must be nonnegative");
                 let nd = d + rc;
-                if nd < dist[arc.to.index()] {
-                    dist[arc.to.index()] = nd;
-                    parent[arc.to.index()] = Some(a);
-                    heap.push(Reverse((nd, arc.to.0)));
+                if nd < dist[to.index()] {
+                    dist[to.index()] = nd;
+                    parent[to.index()] = Some(h.id);
+                    heap.push(Reverse((nd, to.0)));
                 }
             }
         }
@@ -120,13 +127,13 @@ pub fn solve_with(
         while v != s {
             let a = parent[v.index()].unwrap();
             bottleneck = bottleneck.min(g.residual(a));
-            v = g.arc(a).from;
+            v = g.tail(a);
         }
         let mut v = t;
         while v != s {
             let a = parent[v.index()].unwrap();
             g.push(a, bottleneck);
-            v = g.arc(a).from;
+            v = g.tail(a);
         }
         flow += bottleneck;
         stats.augmentations += 1;

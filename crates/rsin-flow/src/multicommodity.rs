@@ -273,10 +273,7 @@ pub fn sequential_max_flow(g: &FlowNetwork, commodities: &[Commodity]) -> Vec<(F
         for n in shared.nodes() {
             sub.add_node(shared.name(n).to_string());
         }
-        let arcs: Vec<_> = shared
-            .forward_arcs()
-            .map(|(id, a)| (id, a.clone()))
-            .collect();
+        let arcs: Vec<_> = shared.forward_arcs().collect();
         for (_, a) in &arcs {
             sub.add_arc(a.from, a.to, a.residual(), a.cost);
         }

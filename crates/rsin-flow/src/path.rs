@@ -125,6 +125,7 @@ mod tests {
         let bt = g.add_arc(bypass, t, 1, 0);
         let sa = g.add_arc(s, a, 1, 0);
         let at = g.add_arc(a, t, 1, 0);
+        g.ensure_csr();
         g.push(sb, 1);
         g.push(bt, 1);
         g.push(sa, 1);
@@ -140,6 +141,7 @@ mod tests {
         let s = g.add_node("s");
         let t = g.add_node("t");
         g.add_arc(s, t, 1, 0);
+        g.ensure_csr();
         assert!(decompose_unit_flow(&g, s, t, None).is_empty());
     }
 

@@ -19,6 +19,13 @@ pub struct OpStats {
     pub augmentations: u64,
     /// Layered networks built (Dinic phases).
     pub phases: u64,
+    /// Subset of `node_visits` spent in Dinic's level-graph (BFS) phase;
+    /// zero for every other solver. `node_visits - level_node_visits` is
+    /// the blocking-flow share.
+    pub level_node_visits: u64,
+    /// Subset of `arc_scans` spent in Dinic's level-graph (BFS) phase;
+    /// zero for every other solver.
+    pub level_arc_scans: u64,
 }
 
 impl OpStats {
@@ -33,6 +40,8 @@ impl OpStats {
         self.arc_scans += other.arc_scans;
         self.augmentations += other.augmentations;
         self.phases += other.phases;
+        self.level_node_visits += other.level_node_visits;
+        self.level_arc_scans += other.level_arc_scans;
     }
 
     /// The same counters in `rsin-obs` probe form, for per-solver telemetry
@@ -51,7 +60,9 @@ impl OpStats {
     /// scan ~6 (load, compare, branch), an augmentation ~20 per path
     /// bookkeeping, a phase ~50 of setup. The absolute constants only scale
     /// the SPEEDUP experiment's axis; its *shape* (orders of magnitude) is
-    /// insensitive to them, which is what the paper claims.
+    /// insensitive to them, which is what the paper claims. The level-phase
+    /// subset counters are excluded — they re-partition work the four main
+    /// counters already price.
     pub fn estimated_instructions(&self) -> u64 {
         8 * self.node_visits + 6 * self.arc_scans + 20 * self.augmentations + 50 * self.phases
     }
@@ -68,12 +79,16 @@ mod tests {
             arc_scans: 2,
             augmentations: 3,
             phases: 4,
+            level_node_visits: 5,
+            level_arc_scans: 6,
         };
         let b = OpStats {
             node_visits: 10,
             arc_scans: 20,
             augmentations: 30,
             phases: 40,
+            level_node_visits: 50,
+            level_arc_scans: 60,
         };
         a.merge(&b);
         assert_eq!(
@@ -82,7 +97,9 @@ mod tests {
                 node_visits: 11,
                 arc_scans: 22,
                 augmentations: 33,
-                phases: 44
+                phases: 44,
+                level_node_visits: 55,
+                level_arc_scans: 66,
             }
         );
     }
@@ -94,7 +111,23 @@ mod tests {
             arc_scans: 1,
             augmentations: 1,
             phases: 1,
+            ..OpStats::default()
         };
         assert_eq!(s.estimated_instructions(), 8 + 6 + 20 + 50);
+    }
+
+    #[test]
+    fn level_subset_counters_do_not_change_the_estimate() {
+        let mut s = OpStats {
+            node_visits: 7,
+            arc_scans: 9,
+            augmentations: 2,
+            phases: 3,
+            ..OpStats::default()
+        };
+        let base = s.estimated_instructions();
+        s.level_node_visits = 4;
+        s.level_arc_scans = 6;
+        assert_eq!(s.estimated_instructions(), base);
     }
 }

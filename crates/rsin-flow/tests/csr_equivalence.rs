@@ -1,0 +1,247 @@
+//! CSR ≡ nested-adjacency equivalence properties.
+//!
+//! The CSR data-layout pass replaced `FlowNetwork`'s per-node `Vec<Vec<ArcId>>`
+//! adjacency with flat offset-indexed arrays plus a hot residual/head lane.
+//! Its contract is *bit-identity*: same traversal order, same solutions, same
+//! operation counters as the nested layout — the layout is allowed to change
+//! how fast the solvers run, never what they do. These properties pin that
+//! contract over random topologies, all solvers, and the mutation sequences
+//! (reset / capacity patches / fault toggles) that exercise the lazy-rebuild
+//! path.
+
+use proptest::prelude::*;
+use rsin_flow::graph::{ArcId, FlowNetwork};
+use rsin_flow::scratch::SolveScratch;
+use rsin_flow::stats::OpStats;
+use rsin_flow::{max_flow, min_cost, Flow, NodeId};
+use std::collections::VecDeque;
+
+/// Random-instance arc spec: `(from, to, cap, cost)` with indexes clamped by
+/// the caller.
+type ArcSpec = (usize, usize, i64, i64);
+
+/// Build a network, returning it plus the *shadow* nested adjacency
+/// constructed exactly the way the pre-CSR `FlowNetwork` built it: `add_arc`
+/// appended the forward id to `from`'s list and the twin id to `to`'s list,
+/// in creation order.
+fn build_with_shadow(n: usize, arcs: &[ArcSpec]) -> (FlowNetwork, Vec<Vec<ArcId>>) {
+    let mut g = FlowNetwork::new();
+    let mut shadow: Vec<Vec<ArcId>> = vec![Vec::new(); n];
+    for i in 0..n {
+        g.add_node(format!("n{i}"));
+    }
+    for &(u, v, cap, cost) in arcs {
+        if u < n && v < n && u != v {
+            let a = g.add_arc(NodeId(u as u32), NodeId(v as u32), cap, cost);
+            shadow[u].push(a);
+            shadow[v].push(a.twin());
+        }
+    }
+    (g, shadow)
+}
+
+/// Reference Edmonds–Karp over the shadow nested adjacency, mirroring the
+/// crate solver statement-for-statement but iterating `shadow[u]` with the
+/// id-addressed accessors instead of the CSR hot lane.
+fn nested_edmonds_karp(
+    g: &mut FlowNetwork,
+    shadow: &[Vec<ArcId>],
+    s: NodeId,
+    t: NodeId,
+) -> (Flow, OpStats) {
+    g.ensure_csr();
+    let mut stats = OpStats::new();
+    let mut value = 0;
+    loop {
+        let mut parent: Vec<Option<ArcId>> = vec![None; g.num_nodes()];
+        let mut visited = vec![false; g.num_nodes()];
+        visited[s.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        let mut found = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            stats.node_visits += 1;
+            for &a in &shadow[u.index()] {
+                stats.arc_scans += 1;
+                if g.residual(a) > 0 {
+                    let to = g.head(a);
+                    if !visited[to.index()] {
+                        visited[to.index()] = true;
+                        parent[to.index()] = Some(a);
+                        if to == t {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(to);
+                    }
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        let mut bottleneck = Flow::MAX;
+        let mut v = t;
+        while v != s {
+            let a = parent[v.index()].unwrap();
+            bottleneck = bottleneck.min(g.residual(a));
+            v = g.tail(a);
+        }
+        let mut v = t;
+        while v != s {
+            let a = parent[v.index()].unwrap();
+            g.push(a, bottleneck);
+            v = g.tail(a);
+        }
+        value += bottleneck;
+        stats.augmentations += 1;
+    }
+    (value, stats)
+}
+
+/// Per-arc flow vector (forward arcs only), the full solution fingerprint.
+fn flows(g: &FlowNetwork) -> Vec<Flow> {
+    g.forward_arcs().map(|(_, a)| a.flow).collect()
+}
+
+fn arcs_strategy(max_n: usize, max_len: usize) -> impl Strategy<Value = Vec<ArcSpec>> {
+    proptest::collection::vec((0..max_n, 0..max_n, 1i64..8, 0i64..6), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CSR `out_arcs` view reproduces the nested insertion order
+    /// slice-for-slice on every node.
+    #[test]
+    fn csr_out_arcs_match_nested_insertion_order(
+        n in 2usize..10,
+        arcs in arcs_strategy(10, 30),
+    ) {
+        let (mut g, shadow) = build_with_shadow(n, &arcs);
+        g.ensure_csr();
+        for (u, nested) in shadow.iter().enumerate() {
+            prop_assert_eq!(
+                g.out_arcs(NodeId(u as u32)),
+                nested.as_slice(),
+                "node {} adjacency diverged",
+                u
+            );
+        }
+        prop_assert_eq!(g.csr_rebuilds(), 1);
+    }
+
+    /// A reference Edmonds–Karp walking the nested shadow adjacency is
+    /// bit-identical to the CSR solver: value, per-arc flows, and the full
+    /// operation counters.
+    #[test]
+    fn nested_reference_solver_is_bit_identical(
+        n in 3usize..10,
+        arcs in arcs_strategy(10, 30),
+    ) {
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let (mut g_ref, shadow) = build_with_shadow(n, &arcs);
+        let (ref_value, ref_stats) = nested_edmonds_karp(&mut g_ref, &shadow, s, t);
+        let (mut g_csr, _) = build_with_shadow(n, &arcs);
+        let r = max_flow::solve(&mut g_csr, s, t, max_flow::Algorithm::EdmondsKarp);
+        prop_assert_eq!(r.value, ref_value);
+        prop_assert_eq!(r.stats, ref_stats, "operation counters diverged");
+        prop_assert_eq!(flows(&g_csr), flows(&g_ref), "per-arc flows diverged");
+    }
+
+    /// All five max-flow solvers agree on the value, and for each the
+    /// scratch-reusing entry point is bit-identical (value, per-arc flows,
+    /// OpStats) to the allocating one.
+    #[test]
+    fn all_max_flow_solvers_agree_and_scratch_is_transparent(
+        n in 3usize..9,
+        arcs in arcs_strategy(9, 24),
+    ) {
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let mut reference: Option<Flow> = None;
+        for algo in max_flow::Algorithm::ALL {
+            let (mut g1, _) = build_with_shadow(n, &arcs);
+            let plain = max_flow::solve(&mut g1, s, t, algo);
+            let (mut g2, _) = build_with_shadow(n, &arcs);
+            let mut scratch = SolveScratch::new();
+            let reused = max_flow::solve_with(&mut g2, s, t, algo, &mut scratch);
+            prop_assert_eq!(plain.value, reused.value, "{:?}", algo);
+            prop_assert_eq!(plain.stats, reused.stats, "{:?} scratch changed counters", algo);
+            prop_assert_eq!(flows(&g1), flows(&g2), "{:?} scratch changed flows", algo);
+            match reference {
+                None => reference = Some(plain.value),
+                Some(v) => prop_assert_eq!(plain.value, v, "{:?} disagrees on max flow", algo),
+            }
+        }
+    }
+
+    /// The three min-cost solvers agree on (flow, cost) at every target up
+    /// to the max flow, on CSR-backed networks.
+    #[test]
+    fn min_cost_solvers_agree(
+        n in 3usize..8,
+        arcs in arcs_strategy(8, 18),
+        target in 1i64..6,
+    ) {
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let mut reference: Option<(Flow, i64)> = None;
+        for algo in min_cost::Algorithm::ALL {
+            let (mut g, _) = build_with_shadow(n, &arcs);
+            let r = min_cost::solve(&mut g, s, t, target, algo);
+            match reference {
+                None => reference = Some((r.flow, r.cost)),
+                Some(v) => prop_assert_eq!(
+                    (r.flow, r.cost), v, "{:?} disagrees at target {}", algo, target
+                ),
+            }
+        }
+    }
+
+    /// The lazy-rebuild contract under solver-driven mutation: one topology
+    /// costs exactly one CSR rebuild, however many solves, resets, capacity
+    /// patches, and fault on/off toggles run in between — and re-solving
+    /// after the toggles restores the patched-capacity optimum.
+    #[test]
+    fn rebuilds_stay_one_across_reset_patch_and_fault_toggles(
+        n in 3usize..8,
+        arcs in arcs_strategy(8, 18),
+        toggles in proptest::collection::vec(any::<prop::sample::Index>(), 1..6),
+    ) {
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let (mut g, _) = build_with_shadow(n, &arcs);
+        let m = g.num_arcs() / 2;
+        prop_assume!(m > 0);
+        let baseline = max_flow::solve(&mut g, s, t, max_flow::Algorithm::Dinic).value;
+        prop_assert_eq!(g.csr_rebuilds(), 1);
+        // Fault-toggle sequence: zero a forward arc's capacity (fail), solve,
+        // restore it (repair), solve — the incremental patch path.
+        for pick in &toggles {
+            let a = ArcId((pick.index(m) * 2) as u32);
+            let original = g.cap(a);
+            g.reset();
+            g.set_cap(a, 0);
+            let degraded = max_flow::solve(&mut g, s, t, max_flow::Algorithm::Dinic).value;
+            prop_assert!(degraded <= baseline);
+            g.reset();
+            g.set_cap(a, original);
+            let repaired = max_flow::solve(&mut g, s, t, max_flow::Algorithm::Dinic).value;
+            prop_assert_eq!(repaired, baseline, "repair must restore the optimum");
+            prop_assert_eq!(g.csr_rebuilds(), 1, "patches must never rebuild the CSR");
+        }
+        // Batch patch path: patch_caps over every forward arc (identity
+        // patch) is also rebuild-free.
+        let patches: Vec<(ArcId, Flow)> =
+            (0..m).map(|i| { let a = ArcId((i * 2) as u32); (a, g.cap(a)) }).collect();
+        g.patch_caps(patches);
+        prop_assert_eq!(g.csr_rebuilds(), 1);
+        // Growing the topology is the one thing that does cost a rebuild.
+        let x = g.add_node("extra");
+        g.add_arc(s, x, 1, 0);
+        g.ensure_csr();
+        prop_assert_eq!(g.csr_rebuilds(), 2);
+    }
+}

@@ -65,15 +65,20 @@ pub enum Counter {
     /// Requests seated cross-shard *into* this shard (remote intake — the
     /// uplink traffic the sharded composition tries to minimize).
     ShardRemoteIn,
-    /// Assignments produced by this shard's local solves. Appended last:
-    /// `index()` is the declaration order, so new counters must never
-    /// reorder existing ones.
+    /// Assignments produced by this shard's local solves.
     ShardAllocated,
+    /// Arc scans spent in Dinic's level-graph (BFS) phase across observed
+    /// solves (subset of the solver's `arc_scans`).
+    DinicLevelArcScans,
+    /// Arc scans spent in Dinic's blocking-flow (DFS) phase across observed
+    /// solves. Appended last: `index()` is the declaration order, so new
+    /// counters must never reorder existing ones.
+    DinicBlockingArcScans,
 }
 
 impl Counter {
     /// All variants, in report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Cycles,
         Counter::DegradedCycles,
         Counter::Recovered,
@@ -99,6 +104,8 @@ impl Counter {
         Counter::ShardHomePlaced,
         Counter::ShardRemoteIn,
         Counter::ShardAllocated,
+        Counter::DinicLevelArcScans,
+        Counter::DinicBlockingArcScans,
     ];
 
     /// Dense array index (== position in [`Counter::ALL`]).
@@ -134,6 +141,8 @@ impl Counter {
             Counter::ShardHomePlaced => "shard_home_placed",
             Counter::ShardRemoteIn => "shard_remote_in",
             Counter::ShardAllocated => "shard_allocated",
+            Counter::DinicLevelArcScans => "dinic_level_arc_scans",
+            Counter::DinicBlockingArcScans => "dinic_blocking_arc_scans",
         }
     }
 }
@@ -153,20 +162,26 @@ pub enum Hist {
     /// (the priced retry's `recovery_cost`).
     RecoveryCost,
     /// Wall-clock nanoseconds of one streaming decision (arrival
-    /// augmentation or release cancellation + re-augmentation). Appended
-    /// last: `index()` is declaration order.
+    /// augmentation or release cancellation + re-augmentation).
     DecisionLatencyNs,
+    /// Wall-clock nanoseconds of one Dinic level-graph (BFS) construction.
+    DinicLevelPhaseNs,
+    /// Wall-clock nanoseconds of one Dinic blocking-flow (DFS) pass.
+    /// Appended last: `index()` is declaration order.
+    DinicBlockingPhaseNs,
 }
 
 impl Hist {
     /// All variants, in report order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 8] = [
         Hist::CycleLatencyNs,
         Hist::SolveLatencyNs,
         Hist::QueueDepth,
         Hist::ClocksPerCycle,
         Hist::RecoveryCost,
         Hist::DecisionLatencyNs,
+        Hist::DinicLevelPhaseNs,
+        Hist::DinicBlockingPhaseNs,
     ];
 
     /// Dense array index (== position in [`Hist::ALL`]).
@@ -183,6 +198,8 @@ impl Hist {
             Hist::ClocksPerCycle => "clocks_per_cycle",
             Hist::RecoveryCost => "recovery_cost",
             Hist::DecisionLatencyNs => "decision_latency_ns",
+            Hist::DinicLevelPhaseNs => "dinic_level_phase_ns",
+            Hist::DinicBlockingPhaseNs => "dinic_blocking_phase_ns",
         }
     }
 }

@@ -219,20 +219,26 @@ pub struct FlightRecorder {
 /// Raw timebase read. On x86-64 this is the invariant TSC — a register
 /// read, about an order of magnitude cheaper than `Instant::now()` on
 /// hosts without a fast vDSO clock path. Other targets fall back to 0 and
-/// the recorder uses the monotonic clock directly.
+/// the recorder uses the monotonic clock directly. Under miri the TSC
+/// path is cfg'd off (the intrinsic is unsupported there), so the CI miri
+/// job exercises the monotonic-clock fallback.
 #[inline]
 fn raw_ticks() -> u64 {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         // SAFETY: RDTSC has no preconditions — it only reads the
         // time-stamp counter.
         unsafe { core::arch::x86_64::_rdtsc() }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     {
         0
     }
 }
+
+/// Whether [`raw_ticks`] is the live TSC (`true`) or the zero fallback
+/// that routes timestamps through the monotonic clock.
+const TSC_TIMEBASE: bool = cfg!(all(target_arch = "x86_64", not(miri)));
 
 impl Default for FlightRecorder {
     fn default() -> Self {
@@ -264,7 +270,7 @@ impl FlightRecorder {
     /// Current raw-timebase reading relative to the anchor.
     #[inline]
     fn now_raw(&self) -> u64 {
-        if cfg!(target_arch = "x86_64") {
+        if TSC_TIMEBASE {
             raw_ticks().wrapping_sub(self.anchor_ticks)
         } else {
             u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -285,7 +291,7 @@ impl FlightRecorder {
     /// Nanoseconds per raw tick, calibrated over the anchor→now interval.
     /// 1.0 on targets where raw ticks already are nanoseconds.
     fn ns_per_tick(&self) -> f64 {
-        if cfg!(target_arch = "x86_64") {
+        if TSC_TIMEBASE {
             let elapsed_ns = self.anchor.elapsed().as_nanos() as f64;
             let elapsed_ticks = raw_ticks().wrapping_sub(self.anchor_ticks);
             if elapsed_ticks == 0 {

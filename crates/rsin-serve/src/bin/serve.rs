@@ -12,7 +12,7 @@
 //! serve [--net <name>] [--backend maxflow|mincost] [--workers N]
 //!       [--seed S] [--events N] [--load F] [--trial T]
 //!       [--record FILE] [--replay FILE] [--decisions FILE] [--sweep]
-//!       [--json] [--stats-every N] [--stats-latency] [--trace FILE]
+//!       [--heavy] [--json] [--stats-every N] [--stats-latency] [--trace FILE]
 //! ```
 //!
 //! Modes (in precedence order):
@@ -22,7 +22,11 @@
 //!   --sweep         saturation sweep: decisions/sec vs offered load,
 //!                   incremental vs batch, plus decision-latency
 //!                   p50/p90/p99 (feeds EXPERIMENTS.md). `--json` emits the
-//!                   sweep as JSON rows instead of the text table.
+//!                   sweep as JSON rows instead of the text table. With
+//!                   `--heavy` the load axis becomes the heavy-traffic
+//!                   ladder rho = {0.9, 0.95, 0.99, 1.05} (request bias at
+//!                   and past saturation) and each row also reports the
+//!                   end-of-stream queue backlog.
 //!   (default)       generate a stream in-process and serve it.
 //!
 //! Observability:
@@ -66,6 +70,7 @@ struct Args {
     replay: Option<String>,
     decisions: Option<String>,
     sweep: bool,
+    heavy: bool,
     json: bool,
     stats_every: usize,
     stats_latency: bool,
@@ -85,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         decisions: None,
         sweep: false,
+        heavy: false,
         json: false,
         stats_every: 0,
         stats_latency: false,
@@ -117,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value(&mut i)?),
             "--decisions" => args.decisions = Some(value(&mut i)?),
             "--sweep" => args.sweep = true,
+            "--heavy" => args.heavy = true,
             "--json" => args.json = true,
             "--stats-every" => {
                 args.stats_every = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
@@ -192,17 +199,25 @@ fn sweep(net: &Network, args: &Args) {
         println!("[");
     } else {
         println!(
-            "SERVE SWEEP — {} {} events per point, backend {}",
+            "SERVE SWEEP{} — {} {} events per point, backend {}",
+            if args.heavy { " (heavy)" } else { "" },
             args.net,
             args.events,
             args.backend.name()
         );
         println!(
-            "{:>6} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9}",
-            "load", "inc dec/s", "batch dec/s", "speedup", "p50 ns", "p90 ns", "p99 ns"
+            "{:>6} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "load", "inc dec/s", "batch dec/s", "speedup", "p50 ns", "p90 ns", "p99 ns", "queued"
         );
     }
-    let loads = [0.2, 0.35, 0.5, 0.65, 0.8, 0.9];
+    // The heavy ladder biases the generator toward requests at and past the
+    // point where releases can keep up: rho > 1 clamps to "always prefer a
+    // request", the stream analogue of an overloaded arrival process.
+    let loads: &[f64] = if args.heavy {
+        &[0.9, 0.95, 0.99, 1.05]
+    } else {
+        &[0.2, 0.35, 0.5, 0.65, 0.8, 0.9]
+    };
     for (i, &load) in loads.iter().enumerate() {
         let cmds = generate_commands(
             net.num_processors(),
@@ -224,7 +239,7 @@ fn sweep(net: &Network, args: &Args) {
             workers: args.workers,
             stats_latency: false,
         };
-        serve_commands_probed(
+        let report = serve_commands_probed(
             net,
             config,
             &cmds,
@@ -239,25 +254,28 @@ fn sweep(net: &Network, args: &Args) {
                 "  {{\"net\": \"{}\", \"backend\": \"{}\", \"load\": {load:.2}, \
                  \"events\": {}, \"inc_dec_per_sec\": {inc_rate:.0}, \
                  \"batch_dec_per_sec\": {batch_rate:.0}, \"speedup\": {speedup:.3}, \
-                 \"decision_latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}}}{}",
+                 \"decision_latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}, \
+                 \"queued\": {}}}{}",
                 args.net,
                 args.backend.name(),
                 cmds.len(),
                 lat.p50(),
                 lat.p90(),
                 lat.p99(),
+                report.queued,
                 if i + 1 < loads.len() { "," } else { "" }
             );
         } else {
             println!(
-                "{:>6.2} {:>14.0} {:>14.0} {:>8.2}x {:>9} {:>9} {:>9}",
+                "{:>6.2} {:>14.0} {:>14.0} {:>8.2}x {:>9} {:>9} {:>9} {:>7}",
                 load,
                 inc_rate,
                 batch_rate,
                 speedup,
                 lat.p50(),
                 lat.p90(),
-                lat.p99()
+                lat.p99(),
+                report.queued
             );
         }
     }

@@ -49,6 +49,13 @@ pub struct ReplicatedStats {
     pub completed: u64,
     /// Scheduling cycles executed, summed over replicas.
     pub cycles: u64,
+    /// Arrivals dropped at a full bounded queue, summed over replicas
+    /// (always 0 with [`DynamicConfig::queue_capacity`] 0).
+    pub shed_arrivals: u64,
+    /// Across-replica distribution of the horizon-end queue backlog
+    /// ([`DynamicStats::final_queue`]) — the heavy-traffic queue-growth
+    /// signal.
+    pub final_queue: Summary,
 }
 
 /// Pooled survival metrics of `replicas` independent faulted runs.
@@ -89,15 +96,19 @@ pub fn merge_dynamic(per_replica: &[DynamicStats]) -> ReplicatedStats {
     let mut utilization = Sample::new();
     let mut mean_queue = Sample::new();
     let mut mean_blocking = Sample::new();
+    let mut final_queue = Sample::new();
     let mut completed = 0u64;
     let mut cycles = 0u64;
+    let mut shed_arrivals = 0u64;
     for s in per_replica {
         response.merge(&s.response);
         utilization.push(s.utilization);
         mean_queue.push(s.mean_queue);
         mean_blocking.push(s.mean_blocking);
+        final_queue.push(s.final_queue as f64);
         completed += s.completed;
         cycles += s.cycles;
+        shed_arrivals += s.shed_arrivals;
     }
     ReplicatedStats {
         replicas: per_replica.len() as u64,
@@ -107,6 +118,8 @@ pub fn merge_dynamic(per_replica: &[DynamicStats]) -> ReplicatedStats {
         mean_blocking: Summary::from(&mean_blocking),
         completed,
         cycles,
+        shed_arrivals,
+        final_queue: Summary::from(&final_queue),
     }
 }
 

@@ -68,6 +68,27 @@ pub struct DynamicConfig {
     /// unpriced simulator, while `levels > 1` gives degraded-mode recovery
     /// a non-trivial Transformation-2 cost surface to optimize over.
     pub priority_levels: u32,
+    /// Target resource utilization ρ (heavy-traffic knob). `0.0` disables
+    /// the knob and `arrival_rate` is used verbatim — bit-identical to the
+    /// pre-knob simulator. When `rho > 0.0` the per-processor arrival rate
+    /// is derived at run time from the network shape as
+    /// `ρ · nr / (np · (mean_transmission + mean_service))`, so offered
+    /// load scales with the resource pool and `ρ ≥ 1` puts the system past
+    /// its saturation point (queues grow without bound; see
+    /// [`DynamicStats::final_queue`]).
+    pub rho: f64,
+    /// Tasks enqueued per arrival event (bursty/batch arrivals). The
+    /// inter-arrival gap stretches by the same factor, so the *offered*
+    /// load is unchanged while arrivals come in bursts. `1` (and `0`,
+    /// normalized to `1`) reproduces the Poisson-per-task stream
+    /// bit-identically.
+    pub batch_size: usize,
+    /// Per-processor queue bound. `0` = unbounded (the classic model,
+    /// bit-identical). With a bound, an arrival finding its processor's
+    /// queue full is **shed** — dropped, never scheduled — and counted in
+    /// [`DynamicStats::shed_arrivals`]; sub-saturation runs with a generous
+    /// bound shed nothing.
+    pub queue_capacity: usize,
 }
 
 impl Default for DynamicConfig {
@@ -81,6 +102,26 @@ impl Default for DynamicConfig {
             seed: 1,
             types: 1,
             priority_levels: 1,
+            rho: 0.0,
+            batch_size: 1,
+            queue_capacity: 0,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// The per-processor arrival rate this config actually runs at on a
+    /// network with `np` processors and `nr` resources: `arrival_rate`
+    /// unless the utilization-targeting `rho` knob is set, in which case
+    /// the rate that makes the *offered* resource utilization equal ρ
+    /// (each task holds a resource for `mean_transmission + mean_service`
+    /// on average).
+    pub fn effective_arrival_rate(&self, np: usize, nr: usize) -> f64 {
+        if self.rho > 0.0 {
+            let hold = self.mean_transmission + self.mean_service;
+            self.rho * nr as f64 / (np.max(1) as f64 * hold.max(f64::MIN_POSITIVE))
+        } else {
+            self.arrival_rate
         }
     }
 }
@@ -173,6 +214,15 @@ pub struct DynamicStats {
     pub cycles: u64,
     /// Mean per-cycle blocking fraction (cycles with contention only).
     pub mean_blocking: f64,
+    /// Arrivals dropped because their processor's bounded queue was full
+    /// (see [`DynamicConfig::queue_capacity`]); always 0 with an unbounded
+    /// queue. Distinct from degraded-mode shedding, which defers requests
+    /// without losing them.
+    pub shed_arrivals: u64,
+    /// Tasks still queued (unallocated) when the horizon was reached — the
+    /// queue-growth signal of the heavy-traffic regime: bounded and small
+    /// below saturation, growing roughly linearly in the horizon at ρ ≥ 1.
+    pub final_queue: u64,
     /// The full post-warmup response-time accumulator (Welford state plus
     /// log2 histogram) that `mean_response`/`response_ci95`/`response_p99`
     /// are read from. Exposed so replicated runs can pool the response
@@ -417,6 +467,14 @@ impl<'n> SystemSim<'n> {
         let np = self.net.num_processors();
         let nr = self.net.num_resources();
 
+        // Heavy-traffic regime: ρ overrides the arrival rate, and batches
+        // stretch the inter-arrival gap by their size so the offered load
+        // is unchanged. With the defaults (rho 0, batch 1) `gap_rate`
+        // equals `cfg.arrival_rate` and every RNG draw below lands exactly
+        // where the pre-knob simulator drew it.
+        let batch = cfg.batch_size.max(1);
+        let gap_rate = cfg.effective_arrival_rate(np, nr) / batch as f64;
+
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
@@ -428,7 +486,7 @@ impl<'n> SystemSim<'n> {
             });
         };
         for p in 0..np {
-            let t = exponential(&mut rng, cfg.arrival_rate);
+            let t = exponential(&mut rng, gap_rate);
             push(&mut heap, &mut seq, t, EventKind::Arrival { processor: p });
         }
         for (index, fe) in plan.events().iter().enumerate() {
@@ -455,6 +513,7 @@ impl<'n> SystemSim<'n> {
         let mut cycles = 0u64;
 
         let levels = cfg.priority_levels.max(1);
+        let mut shed_arrivals = 0u64;
         let mut allocations = 0u64;
         let mut shed_total = 0u64;
         let mut recovered_total = 0u64;
@@ -478,19 +537,30 @@ impl<'n> SystemSim<'n> {
             }
             match ev.kind {
                 EventKind::Arrival { processor } => {
-                    probe.add(Counter::Requests, 1);
+                    probe.add(Counter::Requests, batch as u64);
                     if probe.enabled() {
                         probe.event(now, rsin_obs::EventKind::Arrival, processor as u64, 0);
                     }
-                    let ty = if cfg.types > 1 {
-                        rng.random_range(0..cfg.types)
-                    } else {
-                        0
-                    };
-                    next_req += 1;
-                    tracer.span(next_req, SpanPhase::Submit, processor as u64, ty as u64);
-                    queue[processor].push_back((now, ty, next_req));
-                    let next = now + exponential(&mut rng, cfg.arrival_rate);
+                    // One burst of `batch` tasks per event (batch 1 = the
+                    // classic per-task Poisson stream, draw-for-draw). A
+                    // task arriving at a full bounded queue is shed: it
+                    // still consumes its type draw (so the stream behind it
+                    // is unperturbed) but is never queued or scheduled.
+                    for _ in 0..batch {
+                        let ty = if cfg.types > 1 {
+                            rng.random_range(0..cfg.types)
+                        } else {
+                            0
+                        };
+                        next_req += 1;
+                        if cfg.queue_capacity > 0 && queue[processor].len() >= cfg.queue_capacity {
+                            shed_arrivals += 1;
+                            continue;
+                        }
+                        tracer.span(next_req, SpanPhase::Submit, processor as u64, ty as u64);
+                        queue[processor].push_back((now, ty, next_req));
+                    }
+                    let next = now + exponential(&mut rng, gap_rate);
                     push(&mut heap, &mut seq, next, EventKind::Arrival { processor });
                 }
                 EventKind::TransmissionDone {
@@ -714,6 +784,8 @@ impl<'n> SystemSim<'n> {
                 mean_queue: queue_integral / horizon,
                 cycles,
                 mean_blocking: blocking.mean(),
+                shed_arrivals,
+                final_queue: queue.iter().map(|q| q.len() as u64).sum(),
                 response,
             },
             allocations,
@@ -1267,6 +1339,133 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+    }
+
+    #[test]
+    fn rho_knob_reproduces_explicit_rate_bit_identically() {
+        // ρ targeting is only a different way of *stating* the arrival
+        // rate: on omega-8 with a 1.0 mean hold time, ρ = 0.25 derives the
+        // rate 0.25 exactly, so the run must be bit-identical to spelling
+        // the rate out (same draws, same events, same statistics).
+        let net = omega(8).unwrap();
+        let explicit = DynamicConfig {
+            arrival_rate: 0.25,
+            mean_transmission: 0.5,
+            mean_service: 0.5,
+            sim_time: 400.0,
+            warmup: 40.0,
+            ..DynamicConfig::default()
+        };
+        let targeted = DynamicConfig {
+            arrival_rate: 999.0, // must be ignored once rho is set
+            rho: 0.25,
+            ..explicit
+        };
+        assert_eq!(targeted.effective_arrival_rate(8, 8), 0.25);
+        let a = SystemSim::new(&net, explicit).run(&MaxFlowScheduler::default());
+        let b = SystemSim::new(&net, targeted).run(&MaxFlowScheduler::default());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        assert_eq!(a.shed_arrivals, 0);
+        assert_eq!(b.shed_arrivals, 0);
+    }
+
+    #[test]
+    fn heavy_traffic_queue_grows_with_rho() {
+        // The heavy-traffic acceptance signal: mean queue depth is monotone
+        // in ρ across the near/past-saturation ladder, and past saturation
+        // the horizon-end backlog dwarfs the sub-critical one.
+        let net = omega(8).unwrap();
+        let rhos = [0.9, 0.95, 0.99, 1.05];
+        let runs: Vec<DynamicStats> = rhos
+            .iter()
+            .map(|&rho| {
+                let cfg = DynamicConfig {
+                    rho,
+                    sim_time: 2000.0,
+                    warmup: 100.0,
+                    ..DynamicConfig::default()
+                };
+                SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default())
+            })
+            .collect();
+        for (w, pair) in runs.windows(2).enumerate() {
+            assert!(
+                pair[1].mean_queue >= pair[0].mean_queue,
+                "queue not monotone: rho {} gave {}, rho {} gave {}",
+                rhos[w],
+                pair[0].mean_queue,
+                rhos[w + 1],
+                pair[1].mean_queue
+            );
+        }
+        assert!(
+            runs[3].final_queue > runs[0].final_queue.saturating_mul(2),
+            "past saturation the backlog must blow up: {} vs {}",
+            runs[3].final_queue,
+            runs[0].final_queue
+        );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_only_past_saturation() {
+        let net = omega(8).unwrap();
+        let base = DynamicConfig {
+            queue_capacity: 32,
+            sim_time: 2000.0,
+            warmup: 100.0,
+            ..DynamicConfig::default()
+        };
+        let calm = SystemSim::new(&net, DynamicConfig { rho: 0.7, ..base })
+            .run(&MaxFlowScheduler::default());
+        assert_eq!(
+            calm.shed_arrivals, 0,
+            "a 32-deep bound must never fill at rho 0.7"
+        );
+        let hot = SystemSim::new(&net, DynamicConfig { rho: 1.05, ..base })
+            .run(&MaxFlowScheduler::default());
+        assert!(
+            hot.shed_arrivals > 0,
+            "past saturation the bounded queue must overflow"
+        );
+        assert!(hot.completed > 0, "shedding must not stall the system");
+        // The bound caps the backlog the unbounded run would accumulate.
+        assert!(hot.final_queue <= 32 * 8);
+    }
+
+    #[test]
+    fn batch_arrivals_hold_offered_load() {
+        // Batching changes the arrival *pattern*, not the offered load: the
+        // burst size stretches the inter-burst gap by the same factor, so
+        // long-run throughput stays in the same band.
+        let net = omega(8).unwrap();
+        let base = DynamicConfig {
+            rho: 0.6,
+            sim_time: 3000.0,
+            warmup: 200.0,
+            ..DynamicConfig::default()
+        };
+        let smooth = SystemSim::new(&net, base).run(&MaxFlowScheduler::default());
+        let bursty = SystemSim::new(
+            &net,
+            DynamicConfig {
+                batch_size: 4,
+                ..base
+            },
+        )
+        .run(&MaxFlowScheduler::default());
+        let ratio = bursty.completed as f64 / smooth.completed as f64;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "throughput drifted under batching: {} vs {}",
+            bursty.completed,
+            smooth.completed
+        );
+        // Bursts queue behind one-at-a-time transmission, so waiting can
+        // only get worse.
+        assert!(bursty.mean_queue >= smooth.mean_queue);
     }
 
     #[test]

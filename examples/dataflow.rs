@@ -52,6 +52,7 @@ fn main() {
                 seed: 8,
                 types: 1,
                 priority_levels: 1,
+                ..DynamicConfig::default()
             };
             let stats = SystemSim::new(&net, cfg).run(*s);
             println!(

@@ -91,6 +91,7 @@ fn dynamic_simulation_full_stack() {
         seed: 3,
         types: 1,
         priority_levels: 1,
+        ..DynamicConfig::default()
     };
     let stats = SystemSim::new(&net, cfg).run(&MaxFlowScheduler::default());
     assert!(stats.completed > 200);
