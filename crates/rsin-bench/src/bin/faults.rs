@@ -10,7 +10,9 @@
 //! alternate paths before being shed, and the report compares allocations
 //! against the fault-free baseline of the *same* arrival stream.
 //!
-//! Usage: `faults [--policy none|bfs|priced] [--telemetry <path>]
+//! Usage: `faults [--policy none|bfs|priced]
+//! [--fault-model independent|correlated|byzantine]
+//! [--topology legacy|omega|extra-stage|3dp|diversity] [--telemetry <path>]
 //! [--trace <path>] [--json <path>] [--replicas <n>] [--threads <n>]
 //! [trials] [threads] [json-path]`
 //!
@@ -21,6 +23,22 @@
 //! preference-first (`priced`; see
 //! `Scheduler::try_schedule_degraded_priced`). The report's
 //! `recovery_cost` column prices the recoveries either retry made.
+//!
+//! `--fault-model` selects the fault process (DESIGN §15; default
+//! `independent`, the historical per-link renewal streams). `correlated`
+//! keeps the independent model's aggregate outage-event rate (`rate ×
+//! num_links`, spread uniformly over the interior power domains) but each
+//! event takes a whole domain down at once — same event frequency,
+//! domain-sized blast radius — so the sweep isolates how well a topology
+//! *masks* a regional outage; `byzantine` turns the rates into per-box
+//! misrouting-onset rates — boxes lie instead of dying, and the
+//! differential conformance detector's misrouted/flagged/detection-latency
+//! columns report how fast the liars are caught.
+//!
+//! `--topology` selects the network column (default `legacy`, the
+//! historical omega-8 + baseline-8 pair). `diversity` sweeps the
+//! path-diversity ladder omega-8 → omega-8+1 (extra-stage) → 3dp-omega-8
+//! (three disjoint planes) — the EXPERIMENTS.md PATH-DIVERSITY table.
 //!
 //! Trials follow the `(seed, trial)` RNG-stream convention shared with the
 //! `blocking` and `dynamic` experiments, and per-trial results merge
@@ -49,8 +67,8 @@ use rsin_core::scheduler::{
 use rsin_obs::{FlightRecorder, NoopProbe, Telemetry};
 use rsin_sim::replicate::merge_faulted;
 use rsin_sim::system::{
-    fault_plan_seed, run_faulted_trials_policy, run_faulted_trials_policy_probed, DegradedPolicy,
-    DynamicConfig, FaultedStats, SystemSim,
+    fault_plan_seed, run_faulted_trials_model, run_faulted_trials_policy_probed, DegradedPolicy,
+    DynamicConfig, FaultModel, FaultedStats, SystemSim,
 };
 use rsin_topology::{FaultPlan, FaultPlanConfig};
 
@@ -59,15 +77,24 @@ const SIM_TIME: f64 = 400.0;
 const WARMUP: f64 = 40.0;
 const MEAN_REPAIR: f64 = 25.0;
 const RATES: [f64; 5] = [0.0, 0.001, 0.002, 0.005, 0.01];
-const NETWORKS: [&str; 2] = ["omega-8", "baseline-8"];
+/// The correlated sweep keeps the same aggregate outage-event rate as the
+/// independent model, but each event downs a whole domain — roughly an
+/// order of magnitude more damage per event — so its meaningful operating
+/// envelope (degraded-but-alive rather than saturated) sits an order of
+/// magnitude lower in rate.
+const CORRELATED_RATES: [f64; 5] = [0.0, 0.0001, 0.00025, 0.0004, 0.0005];
+/// Adjacent switching boxes per correlated power domain (half an omega
+/// stage; always within one 3dp plane).
+const DOMAIN_BOXES: usize = 2;
 
 struct Row {
-    network: &'static str,
+    network: String,
     scheduler: &'static str,
     rate: f64,
     survival: f64,
     completed: u64,
     baseline_completed: u64,
+    blocking: f64,
     shed: u64,
     recovered: u64,
     failures: u64,
@@ -76,10 +103,14 @@ struct Row {
     recoveries_observed: u64,
     transform_rebuilds: u64,
     recovery_cost: i64,
+    misrouted: u64,
+    byz_flagged: u64,
+    byz_false_positives: u64,
+    mean_detection_cycles: f64,
 }
 
 fn aggregate(
-    network: &'static str,
+    network: &str,
     scheduler: &'static str,
     rate: f64,
     trials: &[FaultedStats],
@@ -90,7 +121,7 @@ fn aggregate(
     let m = merge_faulted(trials);
     let b = merge_faulted(baseline);
     Row {
-        network,
+        network: network.to_string(),
         scheduler,
         rate,
         survival: if b.stats.completed > 0 {
@@ -100,6 +131,7 @@ fn aggregate(
         },
         completed: m.stats.completed,
         baseline_completed: b.stats.completed,
+        blocking: m.stats.mean_blocking.mean,
         shed: m.shed_total,
         recovered: m.recovered_total,
         failures: m.failures,
@@ -108,16 +140,38 @@ fn aggregate(
         recoveries_observed: m.recoveries_observed,
         transform_rebuilds: m.transform_rebuilds,
         recovery_cost: m.recovery_cost,
+        misrouted: m.misrouted,
+        byz_flagged: m.byz_flagged,
+        byz_false_positives: m.byz_false_positives,
+        mean_detection_cycles: m.mean_detection_cycles,
+    }
+}
+
+/// The fault-plan configuration for one sweep rate under the chosen model:
+/// fail-stop models read `rate` as the per-link hazard, the Byzantine model
+/// as the per-box misrouting-onset hazard.
+fn fault_cfg_for(model: FaultModel, rate: f64) -> FaultPlanConfig {
+    match model {
+        FaultModel::Independent | FaultModel::Correlated { .. } => {
+            FaultPlanConfig::links(rate, MEAN_REPAIR, SIM_TIME)
+        }
+        FaultModel::Byzantine => FaultPlanConfig {
+            link_failure_rate: 0.0,
+            box_failure_rate: rate,
+            mean_repair: MEAN_REPAIR,
+            horizon: SIM_TIME,
+        },
     }
 }
 
 // Deliberately no thread count in the report: it must be byte-identical
 // however many workers produced it (the CI determinism job diffs it).
-fn json_report(rows: &[Row], trials: usize, policy: DegradedPolicy) -> String {
+fn json_report(rows: &[Row], trials: usize, policy: DegradedPolicy, model: FaultModel) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"experiment\": \"faults\",\n");
     s.push_str(&format!("  \"policy\": \"{}\",\n", policy.name()));
+    s.push_str(&format!("  \"fault_model\": \"{}\",\n", model.name()));
     s.push_str(&format!("  \"seed\": {SEED},\n"));
     s.push_str(&format!("  \"trials\": {trials},\n"));
     s.push_str(&format!("  \"sim_time\": {SIM_TIME},\n"));
@@ -128,15 +182,18 @@ fn json_report(rows: &[Row], trials: usize, policy: DegradedPolicy) -> String {
         s.push_str(&format!(
             "    {{\"network\": \"{}\", \"scheduler\": \"{}\", \"failure_rate\": {}, \
              \"survival\": {:.6}, \"completed\": {}, \"baseline_completed\": {}, \
+             \"blocking\": {:.6}, \
              \"shed\": {}, \"recovered\": {}, \"recovery_cost\": {}, \"failures\": {}, \
              \"repairs\": {}, \"mean_recovery\": {:.6}, \"recoveries_observed\": {}, \
-             \"transform_rebuilds\": {}}}{}\n",
+             \"transform_rebuilds\": {}, \"misrouted\": {}, \"byz_flagged\": {}, \
+             \"byz_false_positives\": {}, \"mean_detection_cycles\": {:.6}}}{}\n",
             r.network,
             r.scheduler,
             r.rate,
             r.survival,
             r.completed,
             r.baseline_completed,
+            r.blocking,
             r.shed,
             r.recovered,
             r.recovery_cost,
@@ -145,6 +202,10 @@ fn json_report(rows: &[Row], trials: usize, policy: DegradedPolicy) -> String {
             r.mean_recovery,
             r.recoveries_observed,
             r.transform_rebuilds,
+            r.misrouted,
+            r.byz_flagged,
+            r.byz_false_positives,
+            r.mean_detection_cycles,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -172,6 +233,33 @@ fn main() {
         Some("priced") => DegradedPolicy::Priced,
         Some(other) => {
             eprintln!("error: unknown --policy {other} (expected none|bfs|priced)");
+            std::process::exit(2);
+        }
+    };
+    let model = match take_flag(&mut args, "--fault-model").as_deref() {
+        None | Some("independent") => FaultModel::Independent,
+        Some("correlated") => FaultModel::Correlated {
+            domain_boxes: DOMAIN_BOXES,
+        },
+        Some("byzantine") => FaultModel::Byzantine,
+        Some(other) => {
+            eprintln!(
+                "error: unknown --fault-model {other} (expected independent|correlated|byzantine)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let networks: Vec<&'static str> = match take_flag(&mut args, "--topology").as_deref() {
+        None | Some("legacy") => vec!["omega-8", "baseline-8"],
+        Some("omega") => vec!["omega-8"],
+        Some("extra-stage") => vec!["omega-8+1"],
+        Some("3dp") => vec!["3dp-omega-8"],
+        // The path-diversity ladder, least to most redundant.
+        Some("diversity") => vec!["omega-8", "omega-8+1", "3dp-omega-8"],
+        Some(other) => {
+            eprintln!(
+                "error: unknown --topology {other} (expected legacy|omega|extra-stage|3dp|diversity)"
+            );
             std::process::exit(2);
         }
     };
@@ -219,37 +307,48 @@ fn main() {
     };
     println!(
         "FAULTS — dynamic fail/repair sweep ({} trials, horizon {SIM_TIME}, mean repair \
-         {MEAN_REPAIR}, policy {}, {threads} worker thread(s))\n",
+         {MEAN_REPAIR}, policy {}, fault model {}, {threads} worker thread(s))\n",
         trials,
-        policy.name()
+        policy.name(),
+        model.name()
     );
     let mut rows = Vec::new();
-    for name in NETWORKS {
+    for name in &networks {
         let net = network_by_name(name).unwrap();
         for (sname, scheduler) in schedulers {
-            // Rate 0 is the fault-free baseline of the same arrival streams.
-            let baseline = run_faulted_trials_policy(
+            // Rate 0 is the fault-free baseline of the same arrival streams
+            // (an empty plan under every model).
+            let baseline = run_faulted_trials_model(
                 &net,
                 scheduler,
                 &cfg,
-                &FaultPlanConfig::links(0.0, MEAN_REPAIR, SIM_TIME),
+                &fault_cfg_for(model, 0.0),
                 trials,
                 threads,
                 policy,
+                model,
             );
-            for rate in RATES {
-                let fcfg = FaultPlanConfig::links(rate, MEAN_REPAIR, SIM_TIME);
-                let stats = run_faulted_trials_policy(
-                    &net, scheduler, &cfg, &fcfg, trials, threads, policy,
+            let rates: &[f64] = if matches!(model, FaultModel::Correlated { .. }) {
+                &CORRELATED_RATES
+            } else {
+                &RATES
+            };
+            for &rate in rates {
+                let fcfg = fault_cfg_for(model, rate);
+                let stats = run_faulted_trials_model(
+                    &net, scheduler, &cfg, &fcfg, trials, threads, policy, model,
                 );
-                // PR invariant: faults are capacity patches, never rebuilds.
-                // The flow-based scheduler builds its Transformation-1 graph
-                // exactly once per trial and never touches the min-cost
-                // shape (its priced override skips the residual — Theorem 2
-                // makes recovery impossible). A heuristic builds nothing
-                // under none/bfs; under the priced policy it lazily builds
-                // the residual Transformation-2 graph at most once, on the
-                // first faulty cycle with blockage.
+                // PR invariant: faults are capacity patches, never rebuilds
+                // — correlated domain events expand to member toggles on
+                // the same patch path, and Byzantine onsets touch no link
+                // state at all. The flow-based scheduler builds its
+                // Transformation-1 graph exactly once per trial and never
+                // touches the min-cost shape (its priced override skips the
+                // residual — Theorem 2 makes recovery impossible). A
+                // heuristic builds nothing under none/bfs; under the priced
+                // policy it lazily builds the residual Transformation-2
+                // graph at most once, on the first faulty cycle with
+                // blockage.
                 let ok = |t: &FaultedStats| match (sname, policy) {
                     ("max-flow", _) => t.transform_rebuilds == 1,
                     (_, DegradedPolicy::Priced) => t.transform_rebuilds <= 1,
@@ -267,16 +366,20 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                r.network.to_string(),
+                r.network.clone(),
                 r.scheduler.to_string(),
-                format!("{:.3}", r.rate),
+                format!("{:.4}", r.rate),
                 format!("{:.3}", r.survival),
+                format!("{:.4}", r.blocking),
                 r.shed.to_string(),
                 r.recovered.to_string(),
                 r.recovery_cost.to_string(),
                 r.failures.to_string(),
                 format!("{:.2}", r.mean_recovery),
                 r.transform_rebuilds.to_string(),
+                r.misrouted.to_string(),
+                r.byz_flagged.to_string(),
+                format!("{:.1}", r.mean_detection_cycles),
             ]
         })
         .collect();
@@ -287,16 +390,20 @@ fn main() {
             "scheduler",
             "fail rate",
             "survival",
+            "blocking",
             "shed",
             "recovered",
             "recovery cost",
             "failures",
             "mean recovery",
             "rebuilds",
+            "misrouted",
+            "flagged",
+            "detect cyc",
         ],
         &table,
     );
-    let report = json_report(&rows, trials, policy);
+    let report = json_report(&rows, trials, policy, model);
     if let Err(e) = std::fs::write(&json_path, &report) {
         eprintln!("warning: could not write {json_path}: {e}");
     } else {

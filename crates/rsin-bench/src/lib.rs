@@ -74,12 +74,24 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 
 /// Build a network by registry name (used by sweep experiments):
 /// `omega-8`, `cube-8`, `baseline-8`, `benes-8`, `flip-8`, `crossbar-8`,
-/// `indirect-cube-8`, `gamma-8`, `omega-16`, ….
+/// `indirect-cube-8`, `gamma-8`, `omega-16`, …, plus the path-diverse
+/// variants `omega-8+1` (extra-stage augmentation, `+k` extra stages) and
+/// `3dp-omega-8` (three arc-disjoint planes).
 pub fn network_by_name(name: &str) -> Option<Network> {
     let (kind, size) = name.rsplit_once('-')?;
+    if let Some((n, extra)) = size.split_once('+') {
+        // `omega-8+1`: an Omega with `extra` redundant stages prepended.
+        let n: usize = n.parse().ok()?;
+        let extra: usize = extra.parse().ok()?;
+        return match kind {
+            "omega" => builders::omega_extra_stage(n, extra).ok(),
+            _ => None,
+        };
+    }
     let n: usize = size.parse().ok()?;
     match kind {
         "omega" => builders::omega(n).ok(),
+        "3dp-omega" => builders::omega_3dp(n).ok(),
         "cube" => builders::generalized_cube(n).ok(),
         "indirect-cube" => builders::indirect_cube(n).ok(),
         "baseline" => builders::baseline(n).ok(),
@@ -115,6 +127,19 @@ mod tests {
         assert!(network_by_name("benes-4").is_some());
         assert!(network_by_name("nonsense-8").is_none());
         assert!(network_by_name("omega").is_none());
+    }
+
+    #[test]
+    fn registry_resolves_path_diverse_variants() {
+        let extra = network_by_name("omega-8+1").unwrap();
+        assert_eq!(extra.num_stages(), 4);
+        let plain = network_by_name("omega-8+0").unwrap();
+        assert_eq!(plain.num_stages(), 3);
+        let tdp = network_by_name("3dp-omega-8").unwrap();
+        assert_eq!(tdp.num_processors(), 8);
+        assert!(network_by_name("benes-8+1").is_none());
+        assert!(network_by_name("omega-8+x").is_none());
+        assert!(network_by_name("3dp-omega-7").is_none());
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   (greedy BFS routing in various request orders), and an exhaustive
 //!   optimum for cross-checking on small systems;
 //! * [`table2`] — the capability matrix of the paper's Table II, generated
-//!   from the scheduler registry.
+//!   from the scheduler registry;
+//! * [`conformance`] — differential Byzantine-misrouting detection: a Dinic
+//!   fresh-solve oracle certifies each cycle's realized allocation on the
+//!   believed-healthy topology, and any delivery deficit fingerprints the
+//!   lying switchbox (failed paths accuse, delivered paths exonerate).
 //!
 //! ```
 //! use rsin_topology::{builders::omega, CircuitState};
@@ -42,12 +46,14 @@
 //! assert_eq!(outcome.assignments.len(), 5); // all five allocated
 //! ```
 
+pub mod conformance;
 pub mod mapping;
 pub mod model;
 pub mod scheduler;
 pub mod table2;
 pub mod transform;
 
+pub use conformance::{ConformanceDetector, CycleConformance};
 pub use mapping::{Assignment, MappingError};
 pub use model::{FreeResource, ScheduleOutcome, ScheduleProblem, ScheduleRequest};
 pub use scheduler::{

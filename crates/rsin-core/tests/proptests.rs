@@ -168,6 +168,125 @@ proptest! {
         }
     }
 
+    /// Correlated-domain events ride the same incremental patch path:
+    /// driving one scratch through an arbitrary *interleaved* sequence of
+    /// whole-domain and individual link/box fail/repair events (via
+    /// `FaultPlan::apply_event`, the production path) matches a fresh
+    /// build-transform-solve after every event, with the rebuild count
+    /// pinned at the warm-up value — each transformation shape is built
+    /// exactly once and no domain toggle ever adds one.
+    #[test]
+    fn correlated_domain_toggles_match_fresh_rebuild(
+        which in 0usize..3,
+        snap in snapshot_strategy(),
+        toggles in proptest::collection::vec(
+            (0u32..1_000_000, 0u8..3, any::<bool>()),
+            1..10,
+        ),
+    ) {
+        use rsin_topology::fault::{FaultAction, FaultDomain, FaultEvent, FaultPlan, FaultTarget};
+        let net = network(which);
+        let domains = FaultDomain::stage_power_domains(&net, 2);
+        prop_assume!(!domains.is_empty());
+        let events: Vec<FaultEvent> = toggles
+            .iter()
+            .enumerate()
+            .map(|(i, &(raw, kind, fail))| FaultEvent {
+                time: i as f64,
+                target: match kind {
+                    0 => FaultTarget::Domain(raw as usize % domains.len()),
+                    1 => FaultTarget::Link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                    _ => FaultTarget::Box(raw as usize % net.num_boxes()),
+                },
+                action: if fail { FaultAction::Fail } else { FaultAction::Repair },
+            })
+            .collect();
+        let plan = FaultPlan::with_domains(&net, domains, events).unwrap();
+        let mf = MaxFlowScheduler::default();
+        let mc = MinCostScheduler::default();
+        let mut scratch = ScheduleScratch::new();
+        let mut cs = circuit_state(&net, &snap);
+        // Warm the scratch on the fault-free topology.
+        {
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            mf.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            mc.try_schedule_reusing(&problem, &mut scratch).unwrap();
+        }
+        let builds = scratch.rebuilds();
+        prop_assert_eq!(builds, 2); // one per transformation shape
+        for i in 0..plan.len() {
+            plan.apply_event(i, &mut cs);
+            let problem = ScheduleProblem::homogeneous(&cs, &snap.requesting, &snap.free);
+            let fresh = mf.try_schedule(&problem).unwrap();
+            let reused = mf.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            let fresh = mc.try_schedule(&problem).unwrap();
+            let reused = mc.try_schedule_reusing(&problem, &mut scratch).unwrap();
+            prop_assert_eq!(reused.allocated(), fresh.allocated());
+            prop_assert_eq!(reused.total_cost, fresh.total_cost);
+            prop_assert!(verify(&reused.assignments, &problem).is_ok());
+            prop_assert_eq!(
+                scratch.rebuilds(), builds,
+                "domain toggles must patch capacities, never rebuild"
+            );
+        }
+    }
+
+    /// A plan's domain events are *semantically equal* to their expansion:
+    /// applying a random mixed plan (domain, link, box, and Byzantine
+    /// events) and applying `plan.expanded()` — the same history rewritten
+    /// as plain member toggles — leave bit-identical circuit states: the
+    /// same per-link fault flags and the same per-box Byzantine flags.
+    #[test]
+    fn domain_events_equal_expanded_member_toggles(
+        which in 0usize..3,
+        toggles in proptest::collection::vec(
+            (0u32..1_000_000, 0u8..4, any::<bool>()),
+            1..12,
+        ),
+    ) {
+        use rsin_topology::fault::{FaultAction, FaultDomain, FaultEvent, FaultPlan, FaultTarget};
+        let net = network(which);
+        let domains = FaultDomain::stage_power_domains(&net, 2);
+        prop_assume!(!domains.is_empty());
+        let events: Vec<FaultEvent> = toggles
+            .iter()
+            .enumerate()
+            .map(|(i, &(raw, kind, fail))| FaultEvent {
+                time: i as f64,
+                target: match kind {
+                    0 => FaultTarget::Domain(raw as usize % domains.len()),
+                    1 => FaultTarget::Link(rsin_topology::LinkId(raw % net.num_links() as u32)),
+                    2 => FaultTarget::Box(raw as usize % net.num_boxes()),
+                    _ => FaultTarget::ByzantineBox(raw as usize % net.num_boxes()),
+                },
+                action: if fail { FaultAction::Fail } else { FaultAction::Repair },
+            })
+            .collect();
+        let plan = FaultPlan::with_domains(&net, domains, events).unwrap();
+        let expanded = plan.expanded();
+        prop_assert!(expanded.domains().is_empty());
+        let mut via_domains = CircuitState::new(&net);
+        let mut via_members = CircuitState::new(&net);
+        prop_assert_eq!(plan.apply_until(f64::INFINITY, &mut via_domains), plan.len());
+        expanded.apply_until(f64::INFINITY, &mut via_members);
+        for l in 0..net.num_links() {
+            let l = rsin_topology::LinkId(l as u32);
+            prop_assert_eq!(
+                via_domains.is_faulty(l), via_members.is_faulty(l),
+                "link {:?} fault state diverges", l
+            );
+        }
+        for b in 0..net.num_boxes() {
+            prop_assert_eq!(
+                via_domains.is_byzantine_box(b), via_members.is_byzantine_box(b),
+                "box {} byzantine state diverges", b
+            );
+        }
+        prop_assert_eq!(via_domains.faulty_count(), via_members.faulty_count());
+    }
+
     /// The priced degraded-mode optimality oracle: for min-cost schedulers,
     /// the merged outcome of `try_schedule_degraded_priced` on a faulted
     /// topology is *bit-identical in total cost* (and allocation count) to a

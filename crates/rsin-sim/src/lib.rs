@@ -80,7 +80,8 @@ pub use sharded::{
     ShardedTrialConfig,
 };
 pub use system::{
-    fault_plan_seed, run_faulted_trials, run_faulted_trials_policy,
-    run_faulted_trials_policy_probed, run_faulted_trials_probed, run_sweep, DegradedPolicy,
-    DynamicConfig, DynamicStats, FaultedStats, SimError, SystemSim,
+    fault_plan_seed, plan_for_model, run_faulted_trials, run_faulted_trials_model,
+    run_faulted_trials_policy, run_faulted_trials_policy_probed, run_faulted_trials_probed,
+    run_sweep, DegradedPolicy, DynamicConfig, DynamicStats, FaultModel, FaultedStats, SimError,
+    SystemSim,
 };

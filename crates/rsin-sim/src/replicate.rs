@@ -85,6 +85,17 @@ pub struct ReplicatedFaultedStats {
     /// replicas (the cost of degradation; see
     /// [`FaultedStats::recovery_cost`]).
     pub recovery_cost: i64,
+    /// Circuits misrouted by Byzantine boxes, summed over replicas.
+    pub misrouted: u64,
+    /// Boxes flagged by the conformance detector, summed over replicas.
+    pub byz_flagged: u64,
+    /// Honest boxes flagged (expected 0), summed over replicas.
+    pub byz_false_positives: u64,
+    /// Mean onset→flag latency in scheduling cycles, weighted by each
+    /// replica's `detections_observed` (0 if none observed anywhere).
+    pub mean_detection_cycles: f64,
+    /// Total true detections across replicas.
+    pub detections_observed: u64,
 }
 
 /// Merge per-replica [`DynamicStats`] in slice (= replica) order.
@@ -138,6 +149,17 @@ pub fn merge_faulted(per_replica: &[FaultedStats]) -> ReplicatedFaultedStats {
         recoveries_observed += f.recoveries_observed;
         recovery_sum += f.mean_recovery * f.recoveries_observed as f64;
     }
+    // Detection latency pools the same way as recovery: weight by each
+    // replica's observation count, skipping idle replicas outright.
+    let mut detections_observed = 0u64;
+    let mut detection_sum = 0.0f64;
+    for f in per_replica {
+        if f.detections_observed == 0 {
+            continue;
+        }
+        detections_observed += f.detections_observed;
+        detection_sum += f.mean_detection_cycles * f.detections_observed as f64;
+    }
     ReplicatedFaultedStats {
         stats: merge_dynamic(&stats),
         allocations: per_replica.iter().map(|f| f.allocations).sum(),
@@ -153,6 +175,15 @@ pub fn merge_faulted(per_replica: &[FaultedStats]) -> ReplicatedFaultedStats {
         recoveries_observed,
         transform_rebuilds: per_replica.iter().map(|f| f.transform_rebuilds).sum(),
         recovery_cost: per_replica.iter().map(|f| f.recovery_cost).sum(),
+        misrouted: per_replica.iter().map(|f| f.misrouted).sum(),
+        byz_flagged: per_replica.iter().map(|f| f.byz_flagged).sum(),
+        byz_false_positives: per_replica.iter().map(|f| f.byz_false_positives).sum(),
+        mean_detection_cycles: if detections_observed > 0 {
+            detection_sum / detections_observed as f64
+        } else {
+            0.0
+        },
+        detections_observed,
     }
 }
 

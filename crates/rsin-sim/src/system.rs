@@ -19,12 +19,13 @@ use crate::metrics::Sample;
 use crate::workload::{exponential, trial_rng};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rsin_core::conformance::ConformanceDetector;
 use rsin_core::model::{FreeResource, ScheduleProblem, ScheduleRequest};
 use rsin_core::scheduler::{ScheduleError, ScheduleScratch, Scheduler};
 use rsin_obs::{Counter, NoopProbe, NoopTracer, Probe, SpanPhase, Tracer};
 use rsin_topology::{
-    CircuitError, CircuitId, CircuitState, FaultAction, FaultPlan, FaultPlanConfig, FaultTarget,
-    Network,
+    CircuitError, CircuitId, CircuitState, FaultAction, FaultDomain, FaultPlan, FaultPlanConfig,
+    FaultTarget, Network,
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -267,6 +268,22 @@ pub struct FaultedStats {
     /// `priority_levels == 1` (all costs collapse to 0), or under
     /// [`DegradedPolicy::None`].
     pub recovery_cost: i64,
+    /// Circuits that established but failed to deliver because a Byzantine
+    /// box misrouted them; the task re-queues and retries. Always 0 on
+    /// plans without [`FaultTarget::ByzantineBox`] events.
+    pub misrouted: u64,
+    /// Boxes flagged by the differential conformance detector over the run.
+    pub byz_flagged: u64,
+    /// Flagged boxes that were *not* misrouting when flagged (honest boxes
+    /// condemned by co-location). Expected 0: deterministic misrouters fail
+    /// every path through them while honest boxes are exonerated by their
+    /// own deliveries.
+    pub byz_false_positives: u64,
+    /// Mean scheduling cycles from Byzantine onset to the detector flagging
+    /// the box; 0 if no true detection was observed.
+    pub mean_detection_cycles: f64,
+    /// How many true detections the mean is over.
+    pub detections_observed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -282,6 +299,13 @@ enum EventKind {
         /// Lifecycle-trace request id of the transmitting task (0 when the
         /// run is untraced).
         req: u64,
+        /// The task's resource type, kept so a misrouted task can re-queue.
+        ty: usize,
+        /// Whether the transmission actually reached `resource`. False only
+        /// when a Byzantine box on the circuit misrouted it; the task then
+        /// returns to the front of its processor's queue instead of being
+        /// serviced.
+        delivered: bool,
     },
     ServiceDone {
         resource: usize,
@@ -524,6 +548,22 @@ impl<'n> SystemSim<'n> {
         // Time of the last repair still awaiting a zero-shed cycle.
         let mut pending_recovery: Option<f64> = None;
 
+        // Byzantine bookkeeping, engaged only for plans that carry
+        // misrouting events: the conformance detector runs its Dinic oracle
+        // every scheduling cycle, so fail-stop-only runs skip it entirely
+        // (and stay draw-for-draw identical to the pre-Byzantine simulator).
+        let byzantine_mode = plan.has_byzantine();
+        let nb = self.net.num_boxes();
+        let mut detector = byzantine_mode.then(|| ConformanceDetector::new(nb));
+        // Scheduling-cycle count at each box's misrouting onset (None =
+        // currently honest), and which boxes the sim has quarantined.
+        let mut onset_cycle: Vec<Option<u64>> = vec![None; if byzantine_mode { nb } else { 0 }];
+        let mut quarantined = vec![false; if byzantine_mode { nb } else { 0 }];
+        let mut misrouted = 0u64;
+        let mut byz_flagged = 0u64;
+        let mut byz_false_positives = 0u64;
+        let mut detection = Sample::new();
+
         while let Some(ev) = heap.pop() {
             if ev.time > cfg.sim_time {
                 break;
@@ -569,6 +609,8 @@ impl<'n> SystemSim<'n> {
                     circuit,
                     arrived,
                     req,
+                    ty,
+                    delivered,
                 } => {
                     cs.release(circuit).map_err(|error| SimError::Circuit {
                         context: "releasing a transmitted task's circuit",
@@ -585,13 +627,21 @@ impl<'n> SystemSim<'n> {
                         );
                     }
                     transmitting[processor] = false;
-                    let done = now + exponential(&mut rng, 1.0 / cfg.mean_service);
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        done,
-                        EventKind::ServiceDone { resource, arrived },
-                    );
+                    if delivered {
+                        let done = now + exponential(&mut rng, 1.0 / cfg.mean_service);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            done,
+                            EventKind::ServiceDone { resource, arrived },
+                        );
+                    } else {
+                        // A Byzantine box misrouted the circuit: nothing
+                        // reached `resource` (it was never marked busy), and
+                        // the task returns to the front of its queue to be
+                        // retried with its original arrival time.
+                        queue[processor].push_front((arrived, ty, req));
+                    }
                 }
                 EventKind::ServiceDone { resource, arrived } => {
                     busy[resource] = false;
@@ -602,7 +652,7 @@ impl<'n> SystemSim<'n> {
                 }
                 EventKind::Fault { index } => {
                     let fe = &plan.events()[index];
-                    fe.apply(&mut cs);
+                    plan.apply_event(index, &mut cs);
                     match fe.action {
                         FaultAction::Fail => {
                             failures += 1;
@@ -615,17 +665,39 @@ impl<'n> SystemSim<'n> {
                             pending_recovery = Some(now);
                         }
                     }
+                    if let FaultTarget::ByzantineBox(b) = fe.target {
+                        match fe.action {
+                            // Onset stamps the cycle count so detection
+                            // latency is measured in scheduling cycles.
+                            FaultAction::Fail => onset_cycle[b] = Some(cycles),
+                            FaultAction::Repair => {
+                                onset_cycle[b] = None;
+                                if let Some(det) = detector.as_mut() {
+                                    det.reset_box(b);
+                                }
+                                // Lift any quarantine the detector imposed:
+                                // the box is honest again.
+                                if quarantined[b] {
+                                    quarantined[b] = false;
+                                    cs.repair_box(b);
+                                }
+                            }
+                        }
+                    }
                     if probe.enabled() {
-                        // Operands: component index, and 0 = link / 1 = box.
-                        let (component, is_box) = match fe.target {
+                        // Operands: component index, and 0 = link / 1 = box
+                        // / 2 = correlated domain / 3 = Byzantine box.
+                        let (component, target_kind) = match fe.target {
                             FaultTarget::Link(l) => (l.index() as u64, 0),
                             FaultTarget::Box(b) => (b as u64, 1),
+                            FaultTarget::Domain(d) => (d as u64, 2),
+                            FaultTarget::ByzantineBox(b) => (b as u64, 3),
                         };
                         let kind = match fe.action {
                             FaultAction::Fail => rsin_obs::EventKind::Fault,
                             FaultAction::Repair => rsin_obs::EventKind::Repair,
                         };
-                        probe.event(now, kind, component, is_box);
+                        probe.event(now, kind, component, target_kind);
                     }
                 }
             }
@@ -711,6 +783,32 @@ impl<'n> SystemSim<'n> {
                 (out, 0, 0, 0)
             };
             debug_assert!(rsin_core::mapping::verify(&out.assignments, &problem).is_ok());
+            // Differential conformance check (Byzantine runs only): the
+            // Dinic oracle certifies this cycle's realized allocation on the
+            // believed-healthy snapshot, failed deliveries accuse the boxes
+            // on their paths, and boxes the detector flags are quarantined
+            // below — after this cycle's establishments, since the scheduler
+            // routed against the pre-quarantine state.
+            let mut delivered_flags: Vec<bool> = Vec::new();
+            let mut to_quarantine: Vec<usize> = Vec::new();
+            if let Some(det) = detector.as_mut() {
+                delivered_flags = out
+                    .assignments
+                    .iter()
+                    .map(|a| cs.first_byzantine_on(&a.path).is_none())
+                    .collect();
+                let verdict = det.observe(&problem, &out.assignments, &delivered_flags);
+                for &b in &verdict.newly_flagged {
+                    byz_flagged += 1;
+                    match onset_cycle[b] {
+                        // This cycle is number `cycles + 1`; onset stamped
+                        // the count completed before the lie began.
+                        Some(c0) => detection.push((cycles + 1 - c0) as f64),
+                        None => byz_false_positives += 1,
+                    }
+                    to_quarantine.push(b);
+                }
+            }
             drop(problem);
             cycles += 1;
             shed_total += shed;
@@ -742,12 +840,12 @@ impl<'n> SystemSim<'n> {
                 blocking.push(out.blocking_fraction(denom));
             }
             allocations += out.assignments.len() as u64;
-            for a in &out.assignments {
+            for (i, a) in out.assignments.iter().enumerate() {
                 let circuit = cs.establish(&a.path).map_err(|error| SimError::Circuit {
                     context: "establishing a scheduled circuit",
                     error,
                 })?;
-                let (arrived, _ty, req) = queue[a.processor].pop_front().ok_or(SimError::State(
+                let (arrived, ty, req) = queue[a.processor].pop_front().ok_or(SimError::State(
                     "assignment for a processor with an empty queue",
                 ))?;
                 tracer.span(
@@ -757,7 +855,15 @@ impl<'n> SystemSim<'n> {
                     a.resource as u64,
                 );
                 transmitting[a.processor] = true;
-                busy[a.resource] = true;
+                // A misrouted circuit still holds its links until the
+                // transmission times out, but nothing reaches the resource:
+                // it stays free for honest traffic.
+                let delivered = delivered_flags.get(i).copied().unwrap_or(true);
+                if delivered {
+                    busy[a.resource] = true;
+                } else {
+                    misrouted += 1;
+                }
                 let tx_done = now + exponential(&mut rng, 1.0 / cfg.mean_transmission);
                 push(
                     &mut heap,
@@ -769,8 +875,16 @@ impl<'n> SystemSim<'n> {
                         circuit,
                         arrived,
                         req,
+                        ty,
+                        delivered,
                     },
                 );
+            }
+            for b in to_quarantine {
+                if !quarantined[b] {
+                    quarantined[b] = true;
+                    cs.fail_box(b);
+                }
             }
         }
         let horizon = (cfg.sim_time - cfg.warmup).max(f64::MIN_POSITIVE);
@@ -797,6 +911,11 @@ impl<'n> SystemSim<'n> {
             recoveries_observed: recovery.count(),
             transform_rebuilds: scratch.rebuilds(),
             recovery_cost: recovery_cost_total,
+            misrouted,
+            byz_flagged,
+            byz_false_positives,
+            mean_detection_cycles: detection.mean(),
+            detections_observed: detection.count(),
         })
     }
 }
@@ -915,6 +1034,87 @@ pub fn run_faulted_trials_policy_probed(
             policy,
             probe,
         )
+    })
+}
+
+/// Which fault process drives a faulted trial (DESIGN §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Independent per-link/per-box fail-stop renewal streams — the
+    /// classic [`FaultPlan::generate`] model.
+    Independent,
+    /// Correlated fail-stop: per-stage power/packaging domains of
+    /// switchboxes ([`FaultDomain::stage_power_domains`]) fail and repair
+    /// as single events, with each domain's hazard scaled by the number of
+    /// links it covers so the marginal per-link hazard matches
+    /// [`FaultModel::Independent`] at the same configured rate.
+    Correlated {
+        /// Adjacent switching boxes per package, handed to
+        /// [`FaultDomain::stage_power_domains`].
+        domain_boxes: usize,
+    },
+    /// Byzantine misrouting: boxes lie instead of dying
+    /// ([`FaultPlan::generate_byzantine`]; the config's box failure rate is
+    /// the misrouting onset rate). Runs engage the differential
+    /// conformance detector.
+    Byzantine,
+}
+
+impl FaultModel {
+    /// Stable lowercase name for CLI flags and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::Independent => "independent",
+            FaultModel::Correlated { .. } => "correlated",
+            FaultModel::Byzantine => "byzantine",
+        }
+    }
+}
+
+/// Build trial `trial`'s fault plan for `model` — the single plan-selection
+/// point shared by [`run_faulted_trials_model`] and the experiment binaries,
+/// so a CLI sweep and a test replaying one trial agree event-for-event.
+pub fn plan_for_model(
+    net: &Network,
+    fault_cfg: &FaultPlanConfig,
+    model: FaultModel,
+    plan_seed: u64,
+) -> FaultPlan {
+    match model {
+        FaultModel::Independent => FaultPlan::generate(net, fault_cfg, plan_seed),
+        FaultModel::Correlated { domain_boxes } => {
+            let domains = FaultDomain::stage_power_domains(net, domain_boxes);
+            FaultPlan::generate_correlated(net, domains, fault_cfg, plan_seed)
+                .expect("stage power domains reference only in-range components")
+        }
+        FaultModel::Byzantine => FaultPlan::generate_byzantine(net, fault_cfg, plan_seed),
+    }
+}
+
+/// [`run_faulted_trials_policy`] under an explicit [`FaultModel`]; the
+/// existing entry points are the [`FaultModel::Independent`] special case.
+/// Same determinism contract: trial `t` draws its plan from
+/// [`fault_plan_seed`]`(cfg.seed, t)` under the chosen model, results land
+/// in trial order and are bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_faulted_trials_model(
+    net: &Network,
+    scheduler: &dyn Scheduler,
+    cfg: &DynamicConfig,
+    fault_cfg: &FaultPlanConfig,
+    trials: usize,
+    threads: usize,
+    policy: DegradedPolicy,
+    model: FaultModel,
+) -> Vec<FaultedStats> {
+    crate::pool::run_indexed(trials, threads, |trial| {
+        let plan = plan_for_model(
+            net,
+            fault_cfg,
+            model,
+            fault_plan_seed(cfg.seed, trial as u64),
+        );
+        SystemSim::new(net, *cfg).run_faulted_trial_policy(scheduler, &plan, trial as u64, policy)
     })
 }
 
@@ -1482,5 +1682,197 @@ mod tests {
         let arrivals_upper = (0.3 * 4.0 * 300.0 * 2.0) as u64;
         assert!(stats.completed < arrivals_upper);
         assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn independent_model_reproduces_legacy_entry_point_bit_for_bit() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 200.0,
+            warmup: 20.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig::links(0.003, 20.0, cfg.sim_time);
+        let scheduler = MaxFlowScheduler::default();
+        let legacy =
+            run_faulted_trials_policy(&net, &scheduler, &cfg, &fcfg, 3, 1, DegradedPolicy::Bfs);
+        let model = run_faulted_trials_model(
+            &net,
+            &scheduler,
+            &cfg,
+            &fcfg,
+            3,
+            2,
+            DegradedPolicy::Bfs,
+            FaultModel::Independent,
+        );
+        for (a, b) in legacy.iter().zip(&model) {
+            assert_eq!(a.stats.completed, b.stats.completed);
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(
+                a.stats.mean_response.to_bits(),
+                b.stats.mean_response.to_bits()
+            );
+            assert_eq!(a.misrouted, 0);
+            assert_eq!(b.misrouted, 0);
+        }
+    }
+
+    #[test]
+    fn correlated_domain_trials_patch_only_and_bit_identical_across_threads() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.5,
+            sim_time: 400.0,
+            warmup: 40.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig::links(0.01, 25.0, cfg.sim_time);
+        let scheduler = MaxFlowScheduler::default();
+        let model = FaultModel::Correlated { domain_boxes: 2 };
+        let serial = run_faulted_trials_model(
+            &net,
+            &scheduler,
+            &cfg,
+            &fcfg,
+            4,
+            1,
+            DegradedPolicy::Bfs,
+            model,
+        );
+        assert!(
+            serial.iter().any(|s| s.failures > 0),
+            "correlated plans must inject domain failures"
+        );
+        for s in &serial {
+            // Domain events flow through the incremental patch path: one
+            // rebuild for the transformation shape, none for the faults.
+            assert_eq!(s.transform_rebuilds, 1);
+            assert_eq!(s.misrouted, 0, "correlated faults are fail-stop");
+            assert_eq!(s.byz_flagged, 0, "detector must stay disengaged");
+        }
+        for threads in [2, 8] {
+            let parallel = run_faulted_trials_model(
+                &net,
+                &scheduler,
+                &cfg,
+                &fcfg,
+                4,
+                threads,
+                DegradedPolicy::Bfs,
+                model,
+            );
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.stats.completed, b.stats.completed, "threads={threads}");
+                assert_eq!(a.failures, b.failures, "threads={threads}");
+                assert_eq!(a.shed_total, b.shed_total, "threads={threads}");
+                assert_eq!(
+                    a.stats.mean_response.to_bits(),
+                    b.stats.mean_response.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_boxes_misroute_until_detected_and_quarantined() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.5,
+            sim_time: 400.0,
+            warmup: 40.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig {
+            link_failure_rate: 0.0,
+            box_failure_rate: 0.002,
+            mean_repair: 80.0,
+            horizon: cfg.sim_time,
+        };
+        let scheduler = MaxFlowScheduler::default();
+        let plan = plan_for_model(
+            &net,
+            &fcfg,
+            FaultModel::Byzantine,
+            fault_plan_seed(cfg.seed, 0),
+        );
+        assert!(plan.has_byzantine() && plan.failure_count() > 0);
+        let run = SystemSim::new(&net, cfg).run_faulted_trial_policy(
+            &scheduler,
+            &plan,
+            0,
+            DegradedPolicy::Bfs,
+        );
+        // The lie manifests: circuits establish but fail to deliver…
+        assert!(run.misrouted > 0, "no circuit was ever misrouted");
+        // …and the differential detector catches the liar with repeat
+        // evidence, never before the flagging threshold allows.
+        assert!(run.byz_flagged > 0, "no box was ever flagged");
+        assert!(run.detections_observed > 0);
+        assert!(
+            run.mean_detection_cycles >= rsin_core::conformance::FLAG_THRESHOLD as f64,
+            "detection latency {} under threshold",
+            run.mean_detection_cycles
+        );
+        // Tasks survive: misrouted transmissions re-queue and retry once the
+        // liar is quarantined, so the run still completes work.
+        assert!(run.stats.completed > 0);
+    }
+
+    #[test]
+    fn byzantine_trials_bit_identical_across_thread_counts() {
+        use rsin_topology::FaultPlanConfig;
+        let net = omega(8).unwrap();
+        let cfg = DynamicConfig {
+            arrival_rate: 0.4,
+            sim_time: 300.0,
+            warmup: 30.0,
+            ..DynamicConfig::default()
+        };
+        let fcfg = FaultPlanConfig {
+            link_failure_rate: 0.0,
+            box_failure_rate: 0.002,
+            mean_repair: 60.0,
+            horizon: cfg.sim_time,
+        };
+        let scheduler = MaxFlowScheduler::default();
+        let serial = run_faulted_trials_model(
+            &net,
+            &scheduler,
+            &cfg,
+            &fcfg,
+            4,
+            1,
+            DegradedPolicy::Bfs,
+            FaultModel::Byzantine,
+        );
+        assert!(serial.iter().any(|s| s.misrouted > 0));
+        for threads in [2, 8] {
+            let parallel = run_faulted_trials_model(
+                &net,
+                &scheduler,
+                &cfg,
+                &fcfg,
+                4,
+                threads,
+                DegradedPolicy::Bfs,
+                FaultModel::Byzantine,
+            );
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.misrouted, b.misrouted, "threads={threads}");
+                assert_eq!(a.byz_flagged, b.byz_flagged, "threads={threads}");
+                assert_eq!(a.stats.completed, b.stats.completed, "threads={threads}");
+                assert_eq!(
+                    a.mean_detection_cycles.to_bits(),
+                    b.mean_detection_cycles.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 }

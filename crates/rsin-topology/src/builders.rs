@@ -156,6 +156,61 @@ pub fn omega_extra_stage(n: usize, extra: usize) -> Result<Network, NetworkError
     min_from_permutations(&format!("omega-{n}+{extra}"), n, &wiring, &|x| x)
 }
 
+/// A 3-disjoint-paths Omega network (after Rastogi et al.'s 3DP Omega
+/// stability analysis): three full Omega *planes* in parallel, entered
+/// through a 1×3 fan-out box per processor and merged by a 3×1 box per
+/// resource. Every processor/resource pair has (at least) three mutually
+/// arc-disjoint routes through the fabric — one per plane — so no single
+/// interior link, box, or even whole-plane domain failure can disconnect a
+/// pair. Box order: `n` entry boxes (stage 0), then `bits` interior stages
+/// of `3·n/2` boxes (plane-major within each stage), then `n` exit boxes.
+pub fn omega_3dp(n: usize) -> Result<Network, NetworkError> {
+    let bits = require_power_of_two(n)?;
+    let stages = bits as usize;
+    let boxes_per_plane_stage = n / 2;
+    let mut b = NetworkBuilder::new(format!("3dp-omega-{n}"), n, n);
+    let entry: Vec<usize> = (0..n).map(|_| b.add_box(0, 1, 3)).collect();
+    for s in 0..stages {
+        for _ in 0..3 * boxes_per_plane_stage {
+            b.add_box(1 + s, 2, 2);
+        }
+    }
+    let exit: Vec<usize> = (0..n).map(|_| b.add_box(1 + stages, 3, 1)).collect();
+    // Interior stages were added stage-major, planes contiguous within each.
+    let plane_box =
+        |plane: usize, s: usize, idx: usize| n + (s * 3 + plane) * boxes_per_plane_stage + idx;
+    for (p, &e) in entry.iter().enumerate() {
+        b.link_proc_to_box(p, e, 0);
+    }
+    for plane in 0..3 {
+        // Entry fan-out through the perfect shuffle, one output per plane.
+        for (p, &e) in entry.iter().enumerate() {
+            let line = perm::perfect_shuffle(p, bits);
+            b.link_box_to_box(e, plane, plane_box(plane, 0, line / 2), line % 2);
+        }
+        // Plane interior: plain Omega shuffle-exchange stages.
+        for s in 1..stages {
+            for x in 0..n {
+                let line = perm::perfect_shuffle(x, bits);
+                b.link_box_to_box(
+                    plane_box(plane, s - 1, x / 2),
+                    x % 2,
+                    plane_box(plane, s, line / 2),
+                    line % 2,
+                );
+            }
+        }
+        // Plane output line x merges into exit box x on its plane's port.
+        for (x, &e) in exit.iter().enumerate() {
+            b.link_box_to_box(plane_box(plane, stages - 1, x / 2), x % 2, e, plane);
+        }
+    }
+    for (r, &e) in exit.iter().enumerate() {
+        b.link_box_to_res(e, 0, r);
+    }
+    b.build()
+}
+
 /// Wu–Feng baseline network: recursive halving; the pattern after stage `s`
 /// is the inverse shuffle within blocks of size `n/2^s`.
 pub fn baseline(n: usize) -> Result<Network, NetworkError> {
@@ -559,6 +614,48 @@ mod tests {
             k
         };
         assert!(reach(&cs1, 8) >= reach(&cs0, 8));
+    }
+
+    #[test]
+    fn three_disjoint_paths_shape_and_access() {
+        let net = omega_3dp(8).unwrap();
+        assert_eq!(net.num_stages(), 5); // entry + 3 omega stages + exit
+        assert_eq!(net.num_boxes(), 8 + 3 * 3 * 4 + 8);
+        // links: 8 proc + 24 fan-out + 3 planes × 2 gaps × 8 + 24 merge + 8 res.
+        assert_eq!(net.num_links(), 8 + 24 + 48 + 24 + 8);
+        assert_full_access(&net);
+        assert_full_access(&omega_3dp(4).unwrap());
+        assert_full_access(&omega_3dp(2).unwrap());
+    }
+
+    #[test]
+    fn three_disjoint_paths_survive_plane_loss() {
+        // Killing every box of one plane (a whole-plane correlated domain)
+        // leaves full access through the other two planes.
+        let net = omega_3dp(8).unwrap();
+        let mut cs = CircuitState::new(&net);
+        // Plane 0 of interior stage s starts at box 8 + s*3*4.
+        for s in 0..3 {
+            for i in 0..4 {
+                cs.fail_box(8 + s * 12 + i);
+            }
+        }
+        assert_full_access_on(&cs, &net);
+    }
+
+    /// Like `assert_full_access` but over an existing (degraded) state.
+    fn assert_full_access_on(cs: &CircuitState, net: &Network) {
+        for p in 0..net.num_processors() {
+            for r in 0..net.num_resources() {
+                assert!(
+                    cs.find_path(p, r).is_some(),
+                    "{}: no path p{} -> r{}",
+                    net.name(),
+                    p + 1,
+                    r + 1
+                );
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct CircuitState<'a> {
     /// fault tolerance as an advantage of the distributed architecture).
     /// Toggled by [`fail_link`](Self::fail_link)/[`repair_link`](Self::repair_link).
     faulty: Vec<bool>,
+    /// Switchboxes currently *misrouting* (Byzantine, per DESIGN §15):
+    /// their links stay available — capacity-based schedulers cannot see a
+    /// lying box — but a circuit through one fails to deliver. Toggled by
+    /// [`set_byzantine_box`](Self::set_byzantine_box).
+    byzantine: Vec<bool>,
     circuits: Vec<Option<Vec<LinkId>>>,
 }
 
@@ -62,6 +67,7 @@ impl<'a> CircuitState<'a> {
             net,
             occupied: vec![false; net.num_links()],
             faulty: vec![false; net.num_links()],
+            byzantine: vec![false; net.num_boxes()],
             circuits: Vec::new(),
         }
     }
@@ -126,6 +132,38 @@ impl<'a> CircuitState<'a> {
     /// Number of faulty links.
     pub fn faulty_count(&self) -> usize {
         self.faulty.iter().filter(|f| **f).count()
+    }
+
+    /// Mark switchbox `b` as misrouting (`lying = true`) or honest again.
+    ///
+    /// Unlike [`fail_box`](Self::fail_box) this touches no link state: every
+    /// link through the box stays free, so schedulers keep routing circuits
+    /// across it — and those circuits silently fail to deliver. Fail-stop
+    /// accounting (`faulty_count`, `is_free`) is deliberately unaffected.
+    pub fn set_byzantine_box(&mut self, b: usize, lying: bool) {
+        self.byzantine[b] = lying;
+    }
+
+    /// Is switchbox `b` currently misrouting?
+    pub fn is_byzantine_box(&self, b: usize) -> bool {
+        self.byzantine[b]
+    }
+
+    /// Number of switchboxes currently misrouting.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine.iter().filter(|b| **b).count()
+    }
+
+    /// First misrouting switchbox a circuit over `links` would traverse, or
+    /// `None` when every box on the path is honest (the request is
+    /// delivered). A deterministic misrouter sends the request out a wrong
+    /// output, off its reserved circuit — the delivery is lost even though
+    /// every link was claimed successfully.
+    pub fn first_byzantine_on(&self, links: &[LinkId]) -> Option<usize> {
+        links.iter().find_map(|&l| match self.net.link(l).dst {
+            NodeRef::Box(b) if self.byzantine[b] => Some(b),
+            _ => None,
+        })
     }
 
     /// Number of currently-occupied links.
@@ -395,6 +433,24 @@ mod tests {
                 assert!(cs.find_path(p, r).is_none());
             }
         }
+    }
+
+    #[test]
+    fn byzantine_box_is_invisible_to_routing_but_poisons_paths() {
+        let net = two_stage();
+        let mut cs = CircuitState::new(&net);
+        cs.set_byzantine_box(0, true);
+        // Routing and establishment are oblivious: no link is down.
+        assert_eq!(cs.faulty_count(), 0);
+        assert_eq!(cs.byzantine_count(), 1);
+        let path = cs.find_path(0, 1).unwrap();
+        // ...but the path crosses the liar, so delivery would fail.
+        assert_eq!(cs.first_byzantine_on(&path), Some(0));
+        cs.establish(&path).unwrap();
+        // Honesty restored: the same path delivers.
+        cs.set_byzantine_box(0, false);
+        assert_eq!(cs.first_byzantine_on(&path), None);
+        assert!(!cs.is_byzantine_box(0));
     }
 
     #[test]

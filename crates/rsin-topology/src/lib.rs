@@ -17,14 +17,18 @@
 //! * [`builders`] — constructors for the classic topologies: **Omega**
 //!   (Lawrie), **baseline** (Wu–Feng), **indirect binary n-cube** (Pease),
 //!   **generalized cube** (Siegel), **Benes**, **Clos**, **delta**, a plain
-//!   **crossbar**, a **gamma-like** multipath network, and extra-stage
-//!   augmentation of any 2×2-box MIN.
+//!   **crossbar**, a **gamma-like** multipath network, extra-stage
+//!   augmentation of any 2×2-box MIN, and a **3-disjoint-paths Omega**
+//!   (three parallel Omega planes behind 1×3/3×1 taps).
 //! * [`circuit`] — link-occupancy state: establishing and releasing
 //!   circuits, and breadth-first free-path search (the primitive behind the
 //!   heuristic schedulers the paper compares against).
 //! * [`fault`] — deterministic, seed-driven fault-injection plans:
 //!   time-sorted link/switchbox failure and repair events drawn from a
-//!   renewal process, reproducible across threads and trials;
+//!   renewal process, reproducible across threads and trials; beyond
+//!   independent fail-stop toggles, plans carry correlated
+//!   [`fault::FaultDomain`]s (whole groups toggling as one event) and
+//!   Byzantine misrouting boxes (lying, not dying);
 //! * [`routing`] — path enumeration and exact permutation routing
 //!   (admissibility checks for MINs);
 //! * [`analysis`] — survey metrics per topology (crosspoints, control
@@ -61,7 +65,9 @@ pub mod sharded;
 pub mod switchbox;
 
 pub use circuit::{CircuitError, CircuitId, CircuitState};
-pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanConfig, FaultTarget};
+pub use fault::{
+    FaultAction, FaultDomain, FaultEvent, FaultPlan, FaultPlanConfig, FaultPlanError, FaultTarget,
+};
 pub use network::{LinkId, Network, NetworkBuilder, NetworkError, NodeRef};
 pub use sharded::{GlobalTopology, ShardPort, ShardedNetwork, ShardedSpec};
 pub use switchbox::Switchbox;

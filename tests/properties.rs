@@ -16,8 +16,8 @@ use rsin_flow::path::decompose_unit_flow;
 use rsin_flow::FlowNetwork;
 use rsin_integration::{problem_with_attrs, snapshot};
 use rsin_sim::workload::trial_rng;
-use rsin_topology::builders::{generalized_cube, omega};
-use rsin_topology::CircuitState;
+use rsin_topology::builders::{generalized_cube, omega, omega_3dp, omega_extra_stage};
+use rsin_topology::{CircuitState, NodeRef};
 
 /// Strategy: a random digraph as (nodes, arc list with caps and costs).
 fn arb_flow_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64, i64)>)> {
@@ -209,5 +209,103 @@ proptest! {
         let sw = MaxFlowScheduler::default().schedule(&problem);
         prop_assert_eq!(hw.outcome.assignments.len(), sw.allocated());
         verify(&hw.outcome.assignments, &problem).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path-diverse generator properties (extra-stage Omega and 3-disjoint-paths).
+// ---------------------------------------------------------------------------
+
+/// Every processor can reach every resource on an otherwise-empty network.
+fn assert_full_access(net: &rsin_topology::Network) {
+    let cs = CircuitState::new(net);
+    for p in 0..net.num_processors() {
+        for r in 0..net.num_resources() {
+            assert!(
+                cs.find_path(p, r).is_some(),
+                "{}: no path {p} -> {r}",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn path_diverse_generators_have_full_access() {
+    for n in [4usize, 8, 16] {
+        for extra in 0usize..3 {
+            assert_full_access(&omega_extra_stage(n, extra).unwrap());
+        }
+        assert_full_access(&omega_3dp(n).unwrap());
+    }
+}
+
+/// Max-flow >= 3 certificate for the 3-disjoint-paths generator: between
+/// every processor/resource pair, a unit-capacity solve over the fabric
+/// (one cap-1 arc per inter-box link) pushes at least 3 units from the
+/// pair's entry box to its exit box — i.e. three arc-disjoint routes
+/// survive between every pair, so any two fabric link faults leave the
+/// pair connected.
+#[test]
+fn three_disjoint_paths_certified_by_unit_capacity_max_flow() {
+    let net = omega_3dp(8).unwrap();
+    for p in 0..net.num_processors() {
+        for r in 0..net.num_resources() {
+            let mut g = FlowNetwork::new();
+            for b in 0..net.num_boxes() {
+                g.add_node(format!("b{b}"));
+            }
+            for (_, link) in net.links() {
+                if let (NodeRef::Box(u), NodeRef::Box(v)) = (link.src, link.dst) {
+                    g.add_arc(
+                        rsin_flow::NodeId(u as u32),
+                        rsin_flow::NodeId(v as u32),
+                        1,
+                        0,
+                    );
+                }
+            }
+            let NodeRef::Box(entry) = net.link(net.processor_link(p).unwrap()).dst else {
+                panic!("processor {p} not attached to a box");
+            };
+            let NodeRef::Box(exit) = net.link(net.resource_link(r).unwrap()).src else {
+                panic!("resource {r} not attached to a box");
+            };
+            let flow = solve(
+                &mut g,
+                rsin_flow::NodeId(entry as u32),
+                rsin_flow::NodeId(exit as u32),
+                Algorithm::Dinic,
+            );
+            assert!(
+                flow.value >= 3,
+                "3dp pair ({p},{r}): unit max-flow {} < 3",
+                flow.value
+            );
+        }
+    }
+}
+
+/// `omega_extra_stage(n, 0)` is bit-identical to plain `omega(n)`: same
+/// stage/box/link structure, element by element (only the registry name
+/// differs: `omega-8+0` vs `omega-8`).
+#[test]
+fn extra_stage_zero_is_bit_identical_to_omega() {
+    for n in [4usize, 8, 16, 32] {
+        let a = omega_extra_stage(n, 0).unwrap();
+        let b = omega(n).unwrap();
+        assert_eq!(a.num_processors(), b.num_processors());
+        assert_eq!(a.num_resources(), b.num_resources());
+        assert_eq!(a.num_stages(), b.num_stages());
+        assert_eq!(a.num_boxes(), b.num_boxes());
+        assert_eq!(a.num_links(), b.num_links());
+        for bx in 0..a.num_boxes() {
+            assert_eq!(a.box_spec(bx), b.box_spec(bx), "box {bx} differs (n={n})");
+            assert_eq!(a.box_inputs(bx), b.box_inputs(bx));
+            assert_eq!(a.box_outputs(bx), b.box_outputs(bx));
+        }
+        let la: Vec<_> = a.links().map(|(_, l)| *l).collect();
+        let lb: Vec<_> = b.links().map(|(_, l)| *l).collect();
+        assert_eq!(la, lb, "link tables differ (n={n})");
     }
 }
